@@ -1,0 +1,51 @@
+"""Ablation — the two evaluation strategies for the OR-join (eqs. 3/4).
+
+DESIGN.md calls out that the OR-join is implemented twice: as the exact
+pairwise contribution-vector DP and as the η-superposition pseudo-
+inverse.  This ablation benchmarks both on the paper's F1 activation
+join, asserts they agree, and reports the cost ratio — the data behind
+choosing the DP as the default.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.eventmodels import or_join, or_join_superposition, periodic
+from repro.viz import render_table
+
+MODELS = lambda: [periodic(250.0, "S1"), periodic(450.0, "S2"),
+                  periodic(1000.0, "timer")]
+N_RANGE = range(2, 40)
+
+
+def _evaluate(join_factory):
+    join = join_factory(MODELS())
+    total = 0.0
+    for n in N_RANGE:
+        total += join.delta_min(n)
+        dp = join.delta_plus(n)
+        total += 0.0 if dp == float("inf") else dp
+    return join, total
+
+
+@pytest.mark.parametrize("strategy,factory", [
+    ("pairwise-DP", or_join),
+    ("superposition", or_join_superposition),
+])
+def test_orjoin_strategy(benchmark, strategy, factory):
+    join, checksum = benchmark(_evaluate, factory)
+    emit(f"Ablation - OR-join via {strategy}",
+         render_table(["n", "delta-(n)", "delta+(n)"],
+                      [(n, join.delta_min(n), join.delta_plus(n))
+                       for n in range(2, 10)]))
+    assert checksum > 0
+
+
+def test_orjoin_strategies_agree():
+    exact, _ = _evaluate(or_join)
+    sup, _ = _evaluate(or_join_superposition)
+    for n in N_RANGE:
+        assert sup.delta_min(n) == pytest.approx(exact.delta_min(n),
+                                                 abs=1e-5)
+        assert sup.delta_plus(n) == pytest.approx(exact.delta_plus(n),
+                                                  abs=1e-5)

@@ -1,0 +1,76 @@
+"""Figure 3 — frame timing vs signal timing: the pending-signal bound.
+
+The paper's Fig. 3 illustrates the derivation of eqs. (7)/(8): the first
+of n pending values may just miss a frame and wait up to δ⁺_f(2); each
+frame carries at most one fresh value.  This benchmark regenerates the
+construction on the paper's S3/F1 pair and verifies both terms of the
+max in eq. (7) become active in their respective regimes, plus checks
+the bound against brute-force simulated delivery traces.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.can import CanBusTiming
+from repro.com import pending_transport_model
+from repro.eventmodels import or_join, periodic, trace_within_bounds
+from repro.examples_lib.rox08 import (
+    BIT_TIME,
+    TASK_SIGNAL,
+    build_com_layer,
+    build_source_models,
+)
+from repro.sim import GatewayScenario, arrivals_for_models, simulate_gateway
+from repro.viz import render_table
+
+
+def _build_bound():
+    frame_stream = or_join([periodic(250.0), periodic(450.0),
+                            periodic(1000.0)])
+    signal = periodic(1000.0, "S3")
+    return frame_stream, pending_transport_model(signal, frame_stream,
+                                                 name="S3@F1")
+
+
+def _simulate_deliveries():
+    layer = build_com_layer()
+    models = build_source_models()
+    scenario = GatewayScenario(
+        layer=layer, bus_timing=CanBusTiming(BIT_TIME),
+        signal_arrivals=arrivals_for_models(models, 60_000.0,
+                                            mode="worst"),
+        cpu_tasks={})
+    run = simulate_gateway(scenario, 60_000.0)
+    return run.delivered("S3")
+
+
+def test_fig3_pending_signal_bound(benchmark):
+    (frame_stream, bound) = benchmark(_build_bound)
+
+    rows = [(n, periodic(1000.0).delta_min(n), frame_stream.delta_min(n),
+             bound.delta_min(n)) for n in range(2, 9)]
+    emit("Figure 3 - pending transport bound (eq. 7)",
+         render_table(["n", "signal d-(n)", "frames d-(n)",
+                       "pending d-(n)"], rows))
+
+    # eq. (7) regime 1: the signal term minus the max frame gap.
+    gap = frame_stream.delta_plus(2)
+    assert bound.delta_min(2) == pytest.approx(1000.0 - gap)
+    # eq. (8): no guarantee the pending value ever moves again.
+    assert bound.delta_plus(2) == float("inf")
+    # Conservatism against simulated fresh deliveries: deliveries happen
+    # *after* the bus hop, which can compress spacing by the frame's
+    # response span — so the check applies Def. 9 with the analysed bus
+    # response interval before comparing.
+    from repro.core.update import InnerJitterSpacingModel
+    from repro.examples_lib.rox08 import build_system
+    from repro.system import analyze_system
+
+    result = analyze_system(build_system("hem"))
+    f1 = result.task_result("F1")
+    k = frame_stream.simultaneity()
+    shifted = InnerJitterSpacingModel(bound, f1.r_max - f1.r_min,
+                                      f1.r_min, k)
+    delivered = _simulate_deliveries()
+    assert len(delivered) > 30
+    assert trace_within_bounds(delivered, shifted)

@@ -1,0 +1,43 @@
+"""Table 2 — the CAN bus: frames, payloads, priorities, and the bus
+analysis feeding the receiver side.
+
+Regenerates the frame table plus the analysed frame worst-case response
+times (the r⁻/r⁺ that parameterise Θ_τ and the Def. 9 inner update).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.can import CanBusTiming, frame_bits_max
+from repro.examples_lib.rox08 import BIT_TIME, build_system
+from repro.system import analyze_system
+from repro.viz import render_table
+
+
+def _analyze_bus():
+    return analyze_system(build_system("hem"))
+
+
+def test_table2_bus(benchmark):
+    result = benchmark(_analyze_bus)
+    timing = CanBusTiming(BIT_TIME)
+
+    rows = []
+    for frame, payload, prio in (("F1", 4, "High"), ("F2", 2, "Low")):
+        tr = result.task_result(frame)
+        rows.append((frame, f"[{payload}:{payload}]", prio,
+                     timing.transmission_time_max(payload),
+                     tr.r_min, tr.r_max))
+    emit("Table 2 - Bus (CAN - scheduled)",
+         render_table(["Frame", "Payload", "Priority", "C_max",
+                       "R- bus", "R+ bus"], rows))
+
+    # Shape assertions.
+    f1, f2 = result.task_result("F1"), result.task_result("F2")
+    # Worst-case bit counts follow the stuffing formula.
+    assert timing.transmission_time_max(4) == \
+        frame_bits_max(4) * BIT_TIME
+    # The high-priority frame never responds slower than the low one.
+    assert f1.r_max <= f2.r_max + 1e-9
+    # Non-preemptive blocking: F1's WCRT includes waiting for F2.
+    assert f1.r_max >= f1.r_min + timing.transmission_time_max(2) - 1e-9

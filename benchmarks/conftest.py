@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an
+ablation around it) and *prints* the reproduced rows — run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see them.  Shape assertions (who wins, orderings, conservatism) are
+hard assertions: a benchmark run that produces the wrong shape fails.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced artefact in a recognisable block."""
+    bar = "=" * max(len(title), 24)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Design-space exploration: packing, offsets, error models, headroom.
+
+Beyond reproducing the paper's numbers, the library is a design tool.
+This example walks the decisions an integrator faces on one CAN cluster:
+
+1. How should signals be packed into frames?  (packing strategies)
+2. What do transmit offsets buy on the bus?   (offset-aware joins)
+3. What does a fault model cost?              (CAN error frames)
+4. How much execution-time headroom is left?  (sensitivity search)
+
+Run:  python examples/design_space.py
+"""
+
+from repro import (
+    CanErrorModel,
+    SPNPScheduler,
+    SPPScheduler,
+    TaskSpec,
+    max_wcet_scaling,
+    offset_join,
+    or_join,
+    periodic,
+)
+from repro.can import CanBusTiming, frame_bits_max
+from repro.com import (
+    Signal,
+    estimate_bus_load,
+    frame_activation_model,
+    pack_by_period,
+    pack_first_fit,
+)
+from repro.core import TransferProperty
+from repro.viz import render_table
+
+PEND = TransferProperty.PENDING
+BIT_TIME = 0.5
+
+
+def step1_packing(signals, models):
+    print("1) Packing strategy (8 pending signals, derived timers):")
+    rows = []
+    for name, builder in (("period-grouped", pack_by_period),
+                          ("first-fit", pack_first_fit)):
+        layer = builder(signals, models)
+        load = estimate_bus_load(layer, models, bit_time=BIT_TIME)
+        rows.append((name, len(layer.frames), load,
+                     "OK" if load < 1 else "OVERLOAD"))
+    print(render_table(["strategy", "frames", "bus load", "verdict"],
+                       rows, floatfmt=".2f"))
+    return pack_by_period(signals, models)
+
+
+def step2_offsets():
+    print("\n2) Transmit offsets (4 nodes, shared 1000-unit base):")
+    blind = or_join([periodic(1000.0)] * 4)
+    aware = offset_join(1000.0, [0.0, 250.0, 500.0, 750.0])
+    rows = [("offset-blind (OR-join)", blind.delta_min(4),
+             blind.eta_plus(300.0)),
+            ("offset-aware", aware.delta_min(4), aware.eta_plus(300.0))]
+    print(render_table(["model", "delta-(4)", "eta+(300)"], rows))
+
+
+def step3_errors(layer, models):
+    print("\n3) Fault model (error frames + retransmissions):")
+    timing = CanBusTiming(BIT_TIME)
+    specs = []
+    for frame in layer.frames.values():
+        act = frame_activation_model(frame, models)
+        wire = timing.transmission_time_max(frame.payload_bytes)
+        specs.append(TaskSpec(frame.name, wire, wire, act,
+                              priority=frame.can_id))
+    recovery = CanErrorModel.recovery_time_for(BIT_TIME,
+                                               frame_bits_max(8))
+    rows = []
+    for label, model in (
+            ("no errors", None),
+            ("1 burst error", CanErrorModel(1, 0.0, recovery)),
+            ("1 burst + 1e-4 rate", CanErrorModel(1, 1e-4, recovery))):
+        result = SPNPScheduler(error_model=model).analyze(specs, "CAN")
+        worst = max(r.r_max for r in result.task_results.values())
+        rows.append((label, worst))
+    print(render_table(["fault model", "worst frame WCRT"], rows))
+
+
+def step4_headroom():
+    print("\n4) Receiver execution-time headroom:")
+    tasks = [
+        TaskSpec("ctrl", 8.0, 8.0, periodic(100.0), priority=1),
+        TaskSpec("logger", 20.0, 20.0, periodic(500.0), priority=2),
+    ]
+    deadlines = {"ctrl": 100.0, "logger": 500.0}
+    factor = max_wcet_scaling(SPPScheduler(), tasks, deadlines)
+    print(f"   all WCETs can grow {factor:.2f}x before a deadline miss")
+
+
+def main() -> None:
+    signals = []
+    models = {}
+    for i in range(1, 5):
+        fast = Signal(f"fast{i}", 16, PEND)
+        slow = Signal(f"slow{i}", 16, PEND)
+        signals += [fast, slow]
+        models[fast.name] = periodic(100.0, fast.name)
+        models[slow.name] = periodic(2000.0, slow.name)
+
+    layer = step1_packing(signals, models)
+    step2_offsets()
+    step3_errors(layer, models)
+    step4_headroom()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Nested stream hierarchies: a two-level gateway.
+
+The paper generalises event streams to "hierarchies" — its evaluation
+packs signals into CAN frames (one level).  A realistic automotive
+gateway adds a second level: whole CAN frames forwarded inside backbone
+super-frames (FlexRay static slots, Ethernet containers).  This example
+builds that two-level hierarchy, sends it across two analysed hops, and
+unpacks the leaf signals — showing that Definition 9's inner update
+composes through nesting.
+
+Run:  python examples/nested_gateway.py
+"""
+
+from repro import (
+    BusyWindowOutput,
+    TransferProperty,
+    apply_operation,
+    depth,
+    hsc_pack,
+    periodic,
+    unpack_deep,
+)
+from repro.viz import render_table
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+def main() -> None:
+    # Level 1: signals packed into two CAN frames.
+    f1 = hsc_pack(
+        {"wheel_speed": (periodic(100.0, "wheel_speed"), TRIG),
+         "tyre_temp": (periodic(800.0, "tyre_temp"), PEND)},
+        timer=periodic(500.0), name="F1")
+    f2 = hsc_pack(
+        {"steer_angle": (periodic(200.0, "steer_angle"), TRIG)},
+        name="F2")
+
+    # CAN hop: both frames are analysed on their bus (response
+    # intervals from an SPNP analysis; here taken as given).
+    f1_after_can = apply_operation(f1, BusyWindowOutput(12.0, 40.0))
+    f2_after_can = apply_operation(f2, BusyWindowOutput(10.0, 55.0))
+
+    # Level 2: the gateway re-packs both frame streams into one backbone
+    # super-frame (each arriving CAN frame triggers a forwarding).
+    backbone = hsc_pack(
+        {"F1": (f1_after_can, TRIG), "F2": (f2_after_can, TRIG)},
+        timer=periodic(1000.0), name="BB")
+    print(f"Backbone hierarchy depth: {depth(backbone)} "
+          f"(signals -> CAN frames -> super-frame)")
+
+    # Backbone hop: the super-frame crosses the fast network.
+    delivered = apply_operation(backbone, BusyWindowOutput(2.0, 9.0))
+
+    # Receiver: unpack the LEAF streams through both levels.
+    leaves = unpack_deep(delivered)
+    horizon = 2000.0
+    rows = [("all super-frames (flat view)",
+             delivered.eta_plus(horizon))]
+    rows += [(f"leaf {path!r}", model.eta_plus(horizon))
+             for path, model in sorted(leaves.items())]
+    print()
+    print(f"Max activations in any window of {horizon:g}:")
+    print(render_table(["stream", "eta+"], rows))
+    print()
+    print("Each receiver task is bounded by its own leaf stream, two")
+    print("packing levels deep - not by the backbone frame storm.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: pack two signals into a frame, cross a bus, unpack.
+
+Walks the paper's pipeline on a toy example:
+
+1. describe signal streams with standard event models,
+2. pack them with the hierarchical constructor Ω_pa,
+3. send the frame across an analysed bus (Θ_τ + inner update),
+4. unpack the per-signal streams and compare against the flat view.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BusyWindowOutput,
+    TransferProperty,
+    apply_operation,
+    hsc_pack,
+    periodic,
+    unpack,
+)
+from repro.viz import render_table
+
+
+def main() -> None:
+    # 1. Two application signals: a fast triggering one, a slow pending
+    #    one that just rides along.
+    speed = periodic(250.0, "speed")        # triggers a frame per value
+    diagnostics = periodic(1000.0, "diag")  # pending: waits for a ride
+
+    # 2. Pack them into one frame.  The mixed frame also has a 1000-unit
+    #    transmission timer, so pending data never starves.
+    frame = hsc_pack(
+        {
+            "speed": (speed, TransferProperty.TRIGGERING),
+            "diag": (diagnostics, TransferProperty.PENDING),
+        },
+        timer=periodic(1000.0, "timer"),
+        name="F1",
+    )
+    print("Frame activation stream (outer):")
+    print("  delta_min(2..5) =",
+          [frame.delta_min(n) for n in range(2, 6)])
+
+    # 3. The frame crosses a bus with response times in [40, 120].
+    after_bus = apply_operation(frame, BusyWindowOutput(40.0, 120.0))
+
+    # 4. Unpack: the receiver analyses each consumer against ITS stream,
+    #    not against every frame.
+    signals = unpack(after_bus)
+    rows = []
+    horizon = 2000.0
+    rows.append(("all frames (flat view)", after_bus.eta_plus(horizon)))
+    for label, model in signals.items():
+        rows.append((f"unpacked {label!r}", model.eta_plus(horizon)))
+    print()
+    print(f"Max activations in any window of {horizon:g} time units:")
+    print(render_table(["stream", "eta+"], rows))
+    print()
+    print("The unpacked streams are far sparser than the frame stream -")
+    print("that gap is exactly the overestimation hierarchical event")
+    print("models remove from receiver-side response-time analysis.")
+
+
+if __name__ == "__main__":
+    main()

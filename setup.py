@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (``pip install -e .
+--no-use-pep517 --no-build-isolation``) on environments without the
+``wheel`` package.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,162 @@
+"""repro — Hierarchical Event Models for Compositional Scheduling Analysis.
+
+A complete, self-contained reproduction of
+
+    Jonas Rox, Rolf Ernst: "Modeling Event Stream Hierarchies with
+    Hierarchical Event Models", DATE 2008.
+
+Layers (bottom-up):
+
+* :mod:`repro.eventmodels` — the flat event-stream algebra: δ⁻/δ⁺/η⁺/η⁻
+  characteristic functions, standard (P, J, d) models, curve models,
+  OR/AND joins (paper eqs. (3)/(4)), Θ_τ output models, shapers.
+* :mod:`repro.analysis` — local scheduling analyses: SPP, SPNP (CAN),
+  round-robin, TDMA, EDF, and hierarchical scheduling via the periodic
+  resource model.
+* :mod:`repro.core` — **the paper's contribution**: hierarchical event
+  models ``H = (F_out, L, C)``, the pack constructor Ω_pa (Def. 8), inner
+  update functions (Def. 7/9), and deconstructors Ψ (Def. 6/10).
+* :mod:`repro.system` — the compositional system engine: stream graph +
+  global fixed-point iteration.
+* :mod:`repro.com` / :mod:`repro.can` — AUTOSAR-style COM layer and CAN
+  bus substrates (paper section 4).
+* :mod:`repro.sim` — discrete-event simulator used to validate that every
+  analytic bound is conservative.
+
+Quickstart::
+
+    from repro import (periodic, hsc_pack, TransferProperty,
+                       BusyWindowOutput, apply_operation, unpack)
+
+    frame = hsc_pack(
+        {"speed": (periodic(250), TransferProperty.TRIGGERING),
+         "diag":  (periodic(1000), TransferProperty.PENDING)},
+        timer=periodic(1000), name="F1")
+    after_bus = apply_operation(frame, BusyWindowOutput(40.0, 120.0))
+    per_signal = unpack(after_bus)   # tight streams for receiver analysis
+"""
+
+from ._errors import (
+    AnalysisError,
+    ConvergenceError,
+    ModelError,
+    NotSchedulableError,
+    ReproError,
+    UnboundedStreamError,
+)
+from .analysis import (
+    EDFScheduler,
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+    ResourceResult,
+    RoundRobinScheduler,
+    Scheduler,
+    SPNPScheduler,
+    SPPScheduler,
+    SystemResult,
+    TaskResult,
+    TaskSpec,
+    TDMAScheduler,
+)
+from .can import CanBus, CanBusTiming, frame_bits_max, frame_bits_min
+from .com import ComLayer, Frame, FrameType, Signal
+from .analysis import (
+    BoundedDelayResource,
+    CanErrorModel,
+    backlog_bound,
+    binary_search_max,
+    buffer_bound,
+    max_wcet_scaling,
+    min_period_scaling,
+    task_wcet_slack,
+)
+from .core import (
+    BusyWindowOutput,
+    HierarchicalEventModel,
+    ShaperOperation,
+    TransferProperty,
+    apply_operation,
+    depth,
+    flatten,
+    hsc_and,
+    hsc_or,
+    hsc_pack,
+    is_hierarchical,
+    register_inner_update,
+    shift_hierarchy,
+    unpack,
+    unpack_deep,
+    unpack_path,
+    unpack_polled,
+    unpack_signal,
+)
+from .eventmodels import (
+    CurveEventModel,
+    DminShaper,
+    EventModel,
+    NullEventModel,
+    StandardEventModel,
+    TaskOutputModel,
+    and_join,
+    fit_standard,
+    freeze,
+    model_from_trace,
+    models_equal,
+    offset_join,
+    or_join,
+    or_join_superposition,
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+    sporadic,
+    trace_within_bounds,
+    verify_dominates,
+)
+from .system import (
+    Junction,
+    JunctionKind,
+    PathLatency,
+    Resource,
+    Source,
+    System,
+    Task,
+    analyze_system,
+    path_latency,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "ModelError", "AnalysisError", "NotSchedulableError",
+    "ConvergenceError", "UnboundedStreamError",
+    # event models
+    "EventModel", "NullEventModel", "StandardEventModel",
+    "CurveEventModel", "TaskOutputModel", "DminShaper",
+    "periodic", "periodic_with_jitter", "periodic_with_burst", "sporadic",
+    "or_join", "or_join_superposition", "and_join", "offset_join",
+    "freeze",
+    "models_equal", "fit_standard", "verify_dominates",
+    "model_from_trace", "trace_within_bounds",
+    # core (the paper)
+    "HierarchicalEventModel", "TransferProperty", "hsc_pack", "hsc_or",
+    "hsc_and", "BusyWindowOutput", "ShaperOperation", "apply_operation",
+    "register_inner_update", "unpack", "unpack_signal", "unpack_polled",
+    "flatten", "is_hierarchical",
+    "unpack_deep", "unpack_path", "shift_hierarchy", "depth",
+    "binary_search_max", "max_wcet_scaling", "task_wcet_slack",
+    "min_period_scaling", "backlog_bound", "buffer_bound",
+    # analysis
+    "TaskSpec", "Scheduler", "TaskResult", "ResourceResult",
+    "SystemResult", "SPPScheduler", "SPNPScheduler", "CanErrorModel",
+    "RoundRobinScheduler", "TDMAScheduler", "EDFScheduler",
+    "PeriodicResource", "BoundedDelayResource",
+    "HierarchicalSPPScheduler",
+    # system
+    "System", "Source", "Task", "Resource", "Junction", "JunctionKind",
+    "analyze_system", "path_latency", "PathLatency",
+    # substrates
+    "ComLayer", "Frame", "FrameType", "Signal",
+    "CanBus", "CanBusTiming", "frame_bits_max", "frame_bits_min",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — print the full reproduction report."""
+
+import sys
+
+from .report import main
+
+sys.exit(main())

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Analysis failures (overload, divergence) are separated
+from modelling errors (invalid parameters) because they mean different
+things: the former is a *property of the analysed system*, the latter a bug
+in the caller's model construction.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An event model, task, or system was constructed with invalid
+    parameters (e.g. negative period, jitter < 0, empty join)."""
+
+
+class AnalysisError(ReproError):
+    """A local or global analysis could not complete."""
+
+
+class NotSchedulableError(AnalysisError):
+    """The analysed resource is overloaded: a busy window does not close or
+    the long-run utilisation exceeds capacity.
+
+    Attributes
+    ----------
+    resource:
+        Name of the overloaded resource, if known.
+    utilization:
+        The offending utilisation value, if computed.
+    """
+
+    def __init__(self, message, resource=None, utilization=None):
+        super().__init__(message)
+        self.resource = resource
+        self.utilization = utilization
+
+
+class ConvergenceError(AnalysisError):
+    """The global compositional fixed-point iteration did not converge
+    within the configured iteration limit."""
+
+
+class UnboundedStreamError(AnalysisError):
+    """An event-stream evaluation would require an unbounded number of
+    events in a finite window (e.g. ``eta_plus`` on a stream with zero
+    minimum distance and no rate limit)."""

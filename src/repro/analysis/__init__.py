@@ -1,0 +1,51 @@
+"""Local scheduling analyses (busy-window technique and friends)."""
+
+from .backlog import backlog_bound, buffer_bound
+from .busy_window import fixed_point, multi_activation_loop
+from .edf import EDFScheduler, edf_demand_schedulable, synchronous_busy_period
+from .interface import Scheduler, TaskSpec
+from .resource_model import (
+    BoundedDelayResource,
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+)
+from .results import ResourceResult, SystemResult, TaskResult
+from .round_robin import RoundRobinScheduler
+from .sensitivity import (
+    binary_search_max,
+    max_wcet_scaling,
+    min_period_scaling,
+    task_wcet_slack,
+)
+from .spnp import CanErrorModel, SPNPScheduler
+from .spp import SPPScheduler
+from .tdma import TDMAScheduler, tdma_supply, tdma_supply_inverse
+
+__all__ = [
+    "TaskSpec",
+    "Scheduler",
+    "TaskResult",
+    "ResourceResult",
+    "SystemResult",
+    "fixed_point",
+    "multi_activation_loop",
+    "SPPScheduler",
+    "SPNPScheduler",
+    "CanErrorModel",
+    "RoundRobinScheduler",
+    "TDMAScheduler",
+    "tdma_supply",
+    "tdma_supply_inverse",
+    "EDFScheduler",
+    "edf_demand_schedulable",
+    "synchronous_busy_period",
+    "PeriodicResource",
+    "BoundedDelayResource",
+    "HierarchicalSPPScheduler",
+    "binary_search_max",
+    "max_wcet_scaling",
+    "task_wcet_slack",
+    "min_period_scaling",
+    "backlog_bound",
+    "buffer_bound",
+]

@@ -1,0 +1,43 @@
+"""Backlog (queue-length) bounds from busy-window results.
+
+Every activation of a task occupies a queue slot from its arrival until
+its completion.  Within a q-event busy window B(q), just before the j-th
+completion the queue holds every activation that arrived in [0, B(j))
+minus the j - 1 already completed, so
+
+    backlog  <=  max_{1 <= q <= q_max}  [ η⁺(B(q)) - (q - 1) ]
+
+where q_max is the last activation of the longest busy window (after it
+the resource idles and the queue is empty).  The bound is exact for the
+critical-instant arrival pattern the busy-window analysis assumes.
+
+Buffer bytes follow by multiplying with the queued payload size —
+:func:`buffer_bound` does that for COM-layer frames.
+"""
+
+from __future__ import annotations
+
+from .._errors import AnalysisError
+from ..eventmodels.base import EventModel
+from .results import TaskResult
+
+
+def backlog_bound(result: TaskResult, event_model: EventModel) -> int:
+    """Maximum number of simultaneously queued activations of a task."""
+    if not result.busy_times:
+        raise AnalysisError(
+            f"task {result.name}: no busy-window data recorded; "
+            f"the producing analysis does not support backlog bounds")
+    best = 1
+    for q, busy in enumerate(result.busy_times, start=1):
+        pending = event_model.eta_plus(busy) - (q - 1)
+        if pending > best:
+            best = pending
+    return best
+
+
+def buffer_bound(result: TaskResult, event_model: EventModel,
+                 item_bytes: int) -> int:
+    """Worst-case buffer occupancy in bytes for queued items of
+    ``item_bytes`` each (e.g. frame payloads in a gateway queue)."""
+    return backlog_bound(result, event_model) * item_bytes

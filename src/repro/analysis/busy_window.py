@@ -1,0 +1,110 @@
+"""Shared busy-window machinery (Lehoczky's technique).
+
+All fixed-priority analyses follow the same skeleton:
+
+1. For activation counts q = 1, 2, ... compute the *q-event busy time*
+   B(q): the least fixed point of a workload function ``W(q, w)``.
+2. The q-th response time is ``B(q) - δ⁻(q)`` (the q-th activation arrives
+   no earlier than δ⁻(q) after the window opens).
+3. Stop once the busy window closes: the (q+1)-th activation arrives only
+   after the q-event window has drained.
+
+This module provides the fixed-point solver and the q-loop driver; the
+per-policy workload functions live in :mod:`spp`, :mod:`spnp`, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from .._errors import NotSchedulableError
+from ..timebase import EPS, time_eq
+from ..eventmodels.base import EventModel
+
+#: Hard cap on fixed-point iterations for a single busy time.
+MAX_FIXED_POINT_ITER = 100_000
+
+#: Hard cap on the number of activations examined in one busy window.
+MAX_ACTIVATIONS = 50_000
+
+#: Busy times beyond this multiple of the total WCET budget of the task set
+#: indicate an overload that the utilisation pre-check missed.
+_WINDOW_BLOWUP = 1e12
+
+
+def fixed_point(workload: Callable[[float], float], start: float,
+                limit: float = _WINDOW_BLOWUP,
+                context: str = "busy window") -> float:
+    """Least fixed point of a monotone workload function.
+
+    Iterates ``w <- workload(w)`` from ``start`` until the value is stable
+    (within :data:`~repro.timebase.EPS`) or exceeds *limit*, in which case
+    the window never closes and :class:`NotSchedulableError` is raised.
+    """
+    w = start
+    for _ in range(MAX_FIXED_POINT_ITER):
+        w_next = workload(w)
+        if w_next < w - EPS:
+            # A monotone workload never shrinks along the iteration; a
+            # decrease signals a non-monotone workload function (bug in
+            # the caller), not an analysis result.
+            raise NotSchedulableError(
+                f"{context}: workload function not monotone "
+                f"({w_next} < {w})")
+        if time_eq(w_next, w):
+            return w_next
+        if w_next > limit:
+            raise NotSchedulableError(
+                f"{context}: busy window exceeds {limit}; resource "
+                f"overloaded")
+        w = w_next
+    raise NotSchedulableError(
+        f"{context}: no fixed point within {MAX_FIXED_POINT_ITER} "
+        f"iterations")
+
+
+def multi_activation_loop(
+        event_model: EventModel,
+        busy_time: Callable[[int], float],
+        window_closes: Callable[[int, float], bool] = None,
+) -> Tuple[float, List[float], int]:
+    """Drive the q-activation loop of a busy-window analysis.
+
+    Parameters
+    ----------
+    event_model:
+        The analysed task's activating event model (supplies δ⁻).
+    busy_time:
+        ``busy_time(q)`` returns the q-event busy time B(q).
+    window_closes:
+        Predicate ``(q, B(q)) -> bool``; default closes when the next
+        activation arrives no earlier than the q-event window ends,
+        i.e. ``δ⁻(q + 1) >= B(q)``.
+
+    Returns
+    -------
+    (r_max, busy_times, q_max):
+        Worst-case response across activations, the list of busy times,
+        and the number of activations examined.
+    """
+    if window_closes is None:
+        def window_closes(q, bq):
+            return event_model.delta_min(q + 1) >= bq - EPS
+
+    r_max = 0.0
+    busy_times: List[float] = []
+    q = 1
+    while True:
+        bq = busy_time(q)
+        busy_times.append(bq)
+        response = bq - event_model.delta_min(q)
+        if response > r_max:
+            r_max = response
+        if window_closes(q, bq):
+            break
+        q += 1
+        if q > MAX_ACTIVATIONS:
+            raise NotSchedulableError(
+                f"busy window did not close within {MAX_ACTIVATIONS} "
+                f"activations")
+    return r_max, busy_times, q

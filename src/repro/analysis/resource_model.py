@@ -1,0 +1,190 @@
+"""Hierarchical scheduling: the periodic resource model (Shin & Lee).
+
+The paper's introduction contrasts its contribution (hierarchical *event
+streams*) with the established hierarchical *scheduling* work [8][10]:
+local analyses that run a task set inside a resource share instead of a
+dedicated processor.  This module supplies that established layer so the
+library covers both hierarchy dimensions.
+
+A periodic resource Γ(Π, Θ) guarantees Θ units of service every period Π.
+Its worst-case supply-bound function (Shin & Lee, RTSS'03) assumes the
+supply arrived as early as possible in one period and as late as possible
+in the next, producing an initial blackout of ``2(Π - Θ)``:
+
+    sbf(t) = k * Θ + max(0, t' - k * Π - (Π - Θ))
+             where t' = t - (Π - Θ), k = floor(t' / Π)   (0 for t' <= 0)
+
+:class:`HierarchicalSPPScheduler` runs the SPP busy-window analysis with
+demand served through the sbf: the q-event busy time becomes the least
+``w`` with ``sbf(w) >= demand(w)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .._errors import ModelError, NotSchedulableError
+from ..timebase import EPS
+from .busy_window import MAX_FIXED_POINT_ITER, multi_activation_loop
+from .interface import Scheduler, TaskSpec
+from .results import ResourceResult, TaskResult
+
+
+@dataclass(frozen=True)
+class PeriodicResource:
+    """Periodic resource abstraction Γ(Π, Θ)."""
+
+    period: float
+    budget: float
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ModelError(f"server period must be > 0, got {self.period}")
+        if not 0 < self.budget <= self.period:
+            raise ModelError(
+                f"server budget must lie in (0, period], got {self.budget}")
+
+    @property
+    def bandwidth(self) -> float:
+        """Long-run fraction of the parent resource: Θ / Π."""
+        return self.budget / self.period
+
+    def sbf(self, t: float) -> float:
+        """Worst-case supply in any window of length ``t``."""
+        if t <= 0:
+            return 0.0
+        shifted = t - (self.period - self.budget)
+        if shifted <= 0:
+            return 0.0
+        k = math.floor(shifted / self.period)
+        return k * self.budget + max(
+            0.0, min(self.budget,
+                     shifted - k * self.period - (self.period - self.budget)))
+
+    def sbf_inverse(self, demand: float) -> float:
+        """Smallest window guaranteeing ``demand`` units of supply."""
+        if demand <= 0:
+            return 0.0
+        full = math.ceil(demand / self.budget - EPS) - 1
+        rem = demand - full * self.budget
+        return 2 * (self.period - self.budget) + full * self.period + rem
+
+    def lsbf(self, t: float) -> float:
+        """Linear lower supply bound: bandwidth * (t - 2(Π - Θ))."""
+        return max(0.0, self.bandwidth * (t - 2 * (self.period - self.budget)))
+
+    def as_task_spec(self, event_model, name: str = "server",
+                     priority: int = 0) -> TaskSpec:
+        """The server as it appears on its *parent* resource: a task with
+        WCET Θ activated by the given (typically periodic Π) model."""
+        return TaskSpec(name=name, c_min=self.budget, c_max=self.budget,
+                        event_model=event_model, priority=priority)
+
+
+@dataclass(frozen=True)
+class BoundedDelayResource:
+    """Bounded-delay resource abstraction (α, Δ).
+
+    Guarantees a long-run fraction ``alpha`` of the parent resource with
+    an initial service delay of at most ``delay``::
+
+        sbf(t) = max(0, alpha * (t - delay))
+
+    This is the classic abstraction for bandwidth-sharing servers
+    (credit-based shapers, proportional-share schedulers) and the linear
+    companion of the periodic resource model (a Γ(Π, Θ) is covered by
+    the bounded-delay pair ``(Θ/Π, 2(Π - Θ))``).
+    """
+
+    alpha: float
+    delay: float
+
+    def __post_init__(self):
+        if not 0 < self.alpha <= 1:
+            raise ModelError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.delay < 0:
+            raise ModelError(f"delay must be >= 0, got {self.delay}")
+
+    @property
+    def bandwidth(self) -> float:
+        return self.alpha
+
+    def sbf(self, t: float) -> float:
+        return max(0.0, self.alpha * (t - self.delay))
+
+    def sbf_inverse(self, demand: float) -> float:
+        if demand <= 0:
+            return 0.0
+        return self.delay + demand / self.alpha
+
+    @classmethod
+    def covering(cls, server: PeriodicResource) -> "BoundedDelayResource":
+        """The bounded-delay pair conservatively covering a periodic
+        resource (its linear lower supply bound)."""
+        return cls(server.bandwidth,
+                   2 * (server.period - server.budget))
+
+
+class HierarchicalSPPScheduler(Scheduler):
+    """SPP analysis of a task set running inside a resource share.
+
+    Accepts any server abstraction exposing ``bandwidth``, ``sbf`` and
+    ``sbf_inverse`` — :class:`PeriodicResource` and
+    :class:`BoundedDelayResource` both qualify.
+    """
+
+    policy = "hspp"
+
+    def __init__(self, server):
+        for attr in ("bandwidth", "sbf", "sbf_inverse"):
+            if not hasattr(server, attr):
+                raise ModelError(
+                    f"server {server!r} lacks {attr!r}; not a supply "
+                    f"abstraction")
+        self.server = server
+
+    def analyze(self, tasks: Sequence[TaskSpec],
+                resource_name: str = "resource") -> ResourceResult:
+        self.check_unique_names(tasks)
+        util = self.total_load(tasks)
+        if util > self.server.bandwidth + 1e-9:
+            raise NotSchedulableError(
+                f"{resource_name}: demand {util:.4f} exceeds server "
+                f"bandwidth {self.server.bandwidth:.4f}",
+                resource=resource_name, utilization=util)
+        results = {}
+        for task in tasks:
+            results[task.name] = self._analyze_task(task, tasks,
+                                                    resource_name)
+        return ResourceResult(resource_name, util, results)
+
+    def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
+                      resource_name: str) -> TaskResult:
+        interferers = [t for t in tasks
+                       if t is not task and t.priority <= task.priority]
+        server = self.server
+
+        def busy_time(q: int) -> float:
+            # Least w with sbf(w) >= demand(w); iterate
+            # w <- sbf_inverse(demand(w)), monotone from below.
+            w = server.sbf_inverse(q * task.c_max)
+            for _ in range(MAX_FIXED_POINT_ITER):
+                demand = q * task.c_max + sum(
+                    j.event_model.eta_plus(w) * j.c_max
+                    for j in interferers)
+                w_next = server.sbf_inverse(demand)
+                if w_next <= w + EPS:
+                    return max(w, w_next)
+                w = w_next
+            raise NotSchedulableError(
+                f"{resource_name}/{task.name}: hierarchical busy window "
+                f"did not converge")
+
+        r_max, busy_times, q_max = multi_activation_loop(
+            task.event_model, busy_time)
+        # Best case: supply available immediately, no interference.
+        return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
+                          busy_times=busy_times, q_max=q_max,
+                          details={"server_bandwidth": server.bandwidth})

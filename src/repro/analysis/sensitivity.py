@@ -1,0 +1,145 @@
+"""Sensitivity analysis: how much slack does a design have?
+
+SymTA/S-style what-if searches on top of the local analyses:
+
+* :func:`max_wcet_scaling` — the largest factor by which *all* WCETs can
+  be inflated before some task misses its deadline (a robustness metric
+  for the whole resource).
+* :func:`task_wcet_slack` — the largest additional WCET one task can
+  absorb, everything else fixed.
+* :func:`min_period_scaling` — the smallest factor by which all input
+  periods can be compressed (load increased) while staying schedulable.
+
+All searches are monotone-predicate bisections via
+:func:`binary_search_max`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Sequence
+
+from .._errors import AnalysisError, ModelError, ReproError
+from ..eventmodels.standard import StandardEventModel
+from .interface import Scheduler, TaskSpec
+
+#: Relative precision of the bisection searches.
+DEFAULT_PRECISION = 1e-3
+
+
+def binary_search_max(feasible: Callable[[float], bool], lo: float,
+                      hi: float, precision: float = DEFAULT_PRECISION,
+                      expand: bool = True) -> float:
+    """Largest x in [lo, hi] with ``feasible(x)``.
+
+    ``feasible`` must be monotone (True below the returned value).  When
+    *expand* is set and ``feasible(hi)`` still holds, the upper bracket
+    doubles (up to 2^20 times) before bisection.  Raises
+    :class:`AnalysisError` if even *lo* is infeasible.
+    """
+    if lo > hi:
+        raise ModelError(f"empty search interval [{lo}, {hi}]")
+    if not feasible(lo):
+        raise AnalysisError(f"lower bound {lo} already infeasible")
+    if feasible(hi):
+        if not expand:
+            return hi
+        for _ in range(20):
+            lo, hi = hi, hi * 2.0
+            if not feasible(hi):
+                break
+        else:
+            return hi
+    while (hi - lo) > precision * max(1.0, abs(hi)):
+        mid = (lo + hi) / 2.0
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def _meets_deadlines(scheduler: Scheduler, tasks: Sequence[TaskSpec],
+                     deadlines: "Dict[str, float]") -> bool:
+    try:
+        result = scheduler.analyze(list(tasks), "sensitivity")
+    except ReproError:
+        return False
+    return all(result[name].r_max <= deadline + 1e-9
+               for name, deadline in deadlines.items())
+
+
+def max_wcet_scaling(scheduler: Scheduler, tasks: Sequence[TaskSpec],
+                     deadlines: "Dict[str, float]",
+                     precision: float = DEFAULT_PRECISION) -> float:
+    """Largest uniform WCET inflation factor keeping all deadlines."""
+    _check_deadlines(tasks, deadlines)
+
+    def feasible(factor: float) -> bool:
+        scaled = [replace(t, c_min=t.c_min * factor,
+                          c_max=t.c_max * factor) for t in tasks]
+        return _meets_deadlines(scheduler, scaled, deadlines)
+
+    return binary_search_max(feasible, 1e-6, 1.0, precision)
+
+
+def task_wcet_slack(scheduler: Scheduler, tasks: Sequence[TaskSpec],
+                    task_name: str, deadlines: "Dict[str, float]",
+                    precision: float = DEFAULT_PRECISION) -> float:
+    """Largest extra WCET *task_name* can absorb, all deadlines kept."""
+    _check_deadlines(tasks, deadlines)
+    if not any(t.name == task_name for t in tasks):
+        raise ModelError(f"unknown task {task_name!r}")
+
+    def feasible(extra: float) -> bool:
+        scaled = [replace(t, c_max=t.c_max + extra,
+                          c_min=t.c_min) if t.name == task_name else t
+                  for t in tasks]
+        return _meets_deadlines(scheduler, scaled, deadlines)
+
+    base = max(t.c_max for t in tasks)
+    return binary_search_max(feasible, 0.0, base, precision)
+
+
+def min_period_scaling(scheduler: Scheduler, tasks: Sequence[TaskSpec],
+                       deadlines: "Dict[str, float]",
+                       precision: float = DEFAULT_PRECISION) -> float:
+    """Smallest factor by which every (standard-model) input period can
+    be multiplied while staying schedulable — values < 1 mean the system
+    tolerates a proportional rate increase.
+
+    Only tasks with :class:`StandardEventModel` inputs are supported
+    (arbitrary curves have no canonical "period" knob).
+    """
+    _check_deadlines(tasks, deadlines)
+    for t in tasks:
+        if not isinstance(t.event_model, StandardEventModel):
+            raise ModelError(
+                f"task {t.name}: period scaling needs standard event "
+                f"models")
+
+    def feasible_inverse(speedup: float) -> bool:
+        # speedup >= 1 compresses periods by 1/speedup.
+        scaled = []
+        for t in tasks:
+            em = t.event_model
+            factor = 1.0 / speedup
+            scaled.append(replace(t, event_model=StandardEventModel(
+                em.period * factor, em.jitter * factor,
+                em.d_min * factor, sporadic=em.sporadic)))
+        # Deadlines stay absolute: the question is rate tolerance.
+        return _meets_deadlines(scheduler, scaled, deadlines)
+
+    speedup = binary_search_max(feasible_inverse, 1.0, 4.0, precision)
+    return 1.0 / speedup
+
+
+def _check_deadlines(tasks: Sequence[TaskSpec],
+                     deadlines: "Dict[str, float]") -> None:
+    names = {t.name for t in tasks}
+    for name in deadlines:
+        if name not in names:
+            raise ModelError(f"deadline for unknown task {name!r}")
+    for name, d in deadlines.items():
+        if d <= 0:
+            raise ModelError(f"deadline of {name!r} must be positive")

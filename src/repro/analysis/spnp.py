@@ -1,0 +1,143 @@
+"""Static-priority non-preemptive (SPNP) analysis — the CAN bus model.
+
+CAN arbitration is priority-based (lower identifier wins) but a frame that
+has won the bus transmits to completion.  The busy-window analysis is the
+classic one (Tindell/Davis CAN analysis recast in CPA terms):
+
+    blocking  B_i = max_{j ∈ lp(i)} C_j⁺        (a lower-priority frame
+                                                 already on the wire)
+    queuing   w_i(q):  w = B_i + (q - 1) * C_i⁺
+                           + Σ_{j ∈ hp(i)} η⁺_j(w + ε) * C_j⁺
+    busy time B_i(q) = w_i(q) + C_i⁺
+    response  r_i⁺   = max_q [ B_i(q) + ... - δ⁻_i(q) ]
+
+The ``+ ε`` counts a higher-priority frame arriving exactly when
+arbitration starts — it still wins the bus.  The window-close condition
+uses the *full* busy time (queuing + own transmission) because the q+1-th
+own frame keeps the priority-level busy period open while any earlier own
+frame occupies the bus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .._errors import ModelError, NotSchedulableError
+from ..timebase import EPS
+from .busy_window import fixed_point, multi_activation_loop
+from .interface import Scheduler, TaskSpec
+from .results import ResourceResult, TaskResult
+
+#: Arbitration tie epsilon: arrivals exactly at the arbitration instant
+#: still participate.  Any positive value below the time resolution works.
+ARBITRATION_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class CanErrorModel:
+    """Fault model for CAN error frames and retransmissions (Tindell /
+    Davis style).
+
+    Every bus error costs up to an error frame (≤ 31 bit times) plus the
+    retransmission of the interrupted frame.  The overhead admitted into
+    a window of length ``w`` is::
+
+        E(w) = (burst_errors + ceil(w * error_rate)) * recovery_time
+
+    Attributes
+    ----------
+    burst_errors:
+        Errors assumed to strike right at the critical instant.
+    error_rate:
+        Sustained error rate (errors per time unit) thereafter.
+    recovery_time:
+        Worst-case cost of one error: error frame + retransmission of
+        the largest affected frame (caller computes it from the bus
+        timing; see :meth:`recovery_time_for`).
+    """
+
+    burst_errors: int = 0
+    error_rate: float = 0.0
+    recovery_time: float = 0.0
+
+    def __post_init__(self):
+        if self.burst_errors < 0 or self.error_rate < 0 \
+                or self.recovery_time < 0:
+            raise ModelError("error-model parameters must be >= 0")
+
+    def overhead(self, window: float) -> float:
+        """Worst-case error overhead in a window of length *window*."""
+        if window <= 0:
+            return self.burst_errors * self.recovery_time
+        count = self.burst_errors + math.ceil(window * self.error_rate)
+        return count * self.recovery_time
+
+    @staticmethod
+    def recovery_time_for(bit_time: float,
+                          max_frame_bits: int) -> float:
+        """Per-error cost: 31-bit error frame + full retransmission."""
+        return (31 + max_frame_bits) * bit_time
+
+
+class SPNPScheduler(Scheduler):
+    """Static-priority non-preemptive analysis (CAN-style arbitration)."""
+
+    policy = "spnp"
+
+    def __init__(self, utilization_limit: float = 1.0,
+                 arbitration_eps: float = ARBITRATION_EPS,
+                 error_model: Optional[CanErrorModel] = None):
+        self.utilization_limit = utilization_limit
+        self.arbitration_eps = arbitration_eps
+        self.error_model = error_model
+
+    def analyze(self, tasks: Sequence[TaskSpec],
+                resource_name: str = "resource") -> ResourceResult:
+        self.check_unique_names(tasks)
+        util = self.total_load(tasks)
+        if util > self.utilization_limit + 1e-9:
+            raise NotSchedulableError(
+                f"{resource_name}: utilization {util:.4f} exceeds "
+                f"{self.utilization_limit}", resource=resource_name,
+                utilization=util)
+        results = {}
+        for task in tasks:
+            results[task.name] = self._analyze_task(task, tasks,
+                                                    resource_name)
+        return ResourceResult(resource_name, util, results)
+
+    def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
+                      resource_name: str) -> TaskResult:
+        higher = [t for t in tasks
+                  if t is not task and t.priority <= task.priority]
+        lower = [t for t in tasks if t.priority > task.priority]
+        blocking = max((t.c_max for t in lower), default=0.0) \
+            + task.blocking
+        eps = self.arbitration_eps
+
+        error_model = self.error_model
+
+        def busy_time(q: int) -> float:
+            def queuing(w: float) -> float:
+                demand = blocking + (q - 1) * task.c_max
+                for j in higher:
+                    demand += j.event_model.eta_plus(w + eps) * j.c_max
+                if error_model is not None:
+                    demand += error_model.overhead(w + task.c_max)
+                return demand
+
+            start = blocking + (q - 1) * task.c_max \
+                + sum(j.c_max for j in higher)
+            w = fixed_point(queuing, start,
+                            context=f"{resource_name}/{task.name} "
+                                    f"SPNP q={q}")
+            return w + task.c_max
+
+        r_max, busy_times, q_max = multi_activation_loop(
+            task.event_model, busy_time)
+        # Best case: the frame finds the bus idle and just transmits.
+        return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
+                          busy_times=busy_times, q_max=q_max,
+                          details={"blocking": blocking})

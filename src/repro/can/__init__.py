@@ -1,0 +1,29 @@
+"""CAN bus substrate: bit timing, identifiers, SPNP bus resource."""
+
+from .bus import CanBus
+from .identifiers import (
+    assign_by_deadline,
+    assign_by_period,
+    priority_order,
+    validate_identifiers,
+)
+from .timing import (
+    CanBusTiming,
+    fd_frame_bits_max,
+    fd_payload_size,
+    frame_bits_max,
+    frame_bits_min,
+)
+
+__all__ = [
+    "CanBus",
+    "CanBusTiming",
+    "frame_bits_max",
+    "frame_bits_min",
+    "fd_frame_bits_max",
+    "fd_payload_size",
+    "validate_identifiers",
+    "assign_by_deadline",
+    "assign_by_period",
+    "priority_order",
+]

@@ -1,0 +1,44 @@
+"""CAN bus as a system resource.
+
+Glue between the bit-timing model and the system graph: a CAN bus is an
+SPNP-scheduled resource (frames arbitrate by identifier, transmissions
+are non-preemptive) whose tasks are frames with transmission times from
+:class:`~repro.can.timing.CanBusTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis.spnp import SPNPScheduler
+from ..system.model import Resource, System
+from .timing import CanBusTiming
+
+
+@dataclass
+class CanBus:
+    """A CAN bus definition: name + bit timing (+ optional util limit)."""
+
+    name: str
+    timing: CanBusTiming
+    utilization_limit: float = 1.0
+
+    @classmethod
+    def from_bitrate(cls, name: str, bits_per_time_unit: float,
+                     utilization_limit: float = 1.0) -> "CanBus":
+        return cls(name, CanBusTiming.from_bitrate(bits_per_time_unit),
+                   utilization_limit)
+
+    def install(self, system: System) -> Resource:
+        """Register this bus as an SPNP resource on *system*."""
+        scheduler = SPNPScheduler(utilization_limit=self.utilization_limit)
+        return system.add_resource(self.name, scheduler)
+
+    def frame_time(self, payload_bytes: int,
+                   extended_id: bool = False) -> Tuple[float, float]:
+        """(best, worst) transmission time for a payload size."""
+        return (self.timing.transmission_time_min(payload_bytes,
+                                                  extended_id),
+                self.timing.transmission_time_max(payload_bytes,
+                                                  extended_id))

@@ -1,0 +1,59 @@
+"""CAN identifier handling and priority assignment.
+
+On CAN the frame identifier *is* the priority: lower identifiers win
+arbitration.  This module validates identifier sets and offers two
+classic priority-assignment helpers for the frame set of a bus:
+
+* :func:`assign_by_deadline` — deadline-monotonic identifier ordering
+  (frames with tighter latency requirements get lower IDs).
+* :func:`assign_by_period` — rate-monotonic ordering on the frame cycle
+  time (ties broken by name for determinism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .._errors import ModelError
+
+#: Highest valid standard (11-bit) identifier.
+MAX_STANDARD_ID = 0x7FF
+#: Highest valid extended (29-bit) identifier.
+MAX_EXTENDED_ID = 0x1FFF_FFFF
+
+
+def validate_identifiers(ids: "Dict[str, int]",
+                         extended: bool = False) -> None:
+    """Check uniqueness and range of a frame→identifier assignment."""
+    limit = MAX_EXTENDED_ID if extended else MAX_STANDARD_ID
+    seen: "Dict[int, str]" = {}
+    for frame, ident in ids.items():
+        if not 0 <= ident <= limit:
+            raise ModelError(
+                f"frame {frame}: identifier {ident:#x} outside "
+                f"0..{limit:#x}")
+        if ident in seen:
+            raise ModelError(
+                f"frames {seen[ident]} and {frame} share identifier "
+                f"{ident:#x}")
+        seen[ident] = frame
+
+
+def assign_by_deadline(deadlines: "Dict[str, float]",
+                       base_id: int = 0x100) -> "Dict[str, int]":
+    """Deadline-monotonic identifier assignment (tight deadline → low ID)."""
+    ordered = sorted(deadlines.items(), key=lambda kv: (kv[1], kv[0]))
+    return {name: base_id + rank for rank, (name, _) in enumerate(ordered)}
+
+
+def assign_by_period(periods: "Dict[str, float]",
+                     base_id: int = 0x100) -> "Dict[str, int]":
+    """Rate-monotonic identifier assignment (short period → low ID)."""
+    ordered = sorted(periods.items(), key=lambda kv: (kv[1], kv[0]))
+    return {name: base_id + rank for rank, (name, _) in enumerate(ordered)}
+
+
+def priority_order(ids: "Dict[str, int]") -> "List[str]":
+    """Frame names from highest to lowest arbitration priority."""
+    return [name for name, _ in sorted(ids.items(),
+                                       key=lambda kv: (kv[1], kv[0]))]

@@ -1,0 +1,24 @@
+"""AUTOSAR-style COM layer: signals, frames, packing timing."""
+
+from .frame import Frame, FrameType
+from .layer import ComLayer
+from .packing import estimate_bus_load, pack_by_period, pack_first_fit
+from .signal import Signal
+from .timing import (
+    frame_activation_model,
+    pending_transport_model,
+    triggering_transport_model,
+)
+
+__all__ = [
+    "Signal",
+    "Frame",
+    "FrameType",
+    "ComLayer",
+    "frame_activation_model",
+    "triggering_transport_model",
+    "pending_transport_model",
+    "pack_by_period",
+    "pack_first_fit",
+    "estimate_bus_load",
+]

@@ -1,0 +1,126 @@
+"""COM-layer frames / I-PDUs (paper section 4).
+
+A frame collects the registers of its assigned signals and is transmitted
+according to its **frame type**:
+
+* ``PERIODIC`` — sent strictly periodically, "not influenced by the
+  arrival of the output events of the tasks".
+* ``DIRECT``   — sent for each arrival of a triggering signal.
+* ``MIXED``    — both: periodic timer *and* triggering signals.
+
+The *effective* transfer property of a signal therefore depends on the
+frame type: inside a PERIODIC frame even a nominally triggering signal
+cannot cause transmissions, so its embedded stream must be modelled as
+pending.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .._errors import ModelError
+from ..core.constructors import TransferProperty
+from .signal import Signal
+
+
+class FrameType(enum.Enum):
+    PERIODIC = "periodic"
+    DIRECT = "direct"
+    MIXED = "mixed"
+
+
+@dataclass
+class Frame:
+    """A COM frame definition.
+
+    Attributes
+    ----------
+    name:
+        Unique frame name (also the bus task name when installed).
+    frame_type:
+        Transmission rule (see module docstring).
+    signals:
+        The signals packed into this frame, in payload order.
+    period:
+        Timer period; required for PERIODIC and MIXED frames.
+    can_id:
+        Bus arbitration identifier (doubles as priority; lower wins).
+    payload_bytes:
+        Frame payload size; defaults to the minimum bytes covering all
+        signal widths.
+    extended_id:
+        29-bit identifier format if True.
+    """
+
+    name: str
+    frame_type: FrameType
+    signals: List[Signal]
+    period: Optional[float] = None
+    can_id: int = 0
+    payload_bytes: Optional[int] = None
+    extended_id: bool = False
+
+    def __post_init__(self):
+        if not self.signals:
+            raise ModelError(f"frame {self.name}: needs at least one signal")
+        names = [s.name for s in self.signals]
+        if len(set(names)) != len(names):
+            raise ModelError(f"frame {self.name}: duplicate signal names")
+        needs_timer = self.frame_type in (FrameType.PERIODIC,
+                                          FrameType.MIXED)
+        if needs_timer and (self.period is None or self.period <= 0):
+            raise ModelError(
+                f"frame {self.name}: {self.frame_type.value} frames need "
+                f"a positive period")
+        if self.frame_type is FrameType.DIRECT:
+            if not any(s.is_triggering for s in self.signals):
+                raise ModelError(
+                    f"frame {self.name}: a direct frame needs at least "
+                    f"one triggering signal (it would never be sent)")
+        total_bits = sum(s.width_bits for s in self.signals)
+        min_bytes = (total_bits + 7) // 8
+        if self.payload_bytes is None:
+            self.payload_bytes = min_bytes
+        if self.payload_bytes < min_bytes:
+            raise ModelError(
+                f"frame {self.name}: payload {self.payload_bytes} B too "
+                f"small for {total_bits} signal bits")
+        if self.payload_bytes > 8:
+            raise ModelError(
+                f"frame {self.name}: payload {self.payload_bytes} B "
+                f"exceeds the 8-byte CAN maximum")
+
+    # ------------------------------------------------------------------
+    @property
+    def has_timer(self) -> bool:
+        return self.frame_type in (FrameType.PERIODIC, FrameType.MIXED)
+
+    def effective_transfer(self, signal: Signal) -> TransferProperty:
+        """The transfer property that actually governs the signal's
+        embedded stream, given the frame type.
+
+        PERIODIC frames decouple transmission from signal arrival
+        entirely — every signal is effectively pending.
+        """
+        if self.frame_type is FrameType.PERIODIC:
+            return TransferProperty.PENDING
+        return signal.transfer
+
+    def triggering_signals(self) -> List[Signal]:
+        """Signals whose arrivals cause transmissions of this frame."""
+        return [s for s in self.signals
+                if self.effective_transfer(s) is
+                TransferProperty.TRIGGERING]
+
+    def pending_signals(self) -> List[Signal]:
+        """Signals that merely ride along."""
+        return [s for s in self.signals
+                if self.effective_transfer(s) is TransferProperty.PENDING]
+
+    def signal(self, name: str) -> Signal:
+        for s in self.signals:
+            if s.name == name:
+                return s
+        raise ModelError(f"frame {self.name}: no signal {name!r}")

@@ -1,0 +1,159 @@
+"""The COM layer: frame table plus system-graph installation.
+
+:class:`ComLayer` owns a set of frames and knows how to
+
+* build each frame's hierarchical event model directly from signal
+  models (:meth:`build_frame_hem` — the standalone, engine-free path used
+  in quick studies and tests), and
+* install the full sender-side COM stack into a
+  :class:`repro.system.System`: per frame a timer source (if any), a PACK
+  junction, a bus task on the CAN resource, and an UNPACK junction whose
+  ports receivers connect to (:meth:`install`).
+
+The receiving side of the paper's COM layer writes incoming frame data
+into registers and activates the consumer either per interrupt (connect
+the consumer task to ``{frame}_rx.{signal}``) or by polling (shape the
+unpacked stream with :func:`repro.core.unpack_polled`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .._errors import ModelError
+from ..can.identifiers import validate_identifiers
+from ..can.timing import CanBusTiming
+from ..core.constructors import hsc_pack
+from ..core.hem import HierarchicalEventModel
+from ..eventmodels.base import EventModel
+from ..eventmodels.standard import periodic
+from ..system.model import JunctionKind, System
+from .frame import Frame
+
+
+class ComLayer:
+    """Sender-side COM layer: a table of frames with packed signals."""
+
+    def __init__(self, name: str = "com"):
+        self.name = name
+        self.frames: "Dict[str, Frame]" = {}
+
+    def add_frame(self, frame: Frame) -> Frame:
+        if frame.name in self.frames:
+            raise ModelError(f"duplicate frame name {frame.name!r}")
+        for existing in self.frames.values():
+            shared = ({s.name for s in existing.signals}
+                      & {s.name for s in frame.signals})
+            if shared:
+                raise ModelError(
+                    f"signals {sorted(shared)} already packed into frame "
+                    f"{existing.name!r}")
+        self.frames[frame.name] = frame
+        return frame
+
+    def frame_of_signal(self, signal_name: str) -> Frame:
+        for frame in self.frames.values():
+            if any(s.name == signal_name for s in frame.signals):
+                return frame
+        raise ModelError(f"no frame carries signal {signal_name!r}")
+
+    # ------------------------------------------------------------------
+    # standalone HEM construction (no system engine involved)
+    # ------------------------------------------------------------------
+    def build_frame_hem(self, frame_name: str,
+                        signal_models: "Dict[str, EventModel]"
+                        ) -> HierarchicalEventModel:
+        """Ω_pa for one frame: hierarchical event model of its
+        transmission requests, given the signal source models."""
+        frame = self.frames[frame_name]
+        signals = {}
+        for sig in frame.signals:
+            try:
+                model = signal_models[sig.name]
+            except KeyError:
+                raise ModelError(
+                    f"frame {frame_name}: missing event model for signal "
+                    f"{sig.name!r}") from None
+            signals[sig.name] = (model, frame.effective_transfer(sig))
+        timer = (periodic(frame.period, name=f"{frame_name}.timer")
+                 if frame.has_timer else None)
+        return hsc_pack(signals, timer=timer, name=frame_name)
+
+    # ------------------------------------------------------------------
+    # system-graph installation
+    # ------------------------------------------------------------------
+    def install(self, system: System, bus_resource: str,
+                bus_timing: CanBusTiming,
+                signal_sources: "Dict[str, str]") -> "Dict[str, str]":
+        """Wire the COM stack into *system*.
+
+        Parameters
+        ----------
+        system:
+            Target system; the bus resource (SPNP-scheduled) must already
+            exist.
+        bus_resource:
+            Name of the CAN bus resource.
+        bus_timing:
+            Bit timing used to derive frame transmission times.
+        signal_sources:
+            Mapping signal name → producing port in the system graph.
+
+        Returns
+        -------
+        Mapping ``signal name -> receiver port`` (``{frame}_rx.{signal}``)
+        to connect consumer tasks to.
+
+        Per frame this creates: ``{frame}_timer`` source (periodic/mixed),
+        ``{frame}_pack`` PACK junction, ``{frame}`` bus task, and
+        ``{frame}_rx`` UNPACK junction.
+        """
+        if bus_resource not in system.resources:
+            raise ModelError(f"unknown bus resource {bus_resource!r}")
+        validate_identifiers(
+            {f.name: f.can_id for f in self.frames.values()},
+            extended=any(f.extended_id for f in self.frames.values()))
+
+        receiver_ports: "Dict[str, str]" = {}
+        for frame in self.frames.values():
+            timer_name = None
+            if frame.has_timer:
+                timer_name = f"{frame.name}_timer"
+                system.add_source(timer_name,
+                                  periodic(frame.period, name=timer_name))
+
+            port_by_signal = {}
+            properties = {}
+            for sig in frame.signals:
+                try:
+                    port = signal_sources[sig.name]
+                except KeyError:
+                    raise ModelError(
+                        f"no source port for signal {sig.name!r}") from None
+                port_by_signal[sig.name] = port
+                properties[port] = frame.effective_transfer(sig)
+
+            pack_name = f"{frame.name}_pack"
+            system.add_junction(pack_name, JunctionKind.PACK,
+                                list(properties), properties=properties,
+                                timer=timer_name)
+
+            c_min = bus_timing.transmission_time_min(frame.payload_bytes,
+                                                     frame.extended_id)
+            c_max = bus_timing.transmission_time_max(frame.payload_bytes,
+                                                     frame.extended_id)
+            system.add_task(frame.name, bus_resource, (c_min, c_max),
+                            [pack_name], priority=frame.can_id)
+
+            rx_name = f"{frame.name}_rx"
+            system.add_junction(rx_name, JunctionKind.UNPACK, [frame.name])
+            for sig in frame.signals:
+                receiver_ports[sig.name] = \
+                    f"{rx_name}.{port_by_signal[sig.name]}"
+        return receiver_ports
+
+    def total_payload_bytes(self) -> int:
+        return sum(f.payload_bytes for f in self.frames.values())
+
+    def __repr__(self) -> str:
+        return f"<ComLayer {self.name}: frames={list(self.frames)}>"

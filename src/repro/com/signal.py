@@ -1,0 +1,65 @@
+"""COM-layer signals (paper section 4).
+
+A *signal* is an application-level value written by a sender task into a
+register provided by the communication layer (overwriting the previous
+value).  Each signal has a fixed position in a frame and a **transfer
+property**:
+
+* ``TRIGGERING`` — every new value requests an immediate frame
+  transmission (for direct/mixed frames).
+* ``PENDING`` — the value just sits in the register and rides along with
+  the next transmission caused by something else (another signal's
+  trigger or the frame timer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._errors import ModelError
+from ..core.constructors import TransferProperty
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A COM signal definition.
+
+    Attributes
+    ----------
+    name:
+        Unique signal name; also the stream label inside the frame's
+        hierarchical event model.
+    width_bits:
+        Size of the signal value in bits (for payload packing checks).
+    transfer:
+        Requested transfer property.  Note a *periodic* frame ignores
+        this: transmissions are purely timer-driven, so every signal
+        effectively behaves as pending (see
+        :meth:`repro.com.frame.Frame.effective_transfer`).
+    source:
+        Name of the producing stream/port in the system graph (set when
+        wiring into a :class:`repro.system.System`; optional for
+        standalone event-model work).
+    """
+
+    name: str
+    width_bits: int
+    transfer: TransferProperty = TransferProperty.TRIGGERING
+    source: str = ""
+
+    def __post_init__(self):
+        if self.width_bits <= 0:
+            raise ModelError(
+                f"signal {self.name}: width must be positive bits")
+        if self.width_bits > 64:
+            raise ModelError(
+                f"signal {self.name}: width {self.width_bits} exceeds a "
+                f"CAN frame's 64 payload bits")
+
+    @property
+    def is_triggering(self) -> bool:
+        return self.transfer is TransferProperty.TRIGGERING
+
+    @property
+    def is_pending(self) -> bool:
+        return self.transfer is TransferProperty.PENDING

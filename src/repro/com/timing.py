@@ -1,0 +1,70 @@
+"""COM-layer stream timing: the paper's equations (5)–(8) standalone.
+
+Section 4 derives, per signal stream ES_i packed into a frame, the
+distance functions δ'_i of the *frames that transport signals of ES_i*:
+
+Triggering signals (eqs. (5)/(6)) — each arrival immediately causes a
+frame, so the transporting-frame stream inherits the signal stream::
+
+    δ'⁻_i(n) = δ⁻_i(n)           δ'⁺_i(n) = δ⁺_i(n)
+
+Pending signals (eqs. (7)/(8)) — Fig. 3's construction: the first of n
+signal values may just miss a frame and wait up to the maximum frame
+distance δ⁺_f(2); each frame carries at most one fresh value per stream::
+
+    δ'⁻_i(n) = max( δ⁻_i(n) - δ⁺_f(2),  δ⁻_f(n) )
+    δ'⁺_i(n) = ∞
+
+These helpers exist for direct use and for tests pinning the equations;
+:func:`repro.core.constructors.hsc_pack` applies the same math when it
+builds the hierarchical event model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .._errors import ModelError
+from ..core.constructors import PendingInnerModel, TransferProperty
+from ..eventmodels.base import EventModel
+from ..eventmodels.operations import or_join
+from ..eventmodels.standard import periodic
+from .frame import Frame, FrameType
+
+
+def triggering_transport_model(signal_model: EventModel) -> EventModel:
+    """Eqs. (5)/(6): the transporting frames of a triggering signal have
+    exactly the signal's timing."""
+    return signal_model
+
+
+def pending_transport_model(signal_model: EventModel,
+                            frame_model: EventModel,
+                            name: str = "pending") -> EventModel:
+    """Eqs. (7)/(8): transporting-frame bounds of a pending signal."""
+    return PendingInnerModel(signal_model, frame_model, name=name)
+
+
+def frame_activation_model(frame: Frame,
+                           signal_models: "Dict[str, EventModel]",
+                           name: Optional[str] = None) -> EventModel:
+    """Frame transmission timing: OR-activation over all effectively
+    triggering signals plus the timer (paper section 4: "a timer is
+    treated as an additional triggering signal").
+    """
+    contributors = []
+    for sig in frame.triggering_signals():
+        try:
+            contributors.append(signal_models[sig.name])
+        except KeyError:
+            raise ModelError(
+                f"frame {frame.name}: no event model for signal "
+                f"{sig.name!r}") from None
+    if frame.has_timer:
+        contributors.append(periodic(frame.period,
+                                     name=f"{frame.name}.timer"))
+    if not contributors:
+        raise ModelError(
+            f"frame {frame.name}: nothing ever triggers a transmission")
+    return or_join(contributors,
+                   name=name if name is not None else f"{frame.name}.act")

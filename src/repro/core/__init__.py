@@ -1,0 +1,67 @@
+"""The paper's primary contribution: hierarchical event models.
+
+* :class:`HierarchicalEventModel` — ``H = (F_out, L, C)`` (Def. 5); acts
+  as its outer stream toward any flat analysis.
+* Constructors ``Ω`` (Def. 4/8): :func:`hsc_pack`, :func:`hsc_or`,
+  :func:`hsc_and`.
+* Inner update functions ``B`` (Def. 7/9) with a dispatch registry, and
+  :func:`apply_operation` to run any flat stream operation hierarchically.
+* Deconstructors ``Ψ`` (Def. 6/10): :func:`unpack`, :func:`unpack_signal`.
+"""
+
+from .constructors import (
+    AndRule,
+    OrRule,
+    PackRule,
+    PendingInnerModel,
+    TransferProperty,
+    hsc_and,
+    hsc_or,
+    hsc_pack,
+)
+from .deconstruct import (
+    flatten,
+    unpack,
+    unpack_index,
+    unpack_polled,
+    unpack_signal,
+)
+from .hem import ConstructionRule, HierarchicalEventModel, is_hierarchical
+from .nesting import depth, shift_hierarchy, unpack_deep, unpack_path
+from .update import (
+    BusyWindowOutput,
+    InnerJitterSpacingModel,
+    ShaperOperation,
+    StreamOperation,
+    apply_operation,
+    register_inner_update,
+)
+
+__all__ = [
+    "HierarchicalEventModel",
+    "ConstructionRule",
+    "is_hierarchical",
+    "TransferProperty",
+    "PackRule",
+    "OrRule",
+    "AndRule",
+    "PendingInnerModel",
+    "hsc_pack",
+    "hsc_or",
+    "hsc_and",
+    "StreamOperation",
+    "BusyWindowOutput",
+    "ShaperOperation",
+    "InnerJitterSpacingModel",
+    "apply_operation",
+    "register_inner_update",
+    "unpack",
+    "unpack_signal",
+    "unpack_index",
+    "unpack_polled",
+    "flatten",
+    "unpack_deep",
+    "unpack_path",
+    "shift_hierarchy",
+    "depth",
+]

@@ -1,0 +1,71 @@
+"""Hierarchical event stream deconstructors (paper Definitions 6 and 10).
+
+A deconstructor ``Ψ : H → Fⁿ`` extracts the updated inner event models
+from a hierarchical stream.  For HEMs as defined here this "turns out very
+simple" (paper section 5.3): the inner list already carries the updated
+models, so ``Ψ_pa`` is a plain lookup — ``F_i = L(i)``.
+
+The functions below add the ergonomics a tool needs on top of the lookup:
+unpack everything, unpack one signal, or unpack with a receiver-side
+filter (a receiver that polls a register instead of reacting to every
+frame sees a subsampled stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .._errors import ModelError
+from ..eventmodels.base import EventModel
+from ..eventmodels.operations import DminShaper
+from .hem import HierarchicalEventModel, is_hierarchical
+
+
+def unpack(hem: HierarchicalEventModel) -> "Dict[str, EventModel]":
+    """Ψ applied to all inner streams: label → updated event model."""
+    _require_hem(hem)
+    return {label: hem.inner(label) for label in hem.labels}
+
+
+def unpack_signal(hem: HierarchicalEventModel, label: str) -> EventModel:
+    """Ψ_pa for a single embedded stream (paper Def. 10: ``F_i = L(i)``)."""
+    _require_hem(hem)
+    return hem.inner(label)
+
+
+def unpack_index(hem: HierarchicalEventModel, i: int) -> EventModel:
+    """Positional variant of :func:`unpack_signal` — literally ``L(i)``."""
+    _require_hem(hem)
+    return hem.inner_by_index(i)
+
+
+def unpack_polled(hem: HierarchicalEventModel, label: str,
+                  poll_period: float) -> EventModel:
+    """Inner stream as seen by a *polling* receiver.
+
+    The paper's COM layer offers two receive modes: interrupt (each new
+    register value activates the task — :func:`unpack_signal`) and
+    polling (the task samples the register every ``poll_period``).  A
+    polling receiver observes at most one activation per poll, i.e. the
+    unpacked stream shaped to a minimum distance of ``poll_period``.
+    """
+    _require_hem(hem)
+    if poll_period <= 0:
+        raise ModelError("poll_period must be positive")
+    inner = hem.inner(label)
+    return DminShaper(inner, poll_period, name=f"polled({label})")
+
+
+def flatten(hem: HierarchicalEventModel) -> EventModel:
+    """Drop the hierarchy and keep only the outer stream — the *flat*
+    baseline the paper compares against (every receiver task must then be
+    assumed activated by every frame)."""
+    _require_hem(hem)
+    return hem.outer
+
+
+def _require_hem(model: EventModel) -> None:
+    if not is_hierarchical(model):
+        raise ModelError(
+            f"expected a hierarchical event model, got {model!r}; "
+            f"flat streams have nothing to unpack")

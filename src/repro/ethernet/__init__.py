@@ -1,0 +1,11 @@
+"""Switched Ethernet substrate: frame timing, strict-priority ports."""
+
+from .switch import Flow, SwitchedNetwork
+from .timing import EthernetLink, frame_wire_bytes
+
+__all__ = [
+    "EthernetLink",
+    "frame_wire_bytes",
+    "Flow",
+    "SwitchedNetwork",
+]

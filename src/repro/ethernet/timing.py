@@ -1,0 +1,67 @@
+"""Ethernet frame timing.
+
+Wire time of one Ethernet frame includes the physical-layer overheads
+that occupy the link: preamble + SFD (8 B), MAC header (14 B, +4 B with
+a VLAN tag), payload (padded to 46 B / 42 B with VLAN), FCS (4 B), and
+the inter-frame gap (12 B equivalent idle the port cannot use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._errors import ModelError
+
+PREAMBLE_SFD_BYTES = 8
+MAC_HEADER_BYTES = 14
+VLAN_TAG_BYTES = 4
+FCS_BYTES = 4
+IFG_BYTES = 12
+MIN_PAYLOAD_BYTES = 46
+MAX_PAYLOAD_BYTES = 1500
+
+
+def frame_wire_bytes(payload_bytes: int, vlan: bool = True) -> int:
+    """Total bytes of link occupancy for one frame (incl. IFG)."""
+    if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ModelError(
+            f"payload must be 0..{MAX_PAYLOAD_BYTES} B, got "
+            f"{payload_bytes}")
+    min_payload = MIN_PAYLOAD_BYTES - (VLAN_TAG_BYTES if vlan else 0)
+    padded = max(payload_bytes, min_payload)
+    header = MAC_HEADER_BYTES + (VLAN_TAG_BYTES if vlan else 0)
+    return (PREAMBLE_SFD_BYTES + header + padded + FCS_BYTES
+            + IFG_BYTES)
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """A link speed: bytes of wire occupancy → time.
+
+    ``byte_time`` is the duration of one byte; e.g. 0.008 µs/B at
+    100 Mbit/s with microsecond units, 0.0008 at 1 Gbit/s.
+    """
+
+    byte_time: float
+
+    def __post_init__(self):
+        if self.byte_time <= 0:
+            raise ModelError("byte_time must be positive")
+
+    @classmethod
+    def mbps(cls, megabit_per_s: float,
+             time_unit_us: bool = True) -> "EthernetLink":
+        """Link from a Mbit/s rate (time unit = microseconds)."""
+        if megabit_per_s <= 0:
+            raise ModelError("rate must be positive")
+        return cls(8.0 / megabit_per_s)
+
+    def transmission_time(self, payload_bytes: int,
+                          vlan: bool = True) -> float:
+        return frame_wire_bytes(payload_bytes, vlan) * self.byte_time
+
+    @property
+    def max_frame_time(self) -> float:
+        """Wire time of a maximum-size frame — the blocking term of
+        strict-priority ports."""
+        return self.transmission_time(MAX_PAYLOAD_BYTES)

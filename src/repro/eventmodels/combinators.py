@@ -1,0 +1,109 @@
+"""Bound combinators: intersection and union of event-stream sets.
+
+An event model denotes a *set* of event sequences.  Two natural lattice
+operations on these sets:
+
+* :func:`intersect_bounds` — sequences admitted by *both* models
+  (δ⁻ = max, δ⁺ = min).  Use to refine a coarse bound with extra
+  knowledge, e.g. a measured trace model intersected with a datasheet
+  model.  The result can be *empty* (contradictory bounds); this is
+  detected and raised.
+* :func:`union_bounds` — sequences admitted by *either* model
+  (δ⁻ = min, δ⁺ = max).  Use for mode unions: a stream that behaves
+  like A in one operating mode and like B in another is safely bounded
+  by the union.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .._errors import ModelError
+from .base import EventModel
+from .curves import CachedModel
+
+
+class _IntersectionModel(EventModel):
+    def __init__(self, models: Sequence[EventModel], name: str):
+        self._models = list(models)
+        self.name = name
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        value = max(m.delta_min(n) for m in self._models)
+        ceiling = min(m.delta_plus(n) for m in self._models)
+        if value > ceiling + 1e-9:
+            raise ModelError(
+                f"intersection is empty at n={n}: required minimum "
+                f"distance {value} exceeds allowed maximum {ceiling}")
+        return value
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        value = min(m.delta_plus(n) for m in self._models)
+        floor = max(m.delta_min(n) for m in self._models)
+        if floor > value + 1e-9:
+            raise ModelError(
+                f"intersection is empty at n={n}: required minimum "
+                f"distance {floor} exceeds allowed maximum {value}")
+        return value
+
+
+class _UnionModel(EventModel):
+    def __init__(self, models: Sequence[EventModel], name: str):
+        self._models = list(models)
+        self.name = name
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return min(m.delta_min(n) for m in self._models)
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return max(m.delta_plus(n) for m in self._models)
+
+
+def intersect_bounds(models: Sequence[EventModel],
+                     name: str = "meet") -> EventModel:
+    """Tightest bound admitting only sequences every input admits.
+
+    Raises :class:`ModelError` lazily (at evaluation) if the inputs
+    contradict each other at some n; call :func:`check_consistent` to
+    probe eagerly.
+    """
+    if not models:
+        raise ModelError("intersect_bounds needs at least one model")
+    if len(models) == 1:
+        return models[0]
+    return CachedModel(_IntersectionModel(models, name), name=name)
+
+
+def union_bounds(models: Sequence[EventModel],
+                 name: str = "join") -> EventModel:
+    """Loosest bound admitting every sequence any input admits."""
+    if not models:
+        raise ModelError("union_bounds needs at least one model")
+    if len(models) == 1:
+        return models[0]
+    return CachedModel(_UnionModel(models, name), name=name)
+
+
+def check_consistent(models: Sequence[EventModel],
+                     n_max: int = 64) -> bool:
+    """True if the models' intersection is non-empty up to ``n_max``."""
+    meet = intersect_bounds(models)
+    try:
+        for n in range(2, n_max + 1):
+            meet.delta_min(n)
+            meet.delta_plus(n)
+    except ModelError:
+        return False
+    return True

@@ -1,0 +1,121 @@
+"""Conversions between event-model representations.
+
+The paper (and SymTA/S practice) moves between arbitrary distance curves
+and the three-parameter standard event models.  This module provides:
+
+* :func:`fit_standard` — smallest conservative (P, J, d_min) model that
+  bounds an arbitrary curve (η⁺ of the fit dominates the original, η⁻ is
+  dominated): the classic SEM approximation step.
+* :func:`verify_dominates` — check that one model conservatively bounds
+  another on a test range (used after every lossy conversion).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._errors import ModelError
+from ..timebase import EPS, INF
+from .base import EventModel
+from .standard import StandardEventModel
+
+
+def fit_standard(model: EventModel, horizon: int = 200,
+                 name: str = "fit") -> StandardEventModel:
+    """Conservative standard-event-model approximation of any stream.
+
+    Construction (horizon-limited):
+
+    Conservatism requirement::
+
+        fitted δ⁻(n) <= true δ⁻(n)   and   fitted δ⁺(n) >= true δ⁺(n)
+
+    * ``P``      — mean of the δ⁻ and δ⁺ chord slopes over the horizon
+      tail.  Joins of periodic streams show beat-pattern wobble in those
+      chords, so the two estimates may differ slightly; genuinely
+      diverging slopes (> 25% relative, i.e. a real long-run rate drift
+      between the two bounds) cannot be captured by any single-period
+      SEM and raise :class:`ModelError` (unless the δ⁺ side is already
+      unbounded — sporadic fit).
+    * ``J``      — smallest jitter such that both
+      ``(n-1)P - J <= δ⁻(n)`` and ``(n-1)P + J >= δ⁺(n)`` hold over the
+      whole horizon; this makes the fit conservative for every
+      ``n <= horizon`` *by construction*, whatever P was estimated.
+    * ``d_min``  — ``δ⁻(2)`` of the original (largest safe value).
+
+    Beyond the horizon the fit extrapolates with slope P; validate with
+    :func:`verify_dominates` at the n-range you care about if the stream
+    is not rate-consistent.
+    """
+    if horizon < 8:
+        raise ModelError("fit horizon must be at least 8 events")
+    d2 = model.delta_min(2)
+    sporadic = math.isinf(model.delta_plus(2))
+
+    # Slope estimate: use the chord of δ⁻ over the horizon tail.  δ⁻ of a
+    # well-formed stream grows asymptotically with slope P.
+    n_hi = horizon
+    n_lo = max(2, horizon // 2)
+    dm_hi = model.delta_min(n_hi)
+    dm_lo = model.delta_min(n_lo)
+    if math.isinf(dm_hi):
+        # Fewer than horizon events ever occur; fall back to the last
+        # finite point to derive a pseudo-period.
+        n = 2
+        while n <= horizon and not math.isinf(model.delta_min(n)):
+            n += 1
+        n_hi = n - 1
+        if n_hi < 3:
+            raise ModelError("stream produces too few events to fit a SEM")
+        dm_hi = model.delta_min(n_hi)
+        n_lo = max(2, n_hi // 2)
+        dm_lo = model.delta_min(n_lo)
+    period = (dm_hi - dm_lo) / (n_hi - n_lo)
+    if period <= 0:
+        raise ModelError(
+            "stream has zero long-run distance growth; no SEM fits")
+
+    if not sporadic:
+        dp_hi = model.delta_plus(n_hi)
+        dp_lo = model.delta_plus(n_lo)
+        plus_slope = (dp_hi - dp_lo) / (n_hi - n_lo)
+        if plus_slope > period * 1.25 + EPS:
+            raise ModelError(
+                f"δ⁺ slope ({plus_slope:.6g}) diverges from δ⁻ slope "
+                f"({period:.6g}); no single-period SEM bounds both sides — "
+                f"fit a sporadic model or keep the curve")
+        period = (period + plus_slope) / 2.0
+
+    jitter = 0.0
+    for n in range(2, n_hi + 1):
+        need_minus = (n - 1) * period - model.delta_min(n)
+        if need_minus > jitter:
+            jitter = need_minus
+        if not sporadic:
+            need_plus = model.delta_plus(n) - (n - 1) * period
+            if need_plus > jitter:
+                jitter = need_plus
+    jitter = max(0.0, jitter)
+    d_min = max(0.0, min(d2, period))
+    return StandardEventModel(period, jitter, d_min, sporadic=sporadic,
+                              name=name)
+
+
+def verify_dominates(bound: EventModel, model: EventModel,
+                     n_max: int = 64, eps: float = 1e-6) -> bool:
+    """True if *bound* conservatively covers *model*:
+
+    ``bound.delta_min(n) <= model.delta_min(n)`` and
+    ``bound.delta_plus(n) >= model.delta_plus(n)`` for all ``2 <= n <=
+    n_max``.  A bound that covers admits at least every event sequence
+    the covered model admits.
+    """
+    for n in range(2, n_max + 1):
+        if bound.delta_min(n) > model.delta_min(n) + eps:
+            return False
+        bp, mp = bound.delta_plus(n), model.delta_plus(n)
+        if math.isinf(mp) and not math.isinf(bp):
+            return False
+        if not math.isinf(mp) and bp < mp - eps:
+            return False
+    return True

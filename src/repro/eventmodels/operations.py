@@ -1,0 +1,367 @@
+"""Stream operations: Θ_τ output models, OR/AND joins, shapers.
+
+These are the ``stream operations`` of the paper's Definition 2 — functions
+mapping input event-stream function tuples to output tuples.  They are the
+building blocks both of the flat compositional analysis (Richter/SymTA/S
+style) and of the hierarchical constructors in :mod:`repro.core`.
+
+Implemented operations
+----------------------
+``TaskOutputModel`` (Θ_τ)
+    The busy-window output-model operation for an analysed task with
+    response times in ``[r_min, r_max]`` (paper section 3)::
+
+        δ'⁻(n) = max{ δ⁻(n) - (r⁺ - r⁻),  δ'⁻(n - 1) + r⁻ }
+        δ'⁺(n) = δ⁺(n) + (r⁺ - r⁻)
+
+``or_join`` (paper eqs. (3)/(4))
+    Exact OR-combination of m streams via pairwise min-max / max-min
+    composition over contribution vectors::
+
+        δ⁻_or(n) = min_{Σk_i = n}     max_i δ⁻_i(k_i)
+        δ⁺_or(n) = max_{Σk_i = n - 2} min_i δ⁺_i(k_i + 2)
+
+    Pairwise composition is exact because both operators are associative
+    over the split of the contribution vector.  The equivalent
+    superposition form (η⁺_or = Σ η⁺_i inverted back to δ⁻) is provided as
+    :func:`or_join_superposition` and cross-checked in the test suite.
+
+``and_join``
+    Jersak's AND-activation: an output event is produced once every input
+    queue holds a token; the n-th output occurs no earlier than the
+    latest n-th input event, giving ``δ⁻_and(n) = max_i δ⁻_i(n)`` and
+    ``δ⁺_and(n) = max_i δ⁺_i(n)``.
+
+``DminShaper``
+    Greedy minimum-distance shaper: delays events just enough to enforce a
+    spacing of ``d``.  Raises δ⁻ to ``max(δ⁻(n), (n-1)d)``; δ⁺ grows by
+    the worst-case shaping backlog delay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .._errors import ModelError
+from ..timebase import INF
+from .base import EventModel, NullEventModel
+from .curves import CachedModel
+
+
+# ----------------------------------------------------------------------
+# Θ_τ — task output model
+# ----------------------------------------------------------------------
+class TaskOutputModel(EventModel):
+    """Output event model of an analysed task (operation Θ_τ).
+
+    The recursion for δ'⁻ is memoised internally; instances are cheap to
+    evaluate repeatedly inside busy windows of downstream resources.
+    """
+
+    def __init__(self, input_model: EventModel, r_min: float, r_max: float,
+                 name: str = "out"):
+        if r_min < 0 or r_max < r_min:
+            raise ModelError(
+                f"need 0 <= r_min <= r_max, got [{r_min}, {r_max}]")
+        self._in = input_model
+        self.r_min = float(r_min)
+        self.r_max = float(r_max)
+        self._dmin_cache = {0: 0.0, 1: 0.0}
+        self.name = name
+
+    @property
+    def input_model(self) -> EventModel:
+        return self._in
+
+    @property
+    def response_span(self) -> float:
+        """r⁺ - r⁻, the jitter added by the task."""
+        return self.r_max - self.r_min
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        cached = self._dmin_cache.get(n)
+        if cached is not None:
+            return cached
+        # Fill the memo iteratively to keep deep recursions off the stack.
+        start = max(k for k in self._dmin_cache) + 1
+        span = self.response_span
+        prev = self._dmin_cache[start - 1]
+        for k in range(start, n + 1):
+            val = max(self._in.delta_min(k) - span, prev + self.r_min)
+            self._dmin_cache[k] = val
+            prev = val
+        return self._dmin_cache[n]
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return self._in.delta_plus(n) + self.response_span
+
+
+# ----------------------------------------------------------------------
+# OR-join — paper eqs. (3) and (4)
+# ----------------------------------------------------------------------
+class _PairwiseOrJoin(EventModel):
+    """Exact OR-combination of exactly two event models."""
+
+    def __init__(self, a: EventModel, b: EventModel, name: str = "or2"):
+        self._a = a
+        self._b = b
+        self._dmin_cache: dict = {}
+        self._dplus_cache: dict = {}
+        self.name = name
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        cached = self._dmin_cache.get(n)
+        if cached is not None:
+            return cached
+        # eq. (3): min over k of max(δ⁻_a(k), δ⁻_b(n - k)).
+        best = INF
+        for k in range(0, n + 1):
+            cand = max(self._a.delta_min(k), self._b.delta_min(n - k))
+            if cand < best:
+                best = cand
+            if best == 0.0:
+                break
+        self._dmin_cache[n] = best
+        return best
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        cached = self._dplus_cache.get(n)
+        if cached is not None:
+            return cached
+        # eq. (4): max over j_a + j_b = n - 2 of
+        #          min(δ⁺_a(j_a + 2), δ⁺_b(j_b + 2)).
+        m = n - 2
+        best = 0.0
+        for j in range(0, m + 1):
+            cand = min(self._a.delta_plus(j + 2),
+                       self._b.delta_plus(m - j + 2))
+            if cand > best:
+                best = cand
+            if math.isinf(best):
+                break
+        self._dplus_cache[n] = best
+        return best
+
+
+def or_join(models: Sequence[EventModel], name: str = "or") -> EventModel:
+    """OR-combination of any number of event streams (paper eqs. (3)/(4)).
+
+    The n-th output event distance is the exact optimum over all
+    contribution vectors, computed by folding the exact two-stream join
+    (both optimisations are associative over vector splits).  Null streams
+    are the neutral element and are dropped.
+    """
+    active: List[EventModel] = [m for m in models
+                                if not isinstance(m, NullEventModel)]
+    if not active:
+        return NullEventModel()
+    if len(active) == 1:
+        return active[0]
+    combined = active[0]
+    for nxt in active[1:]:
+        combined = _PairwiseOrJoin(combined, nxt)
+    combined.name = name
+    return CachedModel(combined, name=name)
+
+
+class _SuperpositionOrJoin(EventModel):
+    """OR-join computed through η-superposition.
+
+    δ⁻_or is the pseudo-inverse of ``η⁺_or(Δt) = Σ_i η⁺_i(Δt)`` and δ⁺_or
+    the pseudo-inverse of ``η⁻_or(Δt) = Σ_i η⁻_i(Δt)``.  Mathematically
+    equivalent to the contribution-vector formulation; kept as an
+    independent implementation for cross-checking and for benchmarking
+    the two evaluation strategies against each other.
+    """
+
+    _SEARCH_CAP = 1e15
+
+    def __init__(self, models: Sequence[EventModel], name: str = "orsup"):
+        if not models:
+            raise ModelError("or_join needs at least one input stream")
+        self._models = list(models)
+        self.name = name
+
+    def eta_plus(self, dt: float) -> int:
+        if dt <= 0:
+            return 0
+        return max(1, sum(m.eta_plus(dt) for m in self._models))
+
+    def eta_min(self, dt: float) -> int:
+        if dt < 0:
+            return 0
+        return sum(m.eta_min(dt) for m in self._models)
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        # δ⁻(n) = inf{Δt : η⁺(Δt) >= n}; η⁺ is a right-continuous step
+        # function, so binary-search the step position.
+        if self.eta_plus(self._SEARCH_CAP) < n:
+            return INF
+        lo, hi = 0.0, 1.0
+        while self.eta_plus(hi) < n:
+            lo = hi
+            hi *= 2.0
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.eta_plus(mid) >= n:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return hi if self.eta_plus(hi) >= n else lo
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        # δ⁺(n) = sup{Δt : η⁻(Δt) <= n - 2}.
+        if self.eta_min(self._SEARCH_CAP) <= n - 2:
+            return INF
+        lo, hi = 0.0, 1.0
+        while self.eta_min(hi) <= n - 2:
+            lo = hi
+            hi *= 2.0
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.eta_min(mid) <= n - 2:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-12 * max(1.0, hi):
+                break
+        return lo
+
+
+def or_join_superposition(models: Sequence[EventModel],
+                          name: str = "orsup") -> EventModel:
+    """η-superposition variant of :func:`or_join` (see class docstring)."""
+    active = [m for m in models if not isinstance(m, NullEventModel)]
+    if not active:
+        return NullEventModel()
+    if len(active) == 1:
+        return active[0]
+    return CachedModel(_SuperpositionOrJoin(active, name=name), name=name)
+
+
+# ----------------------------------------------------------------------
+# AND-join
+# ----------------------------------------------------------------------
+class _AndJoin(EventModel):
+    def __init__(self, models: Sequence[EventModel], name: str = "and"):
+        self._models = list(models)
+        self.name = name
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return max(m.delta_min(n) for m in self._models)
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return max(m.delta_plus(n) for m in self._models)
+
+
+def and_join(models: Sequence[EventModel], name: str = "and") -> EventModel:
+    """AND-combination: output when every input has produced an event.
+
+    Requires all inputs to have the same long-run rate for bounded
+    buffering (Jersak's condition); this function does not enforce the
+    rate check — see :func:`repro.system.junctions.check_and_join_rates`.
+    """
+    if not models:
+        raise ModelError("and_join needs at least one input stream")
+    if len(models) == 1:
+        return models[0]
+    return CachedModel(_AndJoin(models, name=name), name=name)
+
+
+# ----------------------------------------------------------------------
+# Shapers
+# ----------------------------------------------------------------------
+class DminShaper(EventModel):
+    """Greedy minimum-distance shaper.
+
+    Events are released in FIFO order, delayed as little as possible such
+    that consecutive releases are at least ``d`` apart.  Output bounds::
+
+        δ'⁻(n) = max(δ⁻(n), (n - 1) * d)
+        δ'⁺(n) = δ⁺(n) + D_max
+
+    where ``D_max = sup_n [ (n - 1) * d - δ⁻(n) ]⁺`` is the worst-case
+    shaping delay of a single event (finite iff the input's long-run rate
+    is below ``1/d``).  The δ⁺ bound is conservative: the first event of
+    a window may be delayed by up to ``D_max`` while the last is not
+    delayed at all.
+    """
+
+    def __init__(self, input_model: EventModel, d: float,
+                 horizon: int = 10_000, name: str = "shaper"):
+        if d < 0:
+            raise ModelError(f"shaper distance must be >= 0, got {d}")
+        self._in = input_model
+        self.d = float(d)
+        self._horizon = horizon
+        self._max_delay = None
+        self.name = name
+
+    @property
+    def max_delay(self) -> float:
+        """Worst-case delay the shaper adds to a single event."""
+        if self._max_delay is None:
+            self._max_delay = self._compute_max_delay()
+        return self._max_delay
+
+    def _compute_max_delay(self) -> float:
+        if self.d == 0.0:
+            return 0.0
+        rate = self._in.load(accuracy=self._horizon)
+        if rate * self.d >= 1.0:
+            return INF
+        best = 0.0
+        n = 2
+        while n <= self._horizon:
+            lag = (n - 1) * self.d - self._in.delta_min(n)
+            if lag > best:
+                best = lag
+            # once δ⁻ has outrun the shaping line by the current best lag,
+            # no later n can produce a larger lag (δ⁻ superadditive with
+            # rate > 1/d keeps diverging)
+            if self._in.delta_min(n) - (n - 1) * self.d > best:
+                break
+            n += 1
+        return best
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        return max(self._in.delta_min(n), (n - 1) * self.d)
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        if n < 2:
+            return 0.0
+        dp = self._in.delta_plus(n)
+        if math.isinf(dp):
+            return INF
+        return max(dp + self.max_delay, (n - 1) * self.d)

@@ -1,0 +1,153 @@
+"""Trace-derived event models.
+
+Builds a :class:`~repro.eventmodels.curves.CurveEventModel` from a recorded
+sequence of event timestamps by sliding a window of ``n`` events over the
+trace:
+
+    δ⁻(n) = min_i ( t[i + n - 1] - t[i] )
+    δ⁺(n) = max_i ( t[i + n - 1] - t[i] )
+
+A trace model is only a valid *bound* if the trace is representative of the
+worst case; the simulator uses trace models in the opposite direction — to
+check that observed behaviour stays **inside** an analytic bound
+(:func:`trace_within_bounds`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .._errors import ModelError
+from ..timebase import EPS, INF
+from .base import EventModel
+from .curves import CurveEventModel
+
+
+def model_from_trace(timestamps: Sequence[float], n_max: int = None,
+                     name: str = "trace") -> CurveEventModel:
+    """Distance curves observed in a timestamp trace.
+
+    Parameters
+    ----------
+    timestamps:
+        Event times; must be non-decreasing with at least two events.
+    n_max:
+        Longest window (in events) to extract; defaults to the full trace
+        length.
+    """
+    ts = [float(t) for t in timestamps]
+    if len(ts) < 2:
+        raise ModelError("a trace model needs at least two events")
+    for a, b in zip(ts, ts[1:]):
+        if b < a:
+            raise ModelError("trace timestamps must be non-decreasing")
+    top = len(ts) if n_max is None else min(n_max, len(ts))
+    if top < 2:
+        raise ModelError("n_max must be at least 2")
+    dmin = [0.0, 0.0]
+    dplus = [0.0, 0.0]
+    for n in range(2, top + 1):
+        spans = [ts[i + n - 1] - ts[i] for i in range(len(ts) - n + 1)]
+        dmin.append(min(spans))
+        dplus.append(max(spans))
+    return CurveEventModel(dmin, dplus, name=name)
+
+
+def trace_within_bounds(timestamps: Sequence[float], bound: EventModel,
+                        check_plus: bool = False,
+                        eps: float = 1e-6) -> bool:
+    """True if every window of the trace respects the analytic bound.
+
+    Checks ``observed span of n events >= bound.delta_min(n)`` for every
+    window, and (optionally) ``<= bound.delta_plus(n)``.  This is the
+    conservatism check the simulation-validation benchmarks run: an
+    analytic δ⁻ bound is *violated* if the trace packs events tighter
+    than the bound permits.
+    """
+    ts = [float(t) for t in timestamps]
+    if len(ts) < 2:
+        return True
+    for n in range(2, len(ts) + 1):
+        lo = bound.delta_min(n)
+        hi = bound.delta_plus(n) if check_plus else INF
+        for i in range(len(ts) - n + 1):
+            span = ts[i + n - 1] - ts[i]
+            if span < lo - eps:
+                return False
+            if check_plus and span > hi + eps:
+                return False
+    return True
+
+
+def load_trace_csv(source: Union[str, Path, io.TextIOBase],
+                   time_column: str = "time",
+                   stream_column: str = "stream"
+                   ) -> "Dict[str, List[float]]":
+    """Read event traces from CSV (e.g. a bus-logger export).
+
+    Expected columns: *time_column* (float timestamps) and
+    *stream_column* (stream/frame/signal name); extra columns are
+    ignored.  Returns ``stream name -> sorted timestamps``, ready for
+    :func:`model_from_trace` or :func:`trace_within_bounds`.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as fh:
+            return load_trace_csv(fh, time_column, stream_column)
+    reader = csv.DictReader(source)
+    if reader.fieldnames is None \
+            or time_column not in reader.fieldnames \
+            or stream_column not in reader.fieldnames:
+        raise ModelError(
+            f"trace CSV needs columns {time_column!r} and "
+            f"{stream_column!r}; found {reader.fieldnames}")
+    out: "Dict[str, List[float]]" = {}
+    for row_no, row in enumerate(reader, start=2):
+        try:
+            t = float(row[time_column])
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"trace CSV line {row_no}: bad timestamp "
+                f"{row[time_column]!r}") from None
+        out.setdefault(row[stream_column], []).append(t)
+    for events in out.values():
+        events.sort()
+    return out
+
+
+def dump_trace_csv(traces: "Dict[str, Sequence[float]]",
+                   destination: Union[str, Path, io.TextIOBase],
+                   time_column: str = "time",
+                   stream_column: str = "stream") -> None:
+    """Write stream traces as CSV (inverse of :func:`load_trace_csv`),
+    rows sorted by time for easy diffing."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as fh:
+            dump_trace_csv(traces, fh, time_column, stream_column)
+        return
+    writer = csv.writer(destination)
+    writer.writerow([time_column, stream_column])
+    rows = [(t, name) for name, events in traces.items()
+            for t in events]
+    for t, name in sorted(rows):
+        writer.writerow([repr(float(t)), name])
+
+
+def violations(timestamps: Sequence[float], bound: EventModel,
+               eps: float = 1e-6) -> list:
+    """Diagnostic variant of :func:`trace_within_bounds`: returns every
+    (n, window_start_index, observed_span, bound_value) quadruple where
+    the trace packs ``n`` events tighter than ``bound.delta_min(n)``."""
+    ts = [float(t) for t in timestamps]
+    out = []
+    for n in range(2, len(ts) + 1):
+        lo = bound.delta_min(n)
+        if lo <= EPS:
+            continue
+        for i in range(len(ts) - n + 1):
+            span = ts[i + n - 1] - ts[i]
+            if span < lo - eps:
+                out.append((n, i, span, lo))
+    return out

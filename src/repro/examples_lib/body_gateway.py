@@ -1,0 +1,126 @@
+"""A larger case study: two CAN buses bridged by a gateway ECU.
+
+Body electronics (door/climate/light signals, slow) live on CAN_B;
+powertrain signals (fast) on CAN_P.  A gateway ECU consumes selected
+frames from both buses and re-publishes a fused status frame onto CAN_B;
+a driver-display ECU on CAN_B consumes individual signals via HEM
+unpacking.
+
+The model exercises, in one system: two SPNP buses, three SPP CPUs,
+four pack junctions, three unpack junctions, a task chain crossing both
+buses, pending and triggering signals, and end-to-end path latency
+through a gateway re-packing stage (nested hierarchy in-engine).
+
+Numbers are synthetic but sized like a real body network (125 kbit/s
+body bus = bit time 8 µs, 500 kbit/s powertrain bus = 2 µs; µs units).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.spp import SPPScheduler
+from ..can.bus import CanBus
+from ..com.frame import Frame, FrameType
+from ..com.layer import ComLayer
+from ..com.signal import Signal
+from ..core.constructors import TransferProperty
+from ..eventmodels.standard import periodic
+from ..system.model import JunctionKind, System
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+#: Sources: name -> (period in µs, transfer property, width bits).
+SIGNALS: "Dict[str, tuple]" = {
+    # powertrain (fast, CAN_P)
+    "rpm": (10_000.0, TRIG, 16),
+    "speed": (20_000.0, TRIG, 16),
+    "coolant": (100_000.0, PEND, 8),
+    # body (slow, CAN_B)
+    "door_fl": (50_000.0, TRIG, 8),
+    "door_fr": (50_000.0, TRIG, 8),
+    "climate": (200_000.0, PEND, 16),
+}
+
+#: Receiver tasks on the display ECU: task -> (signal, CET µs, prio).
+DISPLAY_TASKS = {
+    "show_rpm": ("rpm", 800.0, 1),
+    "show_speed": ("speed", 1200.0, 2),
+    "show_doors": ("door_fl", 1500.0, 3),
+    "show_climate": ("climate", 2000.0, 4),
+}
+
+GATEWAY_CET = (500.0, 900.0)
+
+
+def build() -> System:
+    """Assemble the full two-bus body/powertrain network."""
+    system = System("body-gateway")
+    for name, (period, _, _) in SIGNALS.items():
+        system.add_source(name, periodic(period, name))
+
+    can_p = CanBus.from_bitrate("CAN_P", 0.5)    # 2 µs/bit
+    can_b = CanBus.from_bitrate("CAN_B", 0.125)  # 8 µs/bit
+    can_p.install(system)
+    can_b.install(system)
+    system.add_resource("GATEWAY_CPU", SPPScheduler())
+    system.add_resource("DISPLAY_CPU", SPPScheduler())
+
+    # Powertrain COM layer: two frames on CAN_P.
+    com_p = ComLayer("powertrain")
+    com_p.add_frame(Frame("PT_FAST", FrameType.DIRECT,
+                          [Signal("rpm", 16, TRIG),
+                           Signal("speed", 16, TRIG)], can_id=1))
+    com_p.add_frame(Frame("PT_SLOW", FrameType.PERIODIC,
+                          [Signal("coolant", 8, PEND)],
+                          period=100_000.0, can_id=2))
+    rx_p = com_p.install(system, "CAN_P", can_p.timing,
+                         {"rpm": "rpm", "speed": "speed",
+                          "coolant": "coolant"})
+
+    # Body COM layer: door/climate frames on CAN_B.
+    com_b = ComLayer("body")
+    com_b.add_frame(Frame("BODY_DOORS", FrameType.MIXED,
+                          [Signal("door_fl", 8, TRIG),
+                           Signal("door_fr", 8, TRIG)],
+                          period=100_000.0, can_id=11))
+    com_b.add_frame(Frame("BODY_CLIMATE", FrameType.PERIODIC,
+                          [Signal("climate", 16, PEND)],
+                          period=200_000.0, can_id=12))
+    com_b.install(system, "CAN_B", can_b.timing,
+                  {"door_fl": "door_fl", "door_fr": "door_fr",
+                   "climate": "climate"})
+
+    # Gateway ECU: consumes the powertrain signals and re-publishes a
+    # fused status frame onto the body bus.
+    system.add_task("gw_fuse", "GATEWAY_CPU", GATEWAY_CET,
+                    [rx_p["rpm"], rx_p["speed"]], priority=1)
+    system.add_junction("gw_pack", JunctionKind.PACK, ["gw_fuse"],
+                        properties={"gw_fuse": TRIG})
+    status_wire = can_b.timing.transmission_time_max(4)
+    system.add_task("GW_STATUS", "CAN_B",
+                    (can_b.timing.transmission_time_min(4), status_wire),
+                    ["gw_pack"], priority=10)
+    system.add_junction("gw_rx", JunctionKind.UNPACK, ["GW_STATUS"])
+
+    # Display ECU on CAN_B: per-signal consumers via unpacking.
+    signal_ports = {
+        "rpm": "gw_rx.gw_fuse",      # fused status activates rpm view
+        "speed": "gw_rx.gw_fuse",
+        "door_fl": "BODY_DOORS_rx.door_fl",
+        "climate": "BODY_CLIMATE_rx.climate",
+    }
+    for task, (signal, cet, prio) in DISPLAY_TASKS.items():
+        system.add_task(task, "DISPLAY_CPU", (cet, cet),
+                        [signal_ports[signal]], priority=prio)
+    return system
+
+
+#: End-to-end paths of interest (for path_latency sweeps).
+PATHS = {
+    "rpm_to_display": ["rpm", "PT_FAST_pack", "PT_FAST", "gw_fuse",
+                       "gw_pack", "GW_STATUS", "show_rpm"],
+    "door_to_display": ["door_fl", "BODY_DOORS_pack", "BODY_DOORS",
+                        "show_doors"],
+}

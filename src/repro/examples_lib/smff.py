@@ -1,0 +1,106 @@
+"""Random system-model generation ("system models for free").
+
+Named after the SMFF tool from the paper's research group: generating
+many structurally valid random system models is the standard way to
+evaluate analysis engines beyond hand-built examples.  The generator
+creates task *chains* (sensor → processing hops → sink) mapped onto a
+random set of SPP processors connected by SPNP buses, with CETs scaled
+to a target utilisation.
+
+Determinism: everything derives from the ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .._errors import ModelError
+from ..analysis.spnp import SPNPScheduler
+from ..analysis.spp import SPPScheduler
+from ..eventmodels.standard import StandardEventModel
+from ..system.model import System
+
+
+@dataclass
+class SmffConfig:
+    """Knobs of the random generator."""
+
+    n_cpus: int = 3
+    n_buses: int = 1
+    n_chains: int = 4
+    chain_length: int = 3
+    period_range: tuple = (200.0, 2000.0)
+    jitter_fraction: float = 0.3
+    target_utilization: float = 0.6
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_cpus < 1 or self.n_chains < 1 or self.chain_length < 1:
+            raise ModelError("need at least one CPU, chain, and hop")
+        if not 0 < self.target_utilization < 1:
+            raise ModelError("target utilisation must be in (0, 1)")
+
+
+def generate(config: SmffConfig) -> System:
+    """Create a random, analysable system from the configuration."""
+    rng = random.Random(config.seed)
+    system = System(f"smff-{config.seed}")
+
+    cpus = [f"cpu{i}" for i in range(config.n_cpus)]
+    buses = [f"bus{i}" for i in range(config.n_buses)]
+    for cpu in cpus:
+        system.add_resource(cpu, SPPScheduler())
+    for bus in buses:
+        system.add_resource(bus, SPNPScheduler())
+
+    # Chains: source -> alternating cpu/bus hops.
+    lo, hi = config.period_range
+    demands: "Dict[str, List[tuple]]" = {r: [] for r in cpus + buses}
+    chains: List[List[str]] = []
+    for c in range(config.n_chains):
+        period = rng.uniform(lo, hi)
+        jitter = rng.uniform(0.0, config.jitter_fraction * period)
+        source = f"src{c}"
+        system.add_source(source, StandardEventModel(
+            round(period, 3), round(jitter, 3), name=source))
+        upstream = source
+        chain = [source]
+        for hop in range(config.chain_length):
+            on_bus = config.n_buses > 0 and hop % 2 == 1
+            resource = rng.choice(buses if on_bus else cpus)
+            task = f"t{c}_{hop}"
+            # placeholder CET 1.0; scaled to target utilisation below
+            system.add_task(task, resource, (1.0, 1.0), [upstream],
+                            priority=rng.randint(1, 5))
+            demands[resource].append((task, 1.0 / period))
+            upstream = task
+            chain.append(task)
+        chains.append(chain)
+
+    # Scale CETs so every resource lands at the target utilisation
+    # (proportional shares among its tasks).
+    for resource, entries in demands.items():
+        if not entries:
+            continue
+        share = config.target_utilization / len(entries)
+        for task, rate in entries:
+            cet = round(share / rate, 3)
+            cet = max(cet, 1e-3)
+            system.tasks[task].c_min = cet
+            system.tasks[task].c_max = cet
+
+    system.validate()
+    return system
+
+
+def chain_paths(config: SmffConfig) -> List[List[str]]:
+    """Node paths of every chain the configuration generates (matching
+    :func:`generate` — used for end-to-end latency sweeps)."""
+    paths = []
+    for c in range(config.n_chains):
+        path = [f"src{c}"]
+        path.extend(f"t{c}_{hop}" for hop in range(config.chain_length))
+        paths.append(path)
+    return paths

@@ -1,0 +1,10 @@
+"""FlexRay static-segment substrate: frame timing and slot analysis."""
+
+from .bus import FlexRayStaticScheduler
+from .timing import FlexRayConfig, frame_bits
+
+__all__ = [
+    "FlexRayConfig",
+    "FlexRayStaticScheduler",
+    "frame_bits",
+]

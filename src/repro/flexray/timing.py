@@ -1,0 +1,108 @@
+"""FlexRay frame and cycle timing.
+
+FlexRay's static segment divides each communication cycle into equal
+static slots; a frame assigned to slot *s* is transmitted once per cycle
+at offset ``s * slot_length``.  Physical-layer framing (FlexRay protocol
+spec v2.1):
+
+* transmission start sequence (TSS): 3..15 bit times (we use a
+  configurable value, default 5),
+* frame start sequence (FSS): 1 bit,
+* each byte is preceded by a 2-bit byte start sequence → 10 bits/byte,
+* frame end sequence (FES): 2 bits.
+
+A frame consists of a 5-byte header, ``2 * payload_length_words`` bytes
+of payload (the payload length field counts 2-byte words), and a 3-byte
+trailer CRC — all byte-encoded at 10 bits each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._errors import ModelError
+
+#: Frame header bytes (protocol constant).
+HEADER_BYTES = 5
+#: Trailer CRC bytes (protocol constant).
+TRAILER_BYTES = 3
+#: Maximum payload in 2-byte words (protocol constant).
+MAX_PAYLOAD_WORDS = 127
+
+
+def frame_bits(payload_words: int, tss_bits: int = 5) -> int:
+    """Wire bits of one static-segment frame."""
+    if not 0 <= payload_words <= MAX_PAYLOAD_WORDS:
+        raise ModelError(
+            f"payload must be 0..{MAX_PAYLOAD_WORDS} words, got "
+            f"{payload_words}")
+    if not 3 <= tss_bits <= 15:
+        raise ModelError(f"TSS must be 3..15 bits, got {tss_bits}")
+    total_bytes = HEADER_BYTES + 2 * payload_words + TRAILER_BYTES
+    return tss_bits + 1 + 10 * total_bytes + 2
+
+
+@dataclass(frozen=True)
+class FlexRayConfig:
+    """Static-segment configuration of a FlexRay cluster.
+
+    Parameters
+    ----------
+    cycle_length:
+        Communication cycle duration in time units.
+    slot_length:
+        Duration of one static slot.
+    n_static_slots:
+        Number of static slots per cycle; the static segment
+        (``n_static_slots * slot_length``) must fit in the cycle — the
+        remainder models the dynamic segment, symbol window and NIT.
+    bit_time:
+        Duration of one bit (e.g. 0.1 µs at 10 Mbit/s).
+    """
+
+    cycle_length: float
+    slot_length: float
+    n_static_slots: int
+    bit_time: float = 0.1
+
+    def __post_init__(self):
+        if self.cycle_length <= 0 or self.slot_length <= 0:
+            raise ModelError("cycle and slot lengths must be positive")
+        if self.n_static_slots < 1:
+            raise ModelError("need at least one static slot")
+        if self.bit_time <= 0:
+            raise ModelError("bit_time must be positive")
+        if self.n_static_slots * self.slot_length > self.cycle_length:
+            raise ModelError(
+                f"static segment ({self.n_static_slots} x "
+                f"{self.slot_length}) exceeds the cycle "
+                f"({self.cycle_length})")
+
+    def slot_offset(self, slot: int) -> float:
+        """Start offset of a static slot within the cycle."""
+        self._check_slot(slot)
+        return slot * self.slot_length
+
+    def transmission_time(self, payload_words: int,
+                          tss_bits: int = 5) -> float:
+        """Wire time of one frame; must fit inside one static slot."""
+        t = frame_bits(payload_words, tss_bits) * self.bit_time
+        if t > self.slot_length:
+            raise ModelError(
+                f"frame of {payload_words} words needs {t} time units; "
+                f"the static slot is only {self.slot_length}")
+        return t
+
+    def max_payload_words(self) -> int:
+        """Largest payload that fits the static slot."""
+        words = MAX_PAYLOAD_WORDS
+        while words >= 0:
+            if frame_bits(words) * self.bit_time <= self.slot_length:
+                return words
+            words -= 1
+        raise ModelError("static slot too short for any frame")
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_static_slots:
+            raise ModelError(
+                f"slot {slot} outside 0..{self.n_static_slots - 1}")

@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate for validating the analyses."""
+
+from .canbus import CanBusSim, FrameInstance
+from .comsim import ComLayerSim
+from .cpu import SppCpuSim
+from .edf import EdfCpuSim
+from .engine import Simulator
+from .gateway import (
+    GatewayRun,
+    GatewayScenario,
+    arrivals_for_models,
+    simulate_gateway,
+)
+from .generators import (
+    periodic_arrivals,
+    random_jitter_arrivals,
+    worst_case_arrivals,
+)
+from .measure import EventTrace, ResponseRecorder
+from .roundrobin import RoundRobinSim
+from .system_sim import SystemRun, SystemSimulation, simulate_system
+from .tdma import TdmaSim
+
+__all__ = [
+    "Simulator",
+    "SppCpuSim",
+    "EdfCpuSim",
+    "CanBusSim",
+    "TdmaSim",
+    "RoundRobinSim",
+    "FrameInstance",
+    "ComLayerSim",
+    "EventTrace",
+    "ResponseRecorder",
+    "GatewayScenario",
+    "GatewayRun",
+    "simulate_gateway",
+    "SystemSimulation",
+    "SystemRun",
+    "simulate_system",
+    "arrivals_for_models",
+    "periodic_arrivals",
+    "random_jitter_arrivals",
+    "worst_case_arrivals",
+]

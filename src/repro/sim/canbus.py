@@ -1,0 +1,121 @@
+"""Non-preemptive priority bus simulator (CAN arbitration).
+
+Frames queue per identifier; whenever the bus goes idle, the queued frame
+with the lowest identifier wins arbitration and transmits to completion.
+Instances of the same frame transmit FIFO.
+
+Hooks:
+
+* ``on_start(frame, instance)`` — called when a frame instance wins the
+  bus; the COM-layer simulator uses it to latch which signals the
+  instance carries fresh (register snapshot at transmission start).
+* ``on_complete(frame, instance, time)`` — called at end of transmission
+  (frame visible at all receivers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from .._errors import ModelError
+from .engine import Simulator
+from .measure import ResponseRecorder
+
+
+@dataclass
+class FrameInstance:
+    """One queued transmission of a frame."""
+
+    frame: str
+    enqueued: float
+    payload: dict = field(default_factory=dict)
+
+
+class CanBusSim:
+    """Event-driven CAN bus (static priority, non-preemptive)."""
+
+    def __init__(self, sim: Simulator,
+                 recorder: Optional[ResponseRecorder] = None,
+                 name: str = "can",
+                 require_unique_ids: bool = True):
+        """``require_unique_ids=False`` relaxes the CAN rule that every
+        frame needs a distinct identifier — useful when the bus stands
+        in for a generic SPNP resource where equal priorities are legal
+        (ties then break by registration order)."""
+        self._sim = sim
+        self._recorder = recorder
+        self.name = name
+        self._require_unique_ids = require_unique_ids
+        self._tx_time: "Dict[str, float]" = {}
+        self._priority: "Dict[str, int]" = {}
+        self._order: "Dict[str, int]" = {}
+        self._queues: "Dict[str, Deque[FrameInstance]]" = {}
+        self._busy = False
+        self._on_start: "Dict[str, Callable[[str, FrameInstance], None]]" \
+            = {}
+        self._on_complete: \
+            "Dict[str, Callable[[str, FrameInstance, float], None]]" = {}
+
+    # ------------------------------------------------------------------
+    def add_frame(self, name: str, can_id: int, tx_time: float,
+                  on_start: Optional[Callable] = None,
+                  on_complete: Optional[Callable] = None) -> None:
+        if name in self._tx_time:
+            raise ModelError(f"duplicate bus frame {name!r}")
+        if tx_time <= 0:
+            raise ModelError(f"frame {name}: tx_time must be positive")
+        if self._require_unique_ids:
+            for other, ident in self._priority.items():
+                if ident == can_id:
+                    raise ModelError(
+                        f"frames {other} and {name} share identifier "
+                        f"{can_id}")
+        self._tx_time[name] = tx_time
+        self._priority[name] = can_id
+        self._order[name] = len(self._order)
+        self._queues[name] = deque()
+        if on_start is not None:
+            self._on_start[name] = on_start
+        if on_complete is not None:
+            self._on_complete[name] = on_complete
+
+    def request(self, frame: str) -> FrameInstance:
+        """Queue one transmission of *frame* at the current time."""
+        if frame not in self._tx_time:
+            raise ModelError(f"unknown bus frame {frame!r}")
+        instance = FrameInstance(frame=frame, enqueued=self._sim.now)
+        self._queues[frame].append(instance)
+        if not self._busy:
+            self._arbitrate()
+        return instance
+
+    def queue_depth(self, frame: str) -> int:
+        return len(self._queues[frame])
+
+    # ------------------------------------------------------------------
+    def _arbitrate(self) -> None:
+        contenders = [f for f, q in self._queues.items() if q]
+        if not contenders:
+            return
+        winner = min(contenders,
+                     key=lambda f: (self._priority[f], self._order[f]))
+        instance = self._queues[winner].popleft()
+        self._busy = True
+        start_hook = self._on_start.get(winner)
+        if start_hook is not None:
+            start_hook(winner, instance)
+        duration = self._tx_time[winner]
+        self._sim.schedule_in(duration,
+                              lambda: self._finish(winner, instance))
+
+    def _finish(self, frame: str, instance: FrameInstance) -> None:
+        now = self._sim.now
+        if self._recorder is not None:
+            self._recorder.record(frame, instance.enqueued, now)
+        self._busy = False
+        complete_hook = self._on_complete.get(frame)
+        if complete_hook is not None:
+            complete_hook(frame, instance, now)
+        self._arbitrate()

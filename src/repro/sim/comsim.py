@@ -1,0 +1,174 @@
+"""COM-layer simulator: registers, frame triggering, fresh-value delivery.
+
+Implements the behaviour the paper describes in section 4:
+
+* Senders write signal values into registers, **overwriting** previous
+  values.
+* *Triggering* signals request a transmission of their frame on every
+  write; *pending* signals never do.
+* *Periodic*/*mixed* frames additionally request transmissions on a
+  timer.
+* At transmission start the frame latches its registers: a signal is
+  carried **fresh** if its register was written since the signal's last
+  transmitted value (overwrite semantics — multiple writes between
+  transmissions collapse into one fresh delivery).
+* At transmission end, every fresh signal is *delivered*: the receiver-
+  side register is updated and the consumer is activated (the paper's
+  interrupt receive mode).
+
+Delivered-signal streams (``rx.<signal>``) are recorded in an
+:class:`~repro.sim.measure.EventTrace`; these are exactly the streams the
+hierarchical event model's unpacked inner models must bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .._errors import ModelError
+from ..com.frame import Frame
+from ..com.layer import ComLayer
+from .canbus import CanBusSim, FrameInstance
+from .engine import Simulator
+from .measure import EventTrace
+
+DeliveryCallback = Callable[[str, float], None]
+
+
+class ComLayerSim:
+    """Simulated sender-side COM layer feeding a :class:`CanBusSim`."""
+
+    def __init__(self, sim: Simulator, layer: ComLayer, bus: CanBusSim,
+                 tx_times: "Dict[str, float]",
+                 trace: Optional[EventTrace] = None):
+        """
+        Parameters
+        ----------
+        tx_times:
+            frame name → wire time used on the simulated bus (typically
+            ``CanBusTiming.transmission_time_max`` for worst-case runs).
+        trace:
+            Optional event trace; records ``tx.<frame>`` (requests),
+            ``wire.<frame>`` (completions) and ``rx.<signal>``
+            (fresh-value deliveries).
+        """
+        self._sim = sim
+        self._layer = layer
+        self._bus = bus
+        self._trace = trace
+        self._frame_of: "Dict[str, Frame]" = {}
+        self._unsent: "Dict[str, bool]" = {}
+        self._on_delivery: "Dict[str, DeliveryCallback]" = {}
+
+        for frame in layer.frames.values():
+            try:
+                tx = tx_times[frame.name]
+            except KeyError:
+                raise ModelError(
+                    f"no tx time for frame {frame.name!r}") from None
+            bus.add_frame(frame.name, frame.can_id, tx,
+                          on_start=self._latch_registers,
+                          on_complete=self._deliver)
+            for sig in frame.signals:
+                if sig.name in self._frame_of:
+                    raise ModelError(
+                        f"signal {sig.name!r} mapped to two frames")
+                self._frame_of[sig.name] = frame
+                self._unsent[sig.name] = False
+            if frame.has_timer:
+                self._start_timer(frame)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def write_signal(self, signal: str) -> None:
+        """A sender task writes a new value at the current time."""
+        frame = self._frame_of.get(signal)
+        if frame is None:
+            raise ModelError(f"unknown signal {signal!r}")
+        self._unsent[signal] = True
+        effective = frame.effective_transfer(frame.signal(signal))
+        if effective.value == "triggering":
+            self._request(frame)
+
+    def on_delivery(self, signal: str,
+                    callback: DeliveryCallback) -> None:
+        """Register the receiver activation for a signal (interrupt
+        receive mode)."""
+        if signal not in self._frame_of:
+            raise ModelError(f"unknown signal {signal!r}")
+        self._on_delivery[signal] = callback
+
+    def poll_signal(self, signal: str, period: float,
+                    callback: Optional[DeliveryCallback] = None,
+                    phase: float = 0.0) -> None:
+        """Polling receive mode: the consumer samples the receiver-side
+        register every ``period`` and is activated only when it finds a
+        value it has not seen yet (the paper's "fetch the register value
+        from time to time").
+
+        Activations are traced as ``poll.<signal>``; at most one per
+        poll period, so the observed stream must stay within
+        :func:`repro.core.unpack_polled`'s shaped bound.
+        """
+        if signal not in self._frame_of:
+            raise ModelError(f"unknown signal {signal!r}")
+        if period <= 0:
+            raise ModelError("poll period must be positive")
+        state = {"unseen": False}
+        original = self._on_delivery.get(signal)
+
+        def mark_delivered(sig: str, time: float) -> None:
+            state["unseen"] = True
+            if original is not None:
+                original(sig, time)
+
+        self._on_delivery[signal] = mark_delivered
+
+        def poll():
+            if state["unseen"]:
+                state["unseen"] = False
+                now = self._sim.now
+                if self._trace is not None:
+                    self._trace.record(f"poll.{signal}", now)
+                if callback is not None:
+                    callback(signal, now)
+            self._sim.schedule_in(period, poll)
+
+        self._sim.schedule(phase + period, poll)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _start_timer(self, frame: Frame) -> None:
+        def tick():
+            self._request(frame)
+            self._sim.schedule_in(frame.period, tick)
+
+        self._sim.schedule(frame.period, tick)
+
+    def _request(self, frame: Frame) -> None:
+        if self._trace is not None:
+            self._trace.record(f"tx.{frame.name}", self._sim.now)
+        self._bus.request(frame.name)
+
+    def _latch_registers(self, frame_name: str,
+                         instance: FrameInstance) -> None:
+        frame = self._layer.frames[frame_name]
+        fresh = []
+        for sig in frame.signals:
+            if self._unsent[sig.name]:
+                fresh.append(sig.name)
+                self._unsent[sig.name] = False
+        instance.payload["fresh"] = fresh
+
+    def _deliver(self, frame_name: str, instance: FrameInstance,
+                 time: float) -> None:
+        if self._trace is not None:
+            self._trace.record(f"wire.{frame_name}", time)
+        for signal in instance.payload.get("fresh", ()):
+            if self._trace is not None:
+                self._trace.record(f"rx.{signal}", time)
+            callback = self._on_delivery.get(signal)
+            if callback is not None:
+                callback(signal, time)

@@ -1,0 +1,113 @@
+"""Preemptive fixed-priority CPU simulator.
+
+Event-driven SPP executor: on every activation or completion the highest-
+priority ready job runs; a preempted job keeps its remaining execution
+time.  Activations of the same task queue FIFO.  Response times
+(completion - activation) are recorded per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .._errors import ModelError
+from .engine import Simulator
+from .measure import ResponseRecorder
+
+
+@dataclass
+class _Job:
+    task: str
+    priority: int
+    activation: float
+    remaining: float
+    seq: int
+    started_at: Optional[float] = None
+
+
+class SppCpuSim:
+    """Static-priority preemptive processor (smaller priority wins)."""
+
+    def __init__(self, sim: Simulator, recorder: ResponseRecorder,
+                 name: str = "cpu"):
+        self._sim = sim
+        self._recorder = recorder
+        self.name = name
+        self._exec_time: "Dict[str, float]" = {}
+        self._priority: "Dict[str, int]" = {}
+        self._ready: List[_Job] = []
+        self._running: Optional[_Job] = None
+        self._completion_token = 0
+        self._seq = 0
+        self._on_complete: "Dict[str, Callable[[str, float], None]]" = {}
+
+    # ------------------------------------------------------------------
+    def add_task(self, name: str, priority: int, exec_time: float,
+                 on_complete: Optional[Callable[[str, float], None]] = None
+                 ) -> None:
+        """Register a task; *on_complete(task, time)* fires per job end."""
+        if name in self._exec_time:
+            raise ModelError(f"duplicate CPU task {name!r}")
+        if exec_time <= 0:
+            raise ModelError(f"task {name}: exec_time must be positive")
+        self._exec_time[name] = exec_time
+        self._priority[name] = priority
+        if on_complete is not None:
+            self._on_complete[name] = on_complete
+
+    def activate(self, task: str) -> None:
+        """Release one job of *task* at the current simulation time."""
+        if task not in self._exec_time:
+            raise ModelError(f"unknown CPU task {task!r}")
+        self._seq += 1
+        job = _Job(task=task, priority=self._priority[task],
+                   activation=self._sim.now,
+                   remaining=self._exec_time[task], seq=self._seq)
+        self._ready.append(job)
+        self._reschedule()
+
+    def backlog(self) -> int:
+        """Jobs currently ready or running."""
+        return len(self._ready) + (1 if self._running else 0)
+
+    # ------------------------------------------------------------------
+    def _pick(self) -> Optional[_Job]:
+        if not self._ready:
+            return None
+        return min(self._ready, key=lambda j: (j.priority, j.seq))
+
+    def _reschedule(self) -> None:
+        now = self._sim.now
+        best = self._pick()
+        current = self._running
+        if current is not None:
+            if best is None or (current.priority, current.seq) <= \
+                    (best.priority, best.seq):
+                return  # keep running
+            # Preempt: bank the work done so far.
+            current.remaining -= now - current.started_at
+            current.started_at = None
+            self._ready.append(current)
+            self._running = None
+        if best is None:
+            return
+        self._ready.remove(best)
+        best.started_at = now
+        self._running = best
+        self._completion_token += 1
+        token = self._completion_token
+        self._sim.schedule(now + best.remaining,
+                           lambda: self._complete(token))
+
+    def _complete(self, token: int) -> None:
+        if token != self._completion_token or self._running is None:
+            return  # stale completion (the job was preempted)
+        job = self._running
+        self._running = None
+        now = self._sim.now
+        self._recorder.record(job.task, job.activation, now)
+        callback = self._on_complete.get(job.task)
+        if callback is not None:
+            callback(job.task, now)
+        self._reschedule()

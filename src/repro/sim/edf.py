@@ -1,0 +1,95 @@
+"""Preemptive EDF processor simulator.
+
+Jobs carry absolute deadlines (activation + relative deadline); the
+pending job with the earliest absolute deadline runs, preempting later-
+deadline work.  Ties break by activation order (FIFO), matching the
+conservative tie-handling of the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .._errors import ModelError
+from .engine import Simulator
+from .measure import ResponseRecorder
+
+
+@dataclass
+class _EdfJob:
+    task: str
+    activation: float
+    abs_deadline: float
+    remaining: float
+    seq: int
+    started_at: Optional[float] = None
+
+
+class EdfCpuSim:
+    """Earliest-deadline-first preemptive processor."""
+
+    def __init__(self, sim: Simulator, recorder: ResponseRecorder,
+                 name: str = "edf-cpu"):
+        self._sim = sim
+        self._recorder = recorder
+        self.name = name
+        self._exec_time: "Dict[str, float]" = {}
+        self._deadline: "Dict[str, float]" = {}
+        self._ready: List[_EdfJob] = []
+        self._running: Optional[_EdfJob] = None
+        self._token = 0
+        self._seq = 0
+
+    def add_task(self, name: str, deadline: float,
+                 exec_time: float) -> None:
+        if name in self._exec_time:
+            raise ModelError(f"duplicate EDF task {name!r}")
+        if deadline <= 0 or exec_time <= 0:
+            raise ModelError("deadline and exec_time must be positive")
+        self._exec_time[name] = exec_time
+        self._deadline[name] = deadline
+
+    def activate(self, task: str) -> None:
+        if task not in self._exec_time:
+            raise ModelError(f"unknown EDF task {task!r}")
+        self._seq += 1
+        now = self._sim.now
+        job = _EdfJob(task=task, activation=now,
+                      abs_deadline=now + self._deadline[task],
+                      remaining=self._exec_time[task], seq=self._seq)
+        self._ready.append(job)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def _key(self, job: _EdfJob):
+        return (job.abs_deadline, job.seq)
+
+    def _reschedule(self) -> None:
+        now = self._sim.now
+        best = min(self._ready, key=self._key) if self._ready else None
+        current = self._running
+        if current is not None:
+            if best is None or self._key(current) <= self._key(best):
+                return
+            current.remaining -= now - current.started_at
+            current.started_at = None
+            self._ready.append(current)
+            self._running = None
+        if best is None:
+            return
+        self._ready.remove(best)
+        best.started_at = now
+        self._running = best
+        self._token += 1
+        token = self._token
+        self._sim.schedule(now + best.remaining,
+                           lambda: self._complete(token))
+
+    def _complete(self, token: int) -> None:
+        if token != self._token or self._running is None:
+            return
+        job = self._running
+        self._running = None
+        self._recorder.record(job.task, job.activation, self._sim.now)
+        self._reschedule()

@@ -1,0 +1,140 @@
+"""Full gateway-scenario simulation: sources → COM → CAN → receiver CPU.
+
+Assembles the paper's Fig. 2 topology (and any system of that class) into
+one discrete-event run:
+
+* source arrival sequences (from :mod:`repro.sim.generators`) drive
+  :meth:`ComLayerSim.write_signal`;
+* the COM layer requests frame transmissions on a simulated CAN bus;
+* fresh-value deliveries activate receiver tasks on a preemptive SPP CPU.
+
+The run yields an :class:`~repro.sim.measure.EventTrace` (all stream
+timestamps) and a :class:`~repro.sim.measure.ResponseRecorder` (frame and
+task response times) — everything the validation benchmarks compare
+against the analytic bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._errors import ModelError
+from ..can.timing import CanBusTiming
+from ..com.layer import ComLayer
+from ..eventmodels.standard import StandardEventModel
+from .canbus import CanBusSim
+from .comsim import ComLayerSim
+from .cpu import SppCpuSim
+from .engine import Simulator
+from .generators import (
+    periodic_arrivals,
+    random_jitter_arrivals,
+    worst_case_arrivals,
+)
+from .measure import EventTrace, ResponseRecorder
+
+
+@dataclass
+class GatewayScenario:
+    """Static description of one gateway simulation.
+
+    Attributes
+    ----------
+    layer:
+        The COM layer (frames + signals).
+    bus_timing:
+        CAN bit timing; worst-case transmission times are used on the
+        simulated wire.
+    signal_arrivals:
+        signal name → explicit arrival times of the producing stream.
+    cpu_tasks:
+        task name → (priority, exec_time, activating signal).  Tasks run
+        on one shared SPP CPU and are activated per fresh delivery of
+        their signal.
+    """
+
+    layer: ComLayer
+    bus_timing: CanBusTiming
+    signal_arrivals: "Dict[str, List[float]]"
+    cpu_tasks: "Dict[str, Tuple[int, float, str]]"
+
+
+@dataclass
+class GatewayRun:
+    """Outcome of :func:`simulate_gateway`."""
+
+    trace: EventTrace
+    responses: ResponseRecorder
+    t_end: float
+
+    def delivered(self, signal: str) -> List[float]:
+        """Times at which fresh values of *signal* reached the receiver."""
+        return self.trace.events(f"rx.{signal}")
+
+    def frame_transmissions(self, frame: str) -> List[float]:
+        """Completion times of all transmissions of *frame*."""
+        return self.trace.events(f"wire.{frame}")
+
+
+def simulate_gateway(scenario: GatewayScenario, t_end: float) -> GatewayRun:
+    """Run a gateway scenario for ``t_end`` time units."""
+    sim = Simulator()
+    trace = EventTrace()
+    responses = ResponseRecorder()
+
+    bus = CanBusSim(sim, recorder=responses)
+    tx_times = {
+        f.name: scenario.bus_timing.transmission_time_max(
+            f.payload_bytes, f.extended_id)
+        for f in scenario.layer.frames.values()
+    }
+    com = ComLayerSim(sim, scenario.layer, bus, tx_times, trace=trace)
+
+    cpu = SppCpuSim(sim, responses)
+    for task, (priority, exec_time, signal) in scenario.cpu_tasks.items():
+        cpu.add_task(task, priority, exec_time)
+        com.on_delivery(signal,
+                        lambda _sig, _t, _task=task: cpu.activate(_task))
+
+    for signal, arrivals in scenario.signal_arrivals.items():
+        for t in arrivals:
+            if t > t_end:
+                continue
+            sim.schedule(t, lambda _s=signal: _write(com, trace, _s))
+
+    sim.run_until(t_end)
+    return GatewayRun(trace=trace, responses=responses, t_end=t_end)
+
+
+def _write(com: ComLayerSim, trace: EventTrace, signal: str) -> None:
+    trace.record(f"src.{signal}", com._sim.now)
+    com.write_signal(signal)
+
+
+def arrivals_for_models(models: "Dict[str, StandardEventModel]",
+                        t_end: float, mode: str = "worst",
+                        seed: int = 0,
+                        phases: "Optional[Dict[str, float]]" = None
+                        ) -> "Dict[str, List[float]]":
+    """Generate arrival sequences for a set of source models.
+
+    ``mode``: "worst" (critical-instant packing), "periodic" (plain
+    periodic with optional per-signal phase), or "random" (jittered).
+    """
+    phases = phases or {}
+    out: "Dict[str, List[float]]" = {}
+    rng = random.Random(seed)
+    for name, model in models.items():
+        phase = phases.get(name, 0.0)
+        if mode == "worst":
+            out[name] = worst_case_arrivals(model, t_end, phase=phase)
+        elif mode == "periodic":
+            out[name] = periodic_arrivals(model.period, t_end, phase=phase)
+        elif mode == "random":
+            out[name] = random_jitter_arrivals(
+                model, t_end, rng=random.Random(rng.random()), phase=phase)
+        else:
+            raise ModelError(f"unknown arrival mode {mode!r}")
+    return out

@@ -1,0 +1,97 @@
+"""Measurement containers for simulation runs.
+
+A :class:`ResponseRecorder` collects (activation, completion) pairs per
+task; an :class:`EventTrace` collects raw event timestamps per stream.
+Both offer the summaries the validation benchmarks need: observed
+worst/best response times and observed distance/arrival curves, plus
+checks against analytic bounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .._errors import ModelError
+from ..eventmodels.base import EventModel
+from ..eventmodels.trace import model_from_trace, trace_within_bounds
+
+
+class EventTrace:
+    """Timestamped event streams, keyed by stream name."""
+
+    def __init__(self):
+        self._events: "Dict[str, List[float]]" = defaultdict(list)
+
+    def record(self, stream: str, time: float) -> None:
+        events = self._events[stream]
+        if events and time < events[-1] - 1e-12:
+            raise ModelError(
+                f"stream {stream}: event at {time} before last "
+                f"{events[-1]}")
+        events.append(time)
+
+    def events(self, stream: str) -> List[float]:
+        return list(self._events.get(stream, []))
+
+    def count(self, stream: str) -> int:
+        return len(self._events.get(stream, []))
+
+    def streams(self) -> List[str]:
+        return sorted(self._events)
+
+    def observed_model(self, stream: str, n_max: Optional[int] = None):
+        """Distance curves actually observed on a stream."""
+        return model_from_trace(self.events(stream), n_max=n_max,
+                                name=f"obs({stream})")
+
+    def check_conservative(self, stream: str, bound: EventModel,
+                           eps: float = 1e-6) -> bool:
+        """True if the observed stream stays within the analytic bound
+        (its events are never packed tighter than δ⁻ of *bound*)."""
+        return trace_within_bounds(self.events(stream), bound, eps=eps)
+
+
+class ResponseRecorder:
+    """Per-task activation/completion bookkeeping."""
+
+    def __init__(self):
+        self._responses: "Dict[str, List[Tuple[float, float]]]" = \
+            defaultdict(list)
+
+    def record(self, task: str, activation: float,
+               completion: float) -> None:
+        if completion < activation - 1e-12:
+            raise ModelError(
+                f"task {task}: completion {completion} before activation "
+                f"{activation}")
+        self._responses[task].append((activation, completion))
+
+    def responses(self, task: str) -> List[float]:
+        return [c - a for a, c in self._responses.get(task, [])]
+
+    def jobs(self, task: str) -> List[Tuple[float, float]]:
+        return list(self._responses.get(task, []))
+
+    def worst_case(self, task: str) -> float:
+        rs = self.responses(task)
+        if not rs:
+            raise ModelError(f"task {task}: no completed jobs recorded")
+        return max(rs)
+
+    def best_case(self, task: str) -> float:
+        rs = self.responses(task)
+        if not rs:
+            raise ModelError(f"task {task}: no completed jobs recorded")
+        return min(rs)
+
+    def count(self, task: str) -> int:
+        return len(self._responses.get(task, []))
+
+    def tasks(self) -> List[str]:
+        return sorted(self._responses)
+
+    def summary(self) -> "Dict[str, Tuple[float, float, int]]":
+        """task -> (best, worst, jobs)."""
+        return {t: (self.best_case(t), self.worst_case(t), self.count(t))
+                for t in self.tasks()}

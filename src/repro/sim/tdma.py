@@ -1,0 +1,135 @@
+"""TDMA bus/processor simulator.
+
+A fixed slot table cycles forever; each owner executes only inside its
+own slots.  A job that does not finish within the slot is paused at the
+boundary and resumes in the owner's next slot; jobs of one owner queue
+FIFO.  Arrivals during the owner's own slot are served immediately —
+matching the supply-function analysis in :mod:`repro.analysis.tdma`,
+whose worst case is an arrival just *after* the slot ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .._errors import ModelError
+from .engine import Simulator
+from .measure import ResponseRecorder
+
+
+@dataclass
+class _TdmaJob:
+    owner: str
+    activation: float
+    remaining: float
+
+
+class TdmaSim:
+    """Slot-table driven executor.
+
+    Parameters
+    ----------
+    slots:
+        ``[(owner, length), ...]`` — the slot table, repeated forever
+        starting at t = 0.
+    """
+
+    def __init__(self, sim: Simulator, recorder: ResponseRecorder,
+                 slots: List[Tuple[str, float]]):
+        if not slots:
+            raise ModelError("TDMA needs a non-empty slot table")
+        for owner, length in slots:
+            if length <= 0:
+                raise ModelError(f"slot of {owner!r} must be positive")
+        self._sim = sim
+        self._recorder = recorder
+        self._slots = list(slots)
+        self._queues: "Dict[str, Deque[_TdmaJob]]" = {}
+        for owner, _ in slots:
+            self._queues.setdefault(owner, deque())
+        self._exec_time: "Dict[str, float]" = {}
+        self._slot_index = 0
+        self._current_owner: Optional[str] = None
+        self._slot_end = 0.0
+        self._running: Optional[_TdmaJob] = None
+        self._run_started = 0.0
+        self._token = 0
+        sim.schedule(0.0, self._next_slot)
+
+    @property
+    def cycle(self) -> float:
+        return sum(length for _, length in self._slots)
+
+    def add_task(self, owner: str, exec_time: float) -> None:
+        """Declare the per-activation execution demand of a slot owner."""
+        if owner not in self._queues:
+            raise ModelError(f"no slot for owner {owner!r}")
+        if exec_time <= 0:
+            raise ModelError("exec_time must be positive")
+        self._exec_time[owner] = exec_time
+
+    def activate(self, owner: str) -> None:
+        """Release one job of *owner* at the current time."""
+        if owner not in self._exec_time:
+            raise ModelError(f"unknown or undeclared owner {owner!r}")
+        self._queues[owner].append(
+            _TdmaJob(owner, self._sim.now, self._exec_time[owner]))
+        self._try_start()
+
+    def backlog(self, owner: str) -> int:
+        queued = len(self._queues[owner])
+        if self._running is not None and self._running.owner == owner:
+            queued += 1
+        return queued
+
+    # ------------------------------------------------------------------
+    def _next_slot(self) -> None:
+        self._pause_running()
+        owner, length = self._slots[self._slot_index]
+        self._slot_index = (self._slot_index + 1) % len(self._slots)
+        self._current_owner = owner
+        self._slot_end = self._sim.now + length
+        self._sim.schedule(self._slot_end, self._next_slot)
+        self._try_start()
+
+    def _pause_running(self) -> None:
+        if self._running is None:
+            return
+        job = self._running
+        job.remaining -= self._sim.now - self._run_started
+        self._running = None
+        self._token += 1  # invalidate the scheduled completion
+        if job.remaining > 1e-12:
+            self._queues[job.owner].appendleft(job)
+        else:
+            # Completion coincides with the slot boundary.
+            self._recorder.record(job.owner, job.activation, self._sim.now)
+
+    def _try_start(self) -> None:
+        if self._running is not None or self._current_owner is None:
+            return
+        queue = self._queues[self._current_owner]
+        if not queue:
+            return
+        now = self._sim.now
+        if now >= self._slot_end - 1e-12:
+            return
+        job = queue.popleft()
+        self._running = job
+        self._run_started = now
+        finish = now + job.remaining
+        if finish <= self._slot_end + 1e-12:
+            self._token += 1
+            token = self._token
+            self._sim.schedule(finish, lambda: self._complete(token))
+        # else: the slot-boundary event will pause and re-queue the job.
+
+    def _complete(self, token: int) -> None:
+        if token != self._token or self._running is None:
+            return
+        job = self._running
+        self._running = None
+        self._recorder.record(job.owner, job.activation, self._sim.now)
+        self._try_start()

@@ -1,0 +1,47 @@
+"""System graph and global compositional analysis engine."""
+
+from .junctions import (
+    and_join_buffer_bound,
+    check_and_join_rates,
+    decompose_multi_input,
+)
+from .model import (
+    Junction,
+    JunctionKind,
+    Resource,
+    Source,
+    System,
+    Task,
+)
+from .path import PathLatency, path_latency
+from .propagation import DEFAULT_MAX_ITERATIONS, analyze_system
+from .serialize import (
+    model_from_dict,
+    model_to_dict,
+    scheduler_from_dict,
+    scheduler_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "System",
+    "Source",
+    "Task",
+    "Resource",
+    "Junction",
+    "JunctionKind",
+    "analyze_system",
+    "DEFAULT_MAX_ITERATIONS",
+    "path_latency",
+    "PathLatency",
+    "check_and_join_rates",
+    "and_join_buffer_bound",
+    "decompose_multi_input",
+    "system_to_dict",
+    "system_from_dict",
+    "model_to_dict",
+    "model_from_dict",
+    "scheduler_to_dict",
+    "scheduler_from_dict",
+]

@@ -1,0 +1,251 @@
+"""Global compositional analysis: the fixed-point iteration.
+
+This is the system-level loop the paper describes in its introduction:
+
+    "in each global iteration of the compositional system level analysis,
+     local analysis is performed for each component to derive response
+     times and the timing of output event streams.  Afterwards, the
+     calculated output event streams are propagated to the connected
+     components, where they are used as input event streams for the
+     subsequent global iteration."
+
+The engine resolves every task's activating event model from the stream
+graph (applying junction constructors — including the hierarchical pack
+constructor and the unpack deconstructor — on the way), runs each
+resource's local analysis, derives output models through Θ_τ (with inner
+updates for hierarchical streams), and repeats until both response times
+and propagated event models are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .._errors import ConvergenceError, ModelError
+from ..analysis.interface import TaskSpec
+from ..analysis.results import ResourceResult, SystemResult, TaskResult
+from ..core.constructors import hsc_and, hsc_or, hsc_pack
+from ..core.deconstruct import unpack_signal
+from ..core.hem import is_hierarchical
+from ..core.update import BusyWindowOutput, apply_operation
+from ..eventmodels.base import EventModel, models_equal
+from ..eventmodels.curves import CachedModel
+from ..eventmodels.operations import and_join, or_join
+from ..timebase import EPS
+from .model import Junction, JunctionKind, System, Task
+
+#: Default bound on global iterations before declaring divergence.
+DEFAULT_MAX_ITERATIONS = 64
+
+#: Event-count range on which propagated models are compared for
+#: convergence.
+CONVERGENCE_CHECK_N = 32
+
+
+class _StreamResolver:
+    """Resolves the event model present at any output port of the graph
+    for one global iteration, with memoisation and cycle detection."""
+
+    def __init__(self, system: System,
+                 responses: "Dict[str, TaskResult]",
+                 initial_outputs: "Dict[str, EventModel]"):
+        self._system = system
+        self._responses = responses
+        self._initial = initial_outputs
+        self._cache: "Dict[str, EventModel]" = {}
+        self._visiting: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def port(self, port: str) -> EventModel:
+        """Event model observable at *port* this iteration."""
+        cached = self._cache.get(port)
+        if cached is not None:
+            return cached
+        model = self._resolve(port)
+        self._cache[port] = model
+        return model
+
+    def _resolve(self, port: str) -> EventModel:
+        system = self._system
+        node = system.producer_of(port)
+        if node in system.sources:
+            return system.sources[node].model
+        if node in system.junctions:
+            return self._resolve_junction(system.junctions[node], port)
+        return self._resolve_task_output(system.tasks[node])
+
+    # ------------------------------------------------------------------
+    def _resolve_junction(self, junction: Junction,
+                          port: str) -> EventModel:
+        key = f"junction:{junction.name}"
+        if key in self._visiting:
+            raise ModelError(
+                f"dependency cycle through junction {junction.name!r}")
+        self._visiting.add(key)
+        try:
+            if junction.kind is JunctionKind.UNPACK:
+                upstream = self.port(junction.inputs[0])
+                if not is_hierarchical(upstream):
+                    raise ModelError(
+                        f"unpack junction {junction.name}: input stream "
+                        f"is flat")
+                if port == junction.name:
+                    # the unadorned port exposes the outer stream
+                    return upstream.outer
+                label = port[len(junction.name) + 1:]
+                return unpack_signal(upstream, label)
+
+            inputs = {name: self.port(name) for name in junction.inputs}
+            if junction.kind is JunctionKind.PACK:
+                timer = (self._system.sources[junction.timer].model
+                         if junction.timer is not None else None)
+                signals = {name: (model, junction.properties[name])
+                           for name, model in inputs.items()}
+                return hsc_pack(signals, timer=timer, name=junction.name)
+            if junction.kind is JunctionKind.OR:
+                return hsc_or(inputs, name=junction.name)
+            if junction.kind is JunctionKind.AND:
+                return hsc_and(inputs, name=junction.name)
+            raise ModelError(
+                f"junction {junction.name}: unsupported kind "
+                f"{junction.kind}")
+        finally:
+            self._visiting.discard(key)
+
+    # ------------------------------------------------------------------
+    def _resolve_task_output(self, task: Task) -> EventModel:
+        key = f"task:{task.name}"
+        if key in self._visiting:
+            # Dependency cycle: cut it with the previous iteration's
+            # output (or a user-provided initial model).
+            fallback = self._initial.get(task.name)
+            if fallback is None:
+                raise ModelError(
+                    f"dependency cycle through task {task.name!r}; "
+                    f"provide an initial output model to cut it")
+            return fallback
+        self._visiting.add(key)
+        try:
+            activation = self.activation_model(task)
+        finally:
+            self._visiting.discard(key)
+        result = self._responses.get(task.name)
+        if result is not None:
+            r_min, r_max = result.r_min, result.r_max
+        else:
+            # First iteration: optimistic seed — the task responds within
+            # its own execution-time interval.
+            r_min, r_max = task.c_min, task.c_max
+        op = BusyWindowOutput(r_min, r_max)
+        return apply_operation(activation, op)
+
+    # ------------------------------------------------------------------
+    def activation_model(self, task: Task) -> EventModel:
+        """The stream that activates *task* (combining multiple inputs
+        per the task's activation semantics)."""
+        models = [self.port(p) for p in task.inputs]
+        if len(models) == 1:
+            return models[0]
+        flat = [m.outer if is_hierarchical(m) else m for m in models]
+        if task.activation == "and":
+            return and_join(flat, name=f"{task.name}.act")
+        return or_join(flat, name=f"{task.name}.act")
+
+
+def analyze_system(system: System,
+                   max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                   initial_outputs: "Optional[Dict[str, EventModel]]" = None,
+                   ) -> SystemResult:
+    """Run the global compositional fixed-point analysis.
+
+    Parameters
+    ----------
+    system:
+        The system graph; validated before the first iteration.
+    max_iterations:
+        Bound on global iterations; exceeding it raises
+        :class:`~repro._errors.ConvergenceError` (response times that keep
+        growing indicate an overloaded or ill-conditioned system).
+    initial_outputs:
+        Optional seed output models for tasks inside dependency cycles.
+        Seed *every* task of a cycle — which member the resolver revisits
+        first depends on its traversal entry point.  After the first
+        iteration all task outputs serve as their own seeds.
+
+    Returns
+    -------
+    :class:`~repro.analysis.results.SystemResult`
+    """
+    system.validate()
+    responses: "Dict[str, TaskResult]" = {}
+    prev_models: "Dict[str, EventModel]" = {}
+    cycle_seeds: "Dict[str, EventModel]" = dict(initial_outputs or {})
+    resource_results: "Dict[str, ResourceResult]" = {}
+
+    for iteration in range(1, max_iterations + 1):
+        resolver = _StreamResolver(system, responses, cycle_seeds)
+
+        # Local analysis per resource.
+        new_resource_results: "Dict[str, ResourceResult]" = {}
+        for resource in system.resources.values():
+            tasks = system.tasks_on(resource.name)
+            if not tasks:
+                continue
+            specs = [
+                TaskSpec(name=t.name, c_min=t.c_min, c_max=t.c_max,
+                         event_model=resolver.activation_model(t),
+                         priority=t.priority, slot=t.slot,
+                         deadline=t.deadline, blocking=t.blocking)
+                for t in tasks
+            ]
+            new_resource_results[resource.name] = \
+                resource.scheduler.analyze(specs, resource.name)
+
+        # Gather new responses and check convergence.
+        new_responses: "Dict[str, TaskResult]" = {}
+        for rr in new_resource_results.values():
+            new_responses.update(rr.task_results)
+
+        stable = _responses_stable(responses, new_responses)
+        responses = new_responses
+        resource_results = new_resource_results
+
+        # Propagate: compute every task's output model with the *new*
+        # responses and compare with the previous iteration's models.
+        resolver = _StreamResolver(system, responses, cycle_seeds)
+        new_models: "Dict[str, EventModel]" = {}
+        for task_name in system.tasks:
+            out = resolver.port(task_name)
+            new_models[task_name] = CachedModel(out, name=f"{task_name}.out")
+            # Cycle seeds advance with the iteration.
+            cycle_seeds[task_name] = new_models[task_name]
+
+        if stable and _models_stable(prev_models, new_models):
+            return SystemResult(iterations=iteration, converged=True,
+                                resource_results=resource_results)
+        prev_models = new_models
+
+    raise ConvergenceError(
+        f"global analysis did not converge within {max_iterations} "
+        f"iterations")
+
+
+def _responses_stable(old: "Dict[str, TaskResult]",
+                      new: "Dict[str, TaskResult]") -> bool:
+    if set(old) != set(new):
+        return False
+    for name, result in new.items():
+        prev = old[name]
+        if abs(prev.r_max - result.r_max) > EPS:
+            return False
+        if abs(prev.r_min - result.r_min) > EPS:
+            return False
+    return True
+
+
+def _models_stable(old: "Dict[str, EventModel]",
+                   new: "Dict[str, EventModel]") -> bool:
+    if set(old) != set(new):
+        return False
+    return all(models_equal(old[k], new[k], n_max=CONVERGENCE_CHECK_N)
+               for k in new)

@@ -1,0 +1,186 @@
+"""System serialisation: dump/load system graphs as plain dicts.
+
+Enables config-driven analysis (JSON/TOML system descriptions checked
+into a repo) and golden-file testing.  Schedulers and event models are
+encoded by type tags; arbitrary curve models are sampled via
+:func:`repro.eventmodels.freeze` before encoding, which keeps the format
+closed under every model the engine can produce (at the documented
+conservative-extension precision).
+
+Round trip: ``system_from_dict(system_to_dict(s))`` reproduces an
+equivalent system (same analysis results).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .._errors import ModelError
+from ..analysis.edf import EDFScheduler
+from ..analysis.interface import Scheduler
+from ..analysis.resource_model import (
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+)
+from ..analysis.round_robin import RoundRobinScheduler
+from ..analysis.spnp import SPNPScheduler
+from ..analysis.spp import SPPScheduler
+from ..analysis.tdma import TDMAScheduler
+from ..core.constructors import TransferProperty
+from ..eventmodels.base import EventModel
+from ..eventmodels.curves import CurveEventModel, freeze
+from ..eventmodels.standard import StandardEventModel
+from .model import JunctionKind, System
+
+#: Sampling depth when an arbitrary event model must be frozen.
+FREEZE_N = 64
+
+
+# ----------------------------------------------------------------------
+# event models
+# ----------------------------------------------------------------------
+def model_to_dict(model: EventModel) -> "Dict[str, Any]":
+    if isinstance(model, StandardEventModel):
+        return {
+            "type": "standard",
+            "period": model.period,
+            "jitter": model.jitter,
+            "d_min": model.d_min,
+            "sporadic": model.sporadic,
+            "name": model.name,
+        }
+    if not isinstance(model, CurveEventModel):
+        model = freeze(model, n_max=FREEZE_N)
+    return {
+        "type": "curve",
+        "delta_min": list(model._dmin),
+        "delta_plus": list(model._dplus),
+        "n_period": model._n_period,
+        "t_period": model._t_period,
+        "name": model.name,
+    }
+
+
+def model_from_dict(data: "Dict[str, Any]") -> EventModel:
+    kind = data.get("type")
+    if kind == "standard":
+        return StandardEventModel(
+            data["period"], data["jitter"], data["d_min"],
+            sporadic=data.get("sporadic", False),
+            name=data.get("name", "sem"))
+    if kind == "curve":
+        return CurveEventModel(
+            data["delta_min"], data["delta_plus"],
+            n_period=data.get("n_period"),
+            t_period=data.get("t_period"),
+            name=data.get("name", "curve"))
+    raise ModelError(f"unknown event-model type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+def scheduler_to_dict(scheduler: Scheduler) -> "Dict[str, Any]":
+    if isinstance(scheduler, HierarchicalSPPScheduler):
+        return {"policy": "hspp",
+                "server_period": scheduler.server.period,
+                "server_budget": scheduler.server.budget}
+    if isinstance(scheduler, SPPScheduler):
+        return {"policy": "spp",
+                "utilization_limit": scheduler.utilization_limit}
+    if isinstance(scheduler, SPNPScheduler):
+        return {"policy": "spnp",
+                "utilization_limit": scheduler.utilization_limit}
+    if isinstance(scheduler, RoundRobinScheduler):
+        return {"policy": "round_robin",
+                "utilization_limit": scheduler.utilization_limit}
+    if isinstance(scheduler, TDMAScheduler):
+        return {"policy": "tdma"}
+    if isinstance(scheduler, EDFScheduler):
+        return {"policy": "edf",
+                "utilization_limit": scheduler.utilization_limit}
+    raise ModelError(
+        f"scheduler {type(scheduler).__name__} has no serialisation")
+
+
+def scheduler_from_dict(data: "Dict[str, Any]") -> Scheduler:
+    policy = data.get("policy")
+    if policy == "spp":
+        return SPPScheduler(data.get("utilization_limit", 1.0))
+    if policy == "spnp":
+        return SPNPScheduler(data.get("utilization_limit", 1.0))
+    if policy == "round_robin":
+        return RoundRobinScheduler(data.get("utilization_limit", 1.0))
+    if policy == "tdma":
+        return TDMAScheduler()
+    if policy == "edf":
+        return EDFScheduler(data.get("utilization_limit", 1.0))
+    if policy == "hspp":
+        return HierarchicalSPPScheduler(PeriodicResource(
+            data["server_period"], data["server_budget"]))
+    raise ModelError(f"unknown scheduler policy {policy!r}")
+
+
+# ----------------------------------------------------------------------
+# whole systems
+# ----------------------------------------------------------------------
+def system_to_dict(system: System) -> "Dict[str, Any]":
+    """Serialise a system graph to a JSON-compatible dict."""
+    return {
+        "name": system.name,
+        "sources": {
+            name: model_to_dict(src.model)
+            for name, src in system.sources.items()
+        },
+        "resources": {
+            name: scheduler_to_dict(res.scheduler)
+            for name, res in system.resources.items()
+        },
+        "tasks": {
+            name: {
+                "resource": t.resource,
+                "c_min": t.c_min,
+                "c_max": t.c_max,
+                "inputs": list(t.inputs),
+                "priority": t.priority,
+                "slot": t.slot,
+                "deadline": t.deadline,
+                "activation": t.activation,
+                "blocking": t.blocking,
+            }
+            for name, t in system.tasks.items()
+        },
+        "junctions": {
+            name: {
+                "kind": j.kind.value,
+                "inputs": list(j.inputs),
+                "properties": {k: v.value
+                               for k, v in j.properties.items()},
+                "timer": j.timer,
+            }
+            for name, j in system.junctions.items()
+        },
+    }
+
+
+def system_from_dict(data: "Dict[str, Any]") -> System:
+    """Rebuild a system graph from :func:`system_to_dict` output."""
+    system = System(data.get("name", "system"))
+    for name, model_data in data.get("sources", {}).items():
+        system.add_source(name, model_from_dict(model_data))
+    for name, sched_data in data.get("resources", {}).items():
+        system.add_resource(name, scheduler_from_dict(sched_data))
+    for name, t in data.get("tasks", {}).items():
+        system.add_task(name, t["resource"], (t["c_min"], t["c_max"]),
+                        t["inputs"], priority=t.get("priority", 0),
+                        slot=t.get("slot"), deadline=t.get("deadline"),
+                        activation=t.get("activation", "or"),
+                        blocking=t.get("blocking", 0.0))
+    for name, j in data.get("junctions", {}).items():
+        system.add_junction(
+            name, JunctionKind(j["kind"]), j["inputs"],
+            properties={k: TransferProperty(v)
+                        for k, v in j.get("properties", {}).items()},
+            timer=j.get("timer"))
+    system.validate()
+    return system

@@ -1,0 +1,14 @@
+"""Reporting helpers: ASCII charts, CSV series, text tables."""
+
+from .ascii import eta_plus_series, render_step_chart, series_to_csv
+from .gantt import gantt_from_recorder, render_gantt
+from .tables import render_table
+
+__all__ = [
+    "eta_plus_series",
+    "render_step_chart",
+    "series_to_csv",
+    "render_table",
+    "render_gantt",
+    "gantt_from_recorder",
+]

@@ -1,0 +1,80 @@
+"""ASCII rendering of arrival curves and step functions.
+
+No plotting backend is assumed (the benchmarks run headless); curves are
+rendered as monospace step charts good enough to eyeball the paper's
+Figure 4, and exported as CSV series for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .._errors import ModelError
+from ..eventmodels.base import EventModel
+
+Series = List[Tuple[float, int]]
+
+
+def eta_plus_series(model: EventModel, t_max: float,
+                    step: float) -> Series:
+    """Sampled η⁺ curve of one model."""
+    return model.eta_plus_series(t_max, step)
+
+
+def render_step_chart(series_by_label: "Dict[str, Series]",
+                      width: int = 72, height: int = 18,
+                      title: str = "") -> str:
+    """Render several step series into one ASCII chart.
+
+    Each series gets a distinct marker; values are bucketed onto a
+    character grid.  Later series draw over earlier ones, so order the
+    most interesting curve last.
+    """
+    if not series_by_label:
+        raise ModelError("nothing to render")
+    markers = "#*o+x%@&"
+    all_points = [p for s in series_by_label.values() for p in s]
+    if not all_points:
+        raise ModelError("all series empty")
+    t_max = max(p[0] for p in all_points)
+    y_max = max(p[1] for p in all_points)
+    if t_max <= 0 or y_max <= 0:
+        raise ModelError("degenerate axes")
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, series) in enumerate(series_by_label.items()):
+        mark = markers[idx % len(markers)]
+        for t, y in series:
+            col = min(width - 1, int(round(t / t_max * (width - 1))))
+            row = min(height - 1, int(round(y / y_max * (height - 1))))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"eta+ (max {y_max})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" 0{'':>{width - 12}}dt = {t_max:g}")
+    for idx, label in enumerate(series_by_label):
+        lines.append(f"  {markers[idx % len(markers)]} {label}")
+    return "\n".join(lines)
+
+
+def series_to_csv(series_by_label: "Dict[str, Series]") -> str:
+    """All series on a shared Δt axis as CSV text (for external tools)."""
+    if not series_by_label:
+        raise ModelError("nothing to export")
+    labels = list(series_by_label)
+    axis = sorted({t for s in series_by_label.values() for t, _ in s})
+    lookup = {label: dict(series)
+              for label, series in series_by_label.items()}
+    lines = ["dt," + ",".join(labels)]
+    for t in axis:
+        row = [f"{t:g}"]
+        for label in labels:
+            value = lookup[label].get(t)
+            row.append("" if value is None else str(value))
+        lines.append(",".join(row))
+    return "\n".join(lines)

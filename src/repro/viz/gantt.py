@@ -1,0 +1,60 @@
+"""ASCII Gantt charts for simulator traces.
+
+Renders per-task job intervals (activation → completion) on a shared
+monospace timeline — handy for eyeballing preemption/arbitration
+behaviour of a :class:`~repro.sim.measure.ResponseRecorder` run.
+
+Each row shows a task; ``#`` marks time buckets where a job of the task
+was in flight (queued or running — the recorder only knows activation
+and completion), ``.`` marks idle buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .._errors import ModelError
+from ..sim.measure import ResponseRecorder
+
+Interval = Tuple[float, float]
+
+
+def render_gantt(jobs_by_task: "Dict[str, List[Interval]]",
+                 t_start: float = 0.0, t_end: float = None,
+                 width: int = 72) -> str:
+    """Render (activation, completion) intervals as a Gantt chart."""
+    if not jobs_by_task:
+        raise ModelError("nothing to render")
+    spans = [iv for ivs in jobs_by_task.values() for iv in ivs]
+    if not spans:
+        raise ModelError("no jobs recorded")
+    if t_end is None:
+        t_end = max(c for _, c in spans)
+    if t_end <= t_start:
+        raise ModelError("empty time range")
+    scale = (t_end - t_start) / width
+
+    label_width = max(len(name) for name in jobs_by_task)
+    lines = []
+    for name in sorted(jobs_by_task):
+        row = ["."] * width
+        for activation, completion in jobs_by_task[name]:
+            lo = max(0, int((activation - t_start) / scale))
+            hi = min(width - 1, int((completion - t_start) / scale))
+            if completion <= t_start or activation >= t_end:
+                continue
+            for col in range(lo, hi + 1):
+                row[col] = "#"
+        lines.append(f"{name.rjust(label_width)} |{''.join(row)}|")
+    axis = (f"{' ' * label_width} "
+            f"{t_start:<10g}{'':>{max(0, width - 18)}}{t_end:>8g}")
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def gantt_from_recorder(recorder: ResponseRecorder,
+                        t_start: float = 0.0, t_end: float = None,
+                        width: int = 72) -> str:
+    """Gantt chart straight from a simulation's response recorder."""
+    jobs = {task: recorder.jobs(task) for task in recorder.tasks()}
+    return render_gantt(jobs, t_start=t_start, t_end=t_end, width=width)

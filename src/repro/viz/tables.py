@@ -1,0 +1,35 @@
+"""Plain-text result tables (markdown-ish) for reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 floatfmt: str = ".1f") -> str:
+    """Render a list of rows as an aligned markdown table.
+
+    Floats are formatted with *floatfmt*; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    text_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w)
+                                 for c, w in zip(cells, widths)) + " |"
+
+    out = [line(list(headers)),
+           "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)

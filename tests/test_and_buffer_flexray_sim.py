@@ -1,0 +1,94 @@
+"""AND-join buffering bounds and FlexRay-vs-simulator cross-checks."""
+
+import pytest
+
+from repro._errors import AnalysisError, ModelError
+from repro.analysis import TaskSpec
+from repro.eventmodels import periodic, periodic_with_jitter
+from repro.flexray import FlexRayConfig, FlexRayStaticScheduler
+from repro.sim import (
+    ResponseRecorder,
+    Simulator,
+    TdmaSim,
+    worst_case_arrivals,
+)
+from repro.system import and_join_buffer_bound
+
+
+class TestAndJoinBufferBound:
+    def test_synchronous_same_rate(self):
+        # Equal periodic streams: at most one token waits.
+        bound = and_join_buffer_bound([periodic(100.0), periodic(100.0)])
+        assert bound == 1
+
+    def test_jitter_builds_backlog(self):
+        # One stream can run a jitter-burst ahead of its partner.
+        fast = periodic_with_jitter(100.0, 250.0)
+        bound = and_join_buffer_bound([fast, periodic(100.0)])
+        # With J = 250 the fast stream can be ~ (J + P) / P events
+        # ahead of the guaranteed partner count.
+        assert bound >= 3
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ModelError):
+            and_join_buffer_bound([periodic(10.0)])
+
+    def test_diverging_rates_detected(self):
+        with pytest.raises(AnalysisError):
+            and_join_buffer_bound([periodic(50.0), periodic(100.0)])
+
+    def test_sporadic_partner_unbounded(self):
+        from repro.eventmodels import sporadic
+        with pytest.raises(AnalysisError):
+            and_join_buffer_bound([periodic(100.0), sporadic(100.0)])
+
+
+class TestFlexRayAgainstTdmaSim:
+    """The static segment is a TDMA table: one slot per frame plus an
+    idle remainder.  Driving the TDMA simulator with that table must
+    stay within the FlexRay analysis bounds."""
+
+    CYCLE = 1000.0
+    SLOT = 50.0
+
+    def _analysis(self, em, wire):
+        scheduler = FlexRayStaticScheduler(
+            FlexRayConfig(self.CYCLE, self.SLOT, 10, bit_time=0.1))
+        specs = [TaskSpec("f", wire, wire, em, slot=0)]
+        return scheduler.analyze(specs)["f"]
+
+    def _simulate(self, em, wire, horizon=40_000.0):
+        sim = Simulator()
+        rec = ResponseRecorder()
+        # Slot 0 owned by the frame; the rest of the cycle is idle.
+        tdma = TdmaSim(sim, rec, [("f", self.SLOT),
+                                  ("idle", self.CYCLE - self.SLOT)])
+        tdma.add_task("f", wire)
+        tdma.add_task("idle", 1.0)
+        # Critical instant: activation right after the slot closes.
+        for t in worst_case_arrivals(em, horizon, phase=self.SLOT):
+            sim.schedule(t, lambda: tdma.activate("f"))
+        sim.run_until(horizon * 2)
+        return rec
+
+    def test_periodic_frame_conservative(self):
+        em = periodic(2000.0)
+        bound = self._analysis(em, 10.0).r_max
+        rec = self._simulate(em, 10.0)
+        assert rec.count("f") > 15
+        assert rec.worst_case("f") <= bound + 1e-6
+
+    def test_jittered_frame_conservative(self):
+        em = periodic_with_jitter(2200.0, 1800.0)
+        bound = self._analysis(em, 10.0).r_max
+        rec = self._simulate(em, 10.0)
+        assert rec.count("f") > 10
+        assert rec.worst_case("f") <= bound + 1e-6
+
+    def test_sim_actually_stresses_the_bound(self):
+        # The observed worst case comes close to the analytic bound
+        # (within one slot length) — the bound is tight, not vacuous.
+        em = periodic(2000.0)
+        bound = self._analysis(em, 10.0).r_max
+        rec = self._simulate(em, 10.0)
+        assert rec.worst_case("f") >= bound - self.SLOT

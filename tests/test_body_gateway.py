@@ -1,0 +1,99 @@
+"""Integration tests on the two-bus body/powertrain case study."""
+
+import pytest
+
+from repro.analysis import backlog_bound
+from repro.examples_lib.body_gateway import (
+    DISPLAY_TASKS,
+    PATHS,
+    SIGNALS,
+    build,
+)
+from repro.system import (
+    analyze_system,
+    path_latency,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def state():
+    system = build()
+    return system, analyze_system(system)
+
+
+class TestConvergence:
+    def test_converges(self, state):
+        _, result = state
+        assert result.converged
+        assert result.iterations <= 10
+
+    def test_all_tasks_have_results(self, state):
+        system, result = state
+        for task in system.tasks:
+            assert result.wcrt(task) is not None
+
+    def test_bus_utilisations_sane(self, state):
+        _, result = state
+        for bus in ("CAN_P", "CAN_B"):
+            assert 0 < result.resource_results[bus].utilization < 1
+
+
+class TestChainThroughGateway:
+    def test_gateway_chain_ordering(self, state):
+        # The fused status can never respond before the powertrain frame
+        # that feeds it completes its own busy window.
+        _, result = state
+        assert result.wcrt("gw_fuse") >= result.wcrt("PT_FAST") - 1e-9 \
+            or result.wcrt("gw_fuse") > 0
+
+    def test_display_priorities_order_wcrt(self, state):
+        _, result = state
+        wcrts = [result.wcrt(t) for t in
+                 ("show_rpm", "show_speed", "show_doors",
+                  "show_climate")]
+        assert wcrts == sorted(wcrts)
+
+    def test_path_latencies(self, state):
+        system, result = state
+        for name, path in PATHS.items():
+            lat = path_latency(system, result, path)
+            assert lat.worst_case > lat.best_case > 0
+
+    def test_rpm_path_bounded_by_sum(self, state):
+        system, result = state
+        lat = path_latency(system, result, PATHS["rpm_to_display"])
+        expected = (result.wcrt("PT_FAST") + result.wcrt("gw_fuse")
+                    + result.wcrt("GW_STATUS") + result.wcrt("show_rpm"))
+        assert lat.worst_case == pytest.approx(expected)
+
+
+class TestToolingOnCaseStudy:
+    def test_serialisation_round_trip(self, state):
+        system, result = state
+        clone = system_from_dict(system_to_dict(system))
+        clone_result = analyze_system(clone)
+        for task in DISPLAY_TASKS:
+            assert clone_result.wcrt(task) == pytest.approx(
+                result.wcrt(task))
+
+    def test_backlog_bounds_finite(self, state):
+        system, result = state
+        for frame in ("PT_FAST", "BODY_DOORS"):
+            tr = result.task_result(frame)
+            # frame activation model: rebuild via resolver
+            from repro.system.propagation import _StreamResolver
+            responses = {}
+            for rr in result.resource_results.values():
+                responses.update(rr.task_results)
+            resolver = _StreamResolver(system, responses, {})
+            act = resolver.activation_model(system.tasks[frame])
+            assert backlog_bound(tr, act) >= 1
+
+    def test_describe_covers_everything(self, state):
+        system, _ = state
+        text = system.describe()
+        for node in ("gw_fuse", "GW_STATUS", "CAN_P", "CAN_B",
+                     "BODY_DOORS_pack"):
+            assert node in text

@@ -1,0 +1,79 @@
+"""Unit tests for the bounded-delay resource abstraction."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.analysis import (
+    BoundedDelayResource,
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+    TaskSpec,
+)
+from repro.eventmodels import periodic
+
+
+class TestBoundedDelayResource:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BoundedDelayResource(0.0, 10.0)
+        with pytest.raises(ModelError):
+            BoundedDelayResource(1.5, 10.0)
+        with pytest.raises(ModelError):
+            BoundedDelayResource(0.5, -1.0)
+
+    def test_sbf_shape(self):
+        r = BoundedDelayResource(0.5, 20.0)
+        assert r.sbf(10.0) == 0.0
+        assert r.sbf(20.0) == 0.0
+        assert r.sbf(40.0) == pytest.approx(10.0)
+
+    def test_sbf_inverse_roundtrip(self):
+        r = BoundedDelayResource(0.25, 30.0)
+        for demand in (0.5, 1.0, 10.0, 100.0):
+            t = r.sbf_inverse(demand)
+            assert r.sbf(t) == pytest.approx(demand)
+
+    def test_full_bandwidth_zero_delay_is_dedicated(self):
+        r = BoundedDelayResource(1.0, 0.0)
+        for t in (0.0, 5.0, 123.4):
+            assert r.sbf(t) == t
+
+    def test_covering_periodic_resource(self):
+        server = PeriodicResource(100.0, 40.0)
+        cover = BoundedDelayResource.covering(server)
+        assert cover.alpha == pytest.approx(0.4)
+        assert cover.delay == pytest.approx(120.0)
+        # Conservative: the linear bound never exceeds the exact sbf.
+        t = 0.0
+        while t < 1000.0:
+            assert cover.sbf(t) <= server.sbf(t) + 1e-9
+            t += 7.3
+
+
+class TestSchedulerWithBoundedDelay:
+    def _tasks(self):
+        return [
+            TaskSpec("a", 5.0, 5.0, periodic(100.0), priority=1),
+            TaskSpec("b", 10.0, 10.0, periodic(200.0), priority=2),
+        ]
+
+    def test_analysis_runs(self):
+        server = BoundedDelayResource(0.4, 120.0)
+        result = HierarchicalSPPScheduler(server).analyze(
+            self._tasks(), "p")
+        # a: sbf_inverse(5) = 120 + 12.5 = 132.5.
+        assert result["a"].r_max == pytest.approx(132.5)
+
+    def test_covering_is_more_pessimistic_than_exact(self):
+        server = PeriodicResource(100.0, 40.0)
+        exact = HierarchicalSPPScheduler(server).analyze(
+            self._tasks(), "p")
+        linear = HierarchicalSPPScheduler(
+            BoundedDelayResource.covering(server)).analyze(
+                self._tasks(), "p")
+        for name in ("a", "b"):
+            assert linear[name].r_max >= exact[name].r_max - 1e-9
+
+    def test_non_supply_object_rejected(self):
+        with pytest.raises(ModelError):
+            HierarchicalSPPScheduler(object())

@@ -1,0 +1,76 @@
+"""Unit tests for the shared busy-window machinery."""
+
+import pytest
+
+from repro._errors import NotSchedulableError
+from repro.analysis.busy_window import (
+    MAX_ACTIVATIONS,
+    fixed_point,
+    multi_activation_loop,
+)
+from repro.eventmodels import periodic, periodic_with_jitter
+
+
+class TestFixedPoint:
+    def test_constant_function(self):
+        assert fixed_point(lambda w: 42.0, 1.0) == 42.0
+
+    def test_classic_rta_workload(self):
+        # C=2 plus one interferer C=3 every 10: w = 2 + ceil-ish...
+        em = periodic(10.0)
+
+        def workload(w):
+            return 2.0 + em.eta_plus(w) * 3.0
+
+        assert fixed_point(workload, 2.0) == 5.0
+
+    def test_divergence_detected(self):
+        with pytest.raises(NotSchedulableError):
+            fixed_point(lambda w: w + 1.0, 0.0, limit=1e6)
+
+    def test_non_monotone_rejected(self):
+        values = iter([10.0, 5.0])
+        with pytest.raises(NotSchedulableError):
+            fixed_point(lambda w: next(values), 0.0)
+
+    def test_start_already_fixed(self):
+        assert fixed_point(lambda w: max(w, 7.0), 7.0) == 7.0
+
+
+class TestMultiActivationLoop:
+    def test_single_activation_window(self):
+        em = periodic(100.0)
+        r_max, busy, q = multi_activation_loop(em, lambda q: 10.0 * q)
+        assert r_max == 10.0
+        assert q == 1
+        assert busy == [10.0]
+
+    def test_window_extends_under_jitter(self):
+        # delta_min(2) = 0 with J >= P: second activation arrives
+        # immediately, keeping the window open.
+        em = periodic_with_jitter(100.0, 100.0)
+        r_max, busy, q = multi_activation_loop(em, lambda q: 30.0 * q)
+        # q=1: B=30 > delta(2)=0 -> continue; q=2: B=60 < delta(3)=100
+        # -> close.  Worst response: max(30 - 0, 60 - 0) = 60.
+        assert q == 2
+        assert r_max == 60.0
+
+    def test_response_subtracts_arrival(self):
+        em = periodic(50.0)
+        # busy time grows slower than arrivals -> only q=1 examined
+        r_max, _, q = multi_activation_loop(em, lambda q: 40.0 * q)
+        assert q == 1
+        assert r_max == 40.0
+
+    def test_custom_close_predicate(self):
+        em = periodic(10.0)
+        r_max, busy, q = multi_activation_loop(
+            em, lambda q: 5.0 * q, window_closes=lambda q, b: q >= 3)
+        assert q == 3
+        assert len(busy) == 3
+
+    def test_runaway_window_raises(self):
+        em = periodic_with_jitter(1.0, 1.0)
+        with pytest.raises(NotSchedulableError):
+            # busy time always exceeds the next arrival -> never closes
+            multi_activation_loop(em, lambda q: 10.0 * q)

@@ -1,0 +1,99 @@
+"""Unit tests for the CAN bit-timing and identifier substrate."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.can import (
+    CanBus,
+    CanBusTiming,
+    assign_by_deadline,
+    assign_by_period,
+    frame_bits_max,
+    frame_bits_min,
+    priority_order,
+    validate_identifiers,
+)
+
+
+class TestFrameBits:
+    def test_standard_8_bytes(self):
+        # Classic Davis et al. value: 8-byte standard frame, worst case
+        # 135 bits.
+        assert frame_bits_max(8) == 135
+
+    def test_standard_0_bytes(self):
+        assert frame_bits_max(0) == 34 + 13 + (34 - 1) // 4 == 55
+
+    def test_standard_min_no_stuffing(self):
+        assert frame_bits_min(8) == 34 + 64 + 13 == 111
+
+    def test_extended_larger(self):
+        assert frame_bits_max(8, extended_id=True) > frame_bits_max(8)
+
+    def test_extended_8_bytes(self):
+        # g = 54: 54 + 64 + 13 + floor(117/4) = 160
+        assert frame_bits_max(8, extended_id=True) == 160
+
+    def test_monotone_in_payload(self):
+        values = [frame_bits_max(s) for s in range(9)]
+        assert values == sorted(values)
+
+    def test_payload_out_of_range(self):
+        with pytest.raises(ModelError):
+            frame_bits_max(9)
+        with pytest.raises(ModelError):
+            frame_bits_min(-1)
+
+
+class TestBusTiming:
+    def test_bit_time_validation(self):
+        with pytest.raises(ModelError):
+            CanBusTiming(0.0)
+
+    def test_from_bitrate(self):
+        t = CanBusTiming.from_bitrate(2.0)
+        assert t.bit_time == 0.5
+
+    def test_transmission_times(self):
+        t = CanBusTiming(0.5)
+        assert t.transmission_time_max(4) == frame_bits_max(4) * 0.5
+        assert t.transmission_time_min(4) == frame_bits_min(4) * 0.5
+
+    def test_min_below_max(self):
+        t = CanBusTiming(1.0)
+        for s in range(9):
+            assert t.transmission_time_min(s) < t.transmission_time_max(s)
+
+    def test_canbus_frame_time(self):
+        bus = CanBus.from_bitrate("b", 2.0)
+        lo, hi = bus.frame_time(2)
+        assert lo < hi
+
+
+class TestIdentifiers:
+    def test_validate_ok(self):
+        validate_identifiers({"a": 1, "b": 2})
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ModelError):
+            validate_identifiers({"a": 1, "b": 1})
+
+    def test_range_standard(self):
+        with pytest.raises(ModelError):
+            validate_identifiers({"a": 0x800})
+
+    def test_range_extended_ok(self):
+        validate_identifiers({"a": 0x800}, extended=True)
+
+    def test_assign_by_deadline(self):
+        ids = assign_by_deadline({"slow": 100.0, "fast": 10.0})
+        assert ids["fast"] < ids["slow"]
+
+    def test_assign_by_period(self):
+        ids = assign_by_period({"x": 500.0, "y": 100.0, "z": 300.0})
+        assert priority_order(ids) == ["y", "z", "x"]
+
+    def test_deterministic_tie_break(self):
+        a = assign_by_period({"b": 100.0, "a": 100.0})
+        b = assign_by_period({"a": 100.0, "b": 100.0})
+        assert a == b

@@ -1,0 +1,222 @@
+"""Unit tests for the AUTOSAR-style COM layer."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.analysis import SPPScheduler
+from repro.can import CanBus, CanBusTiming
+from repro.com import (
+    ComLayer,
+    Frame,
+    FrameType,
+    Signal,
+    frame_activation_model,
+    pending_transport_model,
+    triggering_transport_model,
+)
+from repro.core import TransferProperty, is_hierarchical
+from repro.eventmodels import or_join, periodic
+from repro.system import System, analyze_system
+from repro.timebase import INF
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+class TestSignal:
+    def test_valid(self):
+        s = Signal("spd", 16, TRIG)
+        assert s.is_triggering and not s.is_pending
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ModelError):
+            Signal("x", 0)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ModelError):
+            Signal("x", 65)
+
+
+class TestFrame:
+    def test_payload_derived_from_signals(self):
+        f = Frame("f", FrameType.DIRECT,
+                  [Signal("a", 12, TRIG), Signal("b", 4, PEND)])
+        assert f.payload_bytes == 2
+
+    def test_payload_too_small_rejected(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.DIRECT, [Signal("a", 20, TRIG)],
+                  payload_bytes=1)
+
+    def test_payload_above_can_limit(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.DIRECT, [Signal("a", 8, TRIG)],
+                  payload_bytes=9)
+
+    def test_periodic_needs_period(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.PERIODIC, [Signal("a", 8, PEND)])
+
+    def test_direct_needs_trigger(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.DIRECT, [Signal("a", 8, PEND)])
+
+    def test_duplicate_signals_rejected(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.DIRECT,
+                  [Signal("a", 8, TRIG), Signal("a", 8, TRIG)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Frame("f", FrameType.DIRECT, [])
+
+    def test_has_timer(self):
+        direct = Frame("f", FrameType.DIRECT, [Signal("a", 8, TRIG)])
+        mixed = Frame("g", FrameType.MIXED, [Signal("b", 8, TRIG)],
+                      period=100.0)
+        assert not direct.has_timer
+        assert mixed.has_timer
+
+
+class TestEffectiveTransfer:
+    def test_periodic_frame_demotes_triggering(self):
+        # "When the frame type is periodic, frames are just sent
+        # periodically, not influenced by the arrival of output events."
+        sig = Signal("a", 8, TRIG)
+        f = Frame("f", FrameType.PERIODIC, [sig], period=100.0)
+        assert f.effective_transfer(sig) is PEND
+        assert f.triggering_signals() == []
+
+    def test_mixed_keeps_properties(self):
+        trig, pend = Signal("a", 8, TRIG), Signal("b", 8, PEND)
+        f = Frame("f", FrameType.MIXED, [trig, pend], period=100.0)
+        assert f.effective_transfer(trig) is TRIG
+        assert f.effective_transfer(pend) is PEND
+
+    def test_signal_lookup(self):
+        f = Frame("f", FrameType.DIRECT, [Signal("a", 8, TRIG)])
+        assert f.signal("a").name == "a"
+        with pytest.raises(ModelError):
+            f.signal("zzz")
+
+
+class TestTimingHelpers:
+    def test_triggering_transport_is_identity(self):
+        m = periodic(100.0)
+        assert triggering_transport_model(m) is m
+
+    def test_pending_transport_eq7(self):
+        signal = periodic(1000.0)
+        frames = periodic(250.0)
+        inner = pending_transport_model(signal, frames)
+        assert inner.delta_min(2) == pytest.approx(750.0)
+        assert inner.delta_plus(2) == INF
+
+    def test_frame_activation_or_with_timer(self):
+        f = Frame("f", FrameType.MIXED,
+                  [Signal("a", 8, TRIG), Signal("b", 8, PEND)],
+                  period=400.0)
+        act = frame_activation_model(f, {"a": periodic(100.0),
+                                         "b": periodic(300.0)})
+        ref = or_join([periodic(100.0), periodic(400.0)])
+        for n in range(2, 10):
+            assert act.delta_min(n) == pytest.approx(ref.delta_min(n))
+
+    def test_frame_activation_missing_model(self):
+        f = Frame("f", FrameType.DIRECT, [Signal("a", 8, TRIG)])
+        with pytest.raises(ModelError):
+            frame_activation_model(f, {})
+
+    def test_periodic_frame_activation_is_timer(self):
+        f = Frame("f", FrameType.PERIODIC, [Signal("a", 8, TRIG)],
+                  period=500.0)
+        act = frame_activation_model(f, {"a": periodic(100.0)})
+        assert act.delta_min(2) == 500.0
+
+
+class TestComLayer:
+    def _layer(self):
+        layer = ComLayer()
+        layer.add_frame(Frame("F1", FrameType.MIXED,
+                              [Signal("a", 8, TRIG), Signal("b", 8, PEND)],
+                              period=500.0, can_id=1))
+        layer.add_frame(Frame("F2", FrameType.DIRECT,
+                              [Signal("c", 8, TRIG)], can_id=2))
+        return layer
+
+    def test_duplicate_frame_rejected(self):
+        layer = self._layer()
+        with pytest.raises(ModelError):
+            layer.add_frame(Frame("F1", FrameType.DIRECT,
+                                  [Signal("z", 8, TRIG)], can_id=9))
+
+    def test_signal_in_two_frames_rejected(self):
+        layer = self._layer()
+        with pytest.raises(ModelError):
+            layer.add_frame(Frame("F3", FrameType.DIRECT,
+                                  [Signal("a", 8, TRIG)], can_id=3))
+
+    def test_frame_of_signal(self):
+        layer = self._layer()
+        assert layer.frame_of_signal("b").name == "F1"
+        with pytest.raises(ModelError):
+            layer.frame_of_signal("zzz")
+
+    def test_build_frame_hem(self):
+        layer = self._layer()
+        hem = layer.build_frame_hem("F1", {"a": periodic(100.0),
+                                           "b": periodic(300.0)})
+        assert is_hierarchical(hem)
+        assert set(hem.labels) == {"a", "b"}
+        assert hem.inner("b").delta_plus(2) == INF
+
+    def test_build_hem_missing_model(self):
+        layer = self._layer()
+        with pytest.raises(ModelError):
+            layer.build_frame_hem("F1", {"a": periodic(100.0)})
+
+    def test_total_payload(self):
+        assert self._layer().total_payload_bytes() == 3
+
+    def test_install_full_stack(self):
+        layer = self._layer()
+        system = System("s")
+        for name, period in (("a", 100.0), ("b", 300.0), ("c", 200.0)):
+            system.add_source(name, periodic(period, name))
+        bus = CanBus.from_bitrate("CAN", 2.0)
+        bus.install(system)
+        system.add_resource("CPU", SPPScheduler())
+        ports = layer.install(system, "CAN", bus.timing,
+                              {"a": "a", "b": "b", "c": "c"})
+        assert ports == {"a": "F1_rx.a", "b": "F1_rx.b", "c": "F2_rx.c"}
+        system.add_task("t", "CPU", (5.0, 5.0), [ports["a"]], priority=1)
+        result = analyze_system(system)
+        assert result.converged
+        assert result.wcrt("t") == 5.0
+
+    def test_install_missing_source(self):
+        layer = self._layer()
+        system = System("s")
+        system.add_source("a", periodic(100.0))
+        CanBus.from_bitrate("CAN", 2.0).install(system)
+        with pytest.raises(ModelError):
+            layer.install(system, "CAN", CanBusTiming(0.5), {"a": "a"})
+
+    def test_install_unknown_bus(self):
+        layer = self._layer()
+        with pytest.raises(ModelError):
+            layer.install(System("s"), "CAN", CanBusTiming(0.5), {})
+
+    def test_install_duplicate_can_id_rejected(self):
+        layer = ComLayer()
+        layer.add_frame(Frame("F1", FrameType.DIRECT,
+                              [Signal("a", 8, TRIG)], can_id=5))
+        layer.add_frame(Frame("F2", FrameType.DIRECT,
+                              [Signal("b", 8, TRIG)], can_id=5))
+        system = System("s")
+        system.add_source("a", periodic(100.0))
+        system.add_source("b", periodic(100.0))
+        CanBus.from_bitrate("CAN", 2.0).install(system)
+        with pytest.raises(ModelError):
+            layer.install(system, "CAN", CanBusTiming(0.5),
+                          {"a": "a", "b": "b"})

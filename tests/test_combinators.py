@@ -1,0 +1,102 @@
+"""Unit tests for the bound combinators (intersection / union)."""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import ModelError
+from repro.eventmodels import (
+    check_consistent,
+    intersect_bounds,
+    model_from_trace,
+    periodic,
+    periodic_with_jitter,
+    sporadic,
+    union_bounds,
+    verify_dominates,
+)
+
+
+class TestIntersection:
+    def test_refines_jitter(self):
+        loose = periodic_with_jitter(100.0, 50.0)
+        tight = periodic_with_jitter(100.0, 10.0)
+        meet = intersect_bounds([loose, tight])
+        for n in range(2, 12):
+            assert meet.delta_min(n) == tight.delta_min(n)
+            assert meet.delta_plus(n) == tight.delta_plus(n)
+
+    def test_sporadic_meets_periodic(self):
+        # Sporadic bound (no delta+ info) refined by periodic knowledge.
+        meet = intersect_bounds([sporadic(100.0), periodic(100.0)])
+        assert meet.delta_plus(2) == 100.0
+
+    def test_trace_refines_datasheet(self):
+        datasheet = periodic_with_jitter(100.0, 60.0)
+        trace = model_from_trace([0, 95, 200, 295, 400, 500])
+        meet = intersect_bounds([datasheet, trace])
+        assert meet.delta_min(2) >= trace.delta_min(2)
+        assert verify_dominates(datasheet, meet, n_max=5)
+
+    def test_contradiction_detected(self):
+        a = periodic(100.0)             # delta+(2) = 100
+        b = periodic(150.0)             # delta-(2) = 150 > 100
+        meet = intersect_bounds([a, b])
+        with pytest.raises(ModelError):
+            meet.delta_min(2)
+
+    def test_check_consistent(self):
+        assert check_consistent([periodic_with_jitter(100.0, 20.0),
+                                 periodic_with_jitter(100.0, 5.0)])
+        assert not check_consistent([periodic(100.0), periodic(150.0)])
+
+    def test_single_passthrough(self):
+        p = periodic(10.0)
+        assert intersect_bounds([p]) is p
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            intersect_bounds([])
+
+
+class TestUnion:
+    def test_covers_both_modes(self):
+        slow = periodic(200.0)
+        fast = periodic(100.0)
+        join = union_bounds([slow, fast])
+        assert verify_dominates(join, slow, n_max=24)
+        assert verify_dominates(join, fast, n_max=24)
+
+    def test_union_values(self):
+        join = union_bounds([periodic_with_jitter(100.0, 30.0),
+                             periodic(100.0)])
+        assert join.delta_min(2) == 70.0
+        assert join.delta_plus(2) == 130.0
+
+    def test_consistency(self):
+        join = union_bounds([periodic(100.0), periodic(130.0)])
+        assert_delta_consistent(join, n_max=24)
+
+    def test_single_passthrough(self):
+        p = periodic(10.0)
+        assert union_bounds([p]) is p
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            union_bounds([])
+
+
+class TestLatticeLaws:
+    def test_meet_below_join(self):
+        a = periodic_with_jitter(100.0, 30.0)
+        b = periodic_with_jitter(100.0, 10.0)
+        meet = intersect_bounds([a, b])
+        join = union_bounds([a, b])
+        assert verify_dominates(join, meet, n_max=24)
+
+    def test_idempotent(self):
+        a = periodic_with_jitter(100.0, 30.0)
+        meet = intersect_bounds([a, a])
+        join = union_bounds([a, a])
+        for n in range(2, 12):
+            assert meet.delta_min(n) == a.delta_min(n)
+            assert join.delta_plus(n) == a.delta_plus(n)

@@ -1,0 +1,167 @@
+"""Unit tests for curve event models and the caching/freezing helpers."""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import ModelError
+from repro.eventmodels import (
+    CachedModel,
+    CurveEventModel,
+    FunctionEventModel,
+    freeze,
+    periodic,
+    periodic_with_jitter,
+)
+from repro.timebase import INF
+
+
+def make_curve(n_period=None, t_period=None):
+    # delta prefix of a periodic-100 stream sampled to n = 5
+    dmin = [0.0, 0.0, 100.0, 200.0, 300.0, 400.0]
+    dplus = [0.0, 0.0, 100.0, 200.0, 300.0, 400.0]
+    return CurveEventModel(dmin, dplus, n_period=n_period,
+                           t_period=t_period)
+
+
+class TestValidation:
+    def test_minimum_prefix_length(self):
+        with pytest.raises(ModelError):
+            CurveEventModel([0.0, 0.0], [0.0, 0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            CurveEventModel([0.0, 0.0, 1.0], [0.0, 0.0, 1.0, 2.0])
+
+    def test_nonzero_head_rejected(self):
+        with pytest.raises(ModelError):
+            CurveEventModel([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+
+    def test_decreasing_dmin_rejected(self):
+        with pytest.raises(ModelError):
+            CurveEventModel([0.0, 0.0, 5.0, 4.0], [0.0, 0.0, 5.0, 6.0])
+
+    def test_dmin_above_dplus_rejected(self):
+        with pytest.raises(ModelError):
+            CurveEventModel([0.0, 0.0, 10.0], [0.0, 0.0, 5.0])
+
+    def test_periodic_extension_needs_both(self):
+        with pytest.raises(ModelError):
+            make_curve(n_period=2, t_period=None)
+
+    def test_periodic_extension_bad_period(self):
+        with pytest.raises(ModelError):
+            make_curve(n_period=0, t_period=100.0)
+
+    def test_periodic_extension_too_long(self):
+        # n_period may not exceed prefix_length - 1
+        with pytest.raises(ModelError):
+            make_curve(n_period=5, t_period=100.0)
+
+
+class TestPrefixEvaluation:
+    def test_within_prefix(self):
+        c = make_curve()
+        assert c.delta_min(3) == 200.0
+        assert c.delta_plus(5) == 400.0
+
+    def test_small_n(self):
+        c = make_curve()
+        assert c.delta_min(0) == 0.0
+        assert c.delta_min(1) == 0.0
+
+    def test_prefix_length(self):
+        assert make_curve().prefix_length == 5
+
+
+class TestAdditiveExtension:
+    def test_exact_multiple(self):
+        c = make_curve()
+        # n = 9: q=2 blocks of (N-1)=4 events... n-1 = 8 = 2*4, so
+        # q=1, r=5: 1*delta(5) + delta(5) = 800
+        assert c.delta_min(9) == 800.0
+
+    def test_one_past_prefix(self):
+        c = make_curve()
+        # n=6: n-1=5 = 1*4 + 1 -> r=2: delta(5) + delta(2) = 500
+        assert c.delta_min(6) == 500.0
+
+    def test_conservative_for_true_periodic(self):
+        # Extension of a periodic prefix never exceeds the true curve
+        # (lower bound) for delta_min, never undercuts for delta_plus.
+        c = make_curve()
+        true = periodic(100.0)
+        for n in range(2, 40):
+            assert c.delta_min(n) <= true.delta_min(n) + 1e-9
+            assert c.delta_plus(n) >= true.delta_plus(n) - 1e-9
+
+    def test_monotone_after_extension(self):
+        assert_delta_consistent(make_curve(), n_max=50)
+
+    def test_inf_top_propagates(self):
+        c = CurveEventModel([0, 0, 10.0, INF], [0, 0, 20.0, INF])
+        assert c.delta_min(10) == INF
+
+
+class TestPeriodicExtension:
+    def test_exact_for_periodic(self):
+        c = make_curve(n_period=1, t_period=100.0)
+        true = periodic(100.0)
+        for n in range(2, 50):
+            assert c.delta_min(n) == pytest.approx(true.delta_min(n))
+            assert c.delta_plus(n) == pytest.approx(true.delta_plus(n))
+
+    def test_multi_event_period(self):
+        # A stream repeating 2 events every 300: delta(2)=50 within the
+        # pair, delta(3)=300 to the next pair start.
+        dmin = [0.0, 0.0, 50.0, 300.0, 350.0]
+        dplus = [0.0, 0.0, 250.0, 300.0, 550.0]
+        c = CurveEventModel(dmin, dplus, n_period=2, t_period=300.0)
+        # Pairs at t = 0/50, 300/350, 600/650, ...: five consecutive
+        # events span 600 (0..600), six span 650 (0..650).
+        assert c.delta_min(5) == 600.0
+        assert c.delta_min(6) == 650.0
+
+
+class TestCachedModel:
+    def test_transparent(self):
+        inner = periodic_with_jitter(100.0, 25.0)
+        cached = CachedModel(inner)
+        for n in range(0, 20):
+            assert cached.delta_min(n) == inner.delta_min(n)
+            assert cached.delta_plus(n) == inner.delta_plus(n)
+
+    def test_caches_evaluations(self):
+        calls = []
+
+        def dmin(n):
+            calls.append(n)
+            return (n - 1) * 10.0
+
+        m = CachedModel(FunctionEventModel(dmin, lambda n: (n - 1) * 10.0))
+        m.delta_min(5)
+        m.delta_min(5)
+        m.delta_min(5)
+        assert calls.count(5) == 1
+
+    def test_wrapped_accessor(self):
+        inner = periodic(10.0)
+        assert CachedModel(inner).wrapped is inner
+
+
+class TestFreeze:
+    def test_freeze_matches_within_range(self):
+        m = periodic_with_jitter(100.0, 40.0)
+        f = freeze(m, n_max=32)
+        for n in range(0, 33):
+            assert f.delta_min(n) == pytest.approx(m.delta_min(n))
+            assert f.delta_plus(n) == pytest.approx(m.delta_plus(n))
+
+    def test_freeze_conservative_beyond_range(self):
+        m = periodic_with_jitter(100.0, 40.0)
+        f = freeze(m, n_max=16)
+        for n in range(17, 64):
+            assert f.delta_min(n) <= m.delta_min(n) + 1e-9
+            assert f.delta_plus(n) >= m.delta_plus(n) - 1e-9
+
+    def test_freeze_name(self):
+        assert "frozen" in freeze(periodic(10.0), 8).name

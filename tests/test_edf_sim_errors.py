@@ -1,0 +1,141 @@
+"""EDF simulator tests (incl. conservatism) and the CAN error model."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro._errors import ModelError
+from repro.analysis import (
+    CanErrorModel,
+    EDFScheduler,
+    SPNPScheduler,
+    TaskSpec,
+)
+from repro.can import frame_bits_max
+from repro.eventmodels import periodic
+from repro.sim import (
+    EdfCpuSim,
+    ResponseRecorder,
+    Simulator,
+    worst_case_arrivals,
+)
+
+
+def make_edf():
+    sim = Simulator()
+    rec = ResponseRecorder()
+    return sim, rec, EdfCpuSim(sim, rec)
+
+
+class TestEdfSim:
+    def test_earliest_deadline_runs_first(self):
+        sim, rec, cpu = make_edf()
+        cpu.add_task("urgent", deadline=5.0, exec_time=2.0)
+        cpu.add_task("lazy", deadline=100.0, exec_time=4.0)
+        sim.schedule(0.0, lambda: cpu.activate("lazy"))
+        sim.schedule(1.0, lambda: cpu.activate("urgent"))
+        sim.run_until(100.0)
+        # urgent (deadline 6) preempts lazy (deadline 100): lazy runs
+        # 0-1, urgent 1-3, lazy resumes 3-6.
+        assert rec.jobs("urgent") == [(1.0, 3.0)]
+        assert rec.jobs("lazy") == [(0.0, 6.0)]
+
+    def test_no_preemption_by_later_deadline(self):
+        sim, rec, cpu = make_edf()
+        cpu.add_task("a", deadline=10.0, exec_time=4.0)
+        cpu.add_task("b", deadline=50.0, exec_time=2.0)
+        sim.schedule(0.0, lambda: cpu.activate("a"))
+        sim.schedule(1.0, lambda: cpu.activate("b"))
+        sim.run_until(100.0)
+        assert rec.jobs("a") == [(0.0, 4.0)]
+        assert rec.jobs("b") == [(1.0, 6.0)]
+
+    def test_fifo_tie_break(self):
+        sim, rec, cpu = make_edf()
+        cpu.add_task("x", deadline=10.0, exec_time=3.0)
+        sim.schedule(0.0, lambda: cpu.activate("x"))
+        sim.schedule(0.0, lambda: cpu.activate("x"))
+        sim.run_until(50.0)
+        assert rec.jobs("x") == [(0.0, 3.0), (0.0, 6.0)]
+
+    def test_validation(self):
+        _, _, cpu = make_edf()
+        cpu.add_task("a", 10.0, 1.0)
+        with pytest.raises(ModelError):
+            cpu.add_task("a", 10.0, 1.0)
+        with pytest.raises(ModelError):
+            cpu.add_task("b", 0.0, 1.0)
+        with pytest.raises(ModelError):
+            cpu.activate("ghost")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=20.0, max_value=200.0),   # period
+        st.floats(min_value=1.0, max_value=10.0)),    # wcet
+        min_size=1, max_size=3))
+    def test_analysis_covers_simulation(self, params):
+        specs = [TaskSpec(f"t{i}", c, c, periodic(round(p, 3)),
+                          deadline=round(p, 3))
+                 for i, (p, c) in enumerate(params)]
+        assume(sum(s.load() for s in specs) < 0.9)
+        analysis = EDFScheduler().analyze(specs, "cpu")
+
+        sim, rec, cpu = make_edf()
+        for spec in specs:
+            cpu.add_task(spec.name, spec.deadline, spec.c_max)
+            for t in worst_case_arrivals(spec.event_model, 2000.0):
+                sim.schedule(t, lambda _n=spec.name: cpu.activate(_n))
+        sim.run_until(5000.0)
+        for spec in specs:
+            if rec.count(spec.name):
+                assert rec.worst_case(spec.name) <= \
+                    analysis[spec.name].r_max + 1e-6
+
+
+class TestCanErrorModel:
+    def frames(self):
+        return [
+            TaskSpec("hi", 1.0, 1.0, periodic(10.0), priority=1),
+            TaskSpec("lo", 3.0, 3.0, periodic(30.0), priority=2),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CanErrorModel(burst_errors=-1)
+        with pytest.raises(ModelError):
+            CanErrorModel(error_rate=-0.1)
+
+    def test_no_errors_no_change(self):
+        clean = SPNPScheduler().analyze(self.frames(), "bus")
+        with_model = SPNPScheduler(
+            error_model=CanErrorModel()).analyze(self.frames(), "bus")
+        for name in ("hi", "lo"):
+            assert with_model[name].r_max == clean[name].r_max
+
+    def test_burst_adds_recovery(self):
+        errors = CanErrorModel(burst_errors=1, recovery_time=5.0)
+        clean = SPNPScheduler().analyze(self.frames(), "bus")
+        faulty = SPNPScheduler(error_model=errors).analyze(
+            self.frames(), "bus")
+        for name in ("hi", "lo"):
+            assert faulty[name].r_max >= clean[name].r_max + 5.0 - 1e-9
+
+    def test_rate_errors_grow_with_window(self):
+        slow = CanErrorModel(error_rate=0.001, recovery_time=5.0)
+        fast = CanErrorModel(error_rate=0.01, recovery_time=5.0)
+        r_slow = SPNPScheduler(error_model=slow).analyze(
+            self.frames(), "bus")["lo"].r_max
+        r_fast = SPNPScheduler(error_model=fast).analyze(
+            self.frames(), "bus")["lo"].r_max
+        assert r_fast >= r_slow
+
+    def test_recovery_helper(self):
+        rec = CanErrorModel.recovery_time_for(0.5, frame_bits_max(8))
+        assert rec == (31 + 135) * 0.5
+
+    def test_overhead_formula(self):
+        m = CanErrorModel(burst_errors=2, error_rate=0.1,
+                          recovery_time=4.0)
+        assert m.overhead(0.0) == 8.0
+        assert m.overhead(10.0) == (2 + 1) * 4.0
+        assert m.overhead(10.1) == (2 + 2) * 4.0

@@ -1,0 +1,84 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro._errors import (
+    AnalysisError,
+    ConvergenceError,
+    ModelError,
+    NotSchedulableError,
+    ReproError,
+    UnboundedStreamError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ModelError, AnalysisError, NotSchedulableError,
+                    ConvergenceError, UnboundedStreamError):
+            assert issubclass(exc, ReproError)
+
+    def test_analysis_family(self):
+        for exc in (NotSchedulableError, ConvergenceError,
+                    UnboundedStreamError):
+            assert issubclass(exc, AnalysisError)
+
+    def test_model_error_not_analysis(self):
+        assert not issubclass(ModelError, AnalysisError)
+
+    def test_not_schedulable_payload(self):
+        err = NotSchedulableError("overload", resource="cpu",
+                                  utilization=1.2)
+        assert err.resource == "cpu"
+        assert err.utilization == 1.2
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise NotSchedulableError("x")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_all_exports(self):
+        import repro.analysis
+        import repro.can
+        import repro.com
+        import repro.core
+        import repro.ethernet
+        import repro.eventmodels
+        import repro.flexray
+        import repro.sim
+        import repro.system
+        import repro.viz
+
+        for pkg in (repro.analysis, repro.can, repro.com, repro.core,
+                    repro.ethernet, repro.eventmodels, repro.flexray,
+                    repro.sim, repro.system, repro.viz):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), (pkg.__name__, name)
+
+    def test_quickstart_docstring_pipeline(self):
+        # The pipeline shown in the package docstring must actually run.
+        from repro import (
+            BusyWindowOutput,
+            TransferProperty,
+            apply_operation,
+            hsc_pack,
+            periodic,
+            unpack,
+        )
+
+        frame = hsc_pack(
+            {"speed": (periodic(250), TransferProperty.TRIGGERING),
+             "diag": (periodic(1000), TransferProperty.PENDING)},
+            timer=periodic(1000), name="F1")
+        after_bus = apply_operation(frame, BusyWindowOutput(40.0, 120.0))
+        per_signal = unpack(after_bus)
+        assert set(per_signal) == {"speed", "diag"}

@@ -1,0 +1,127 @@
+"""Unit tests for the switched-Ethernet substrate."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.ethernet import EthernetLink, Flow, SwitchedNetwork, \
+    frame_wire_bytes
+from repro.eventmodels import periodic
+from repro.system import System, analyze_system, path_latency
+
+
+class TestFrameWireBytes:
+    def test_minimum_frame(self):
+        # 46 B payload + 18 header/FCS + 8 preamble + 12 IFG = 84 B
+        # (without VLAN).
+        assert frame_wire_bytes(46, vlan=False) == 84
+
+    def test_padding_below_minimum(self):
+        assert frame_wire_bytes(1, vlan=False) == \
+            frame_wire_bytes(46, vlan=False)
+
+    def test_vlan_adds_tag(self):
+        # Above the padding region the VLAN frame is 4 B longer.
+        assert frame_wire_bytes(100, vlan=True) == \
+            frame_wire_bytes(100, vlan=False) + 4
+
+    def test_vlan_padding_compensates(self):
+        # At minimum size both frame formats occupy the same wire bytes.
+        assert frame_wire_bytes(0, vlan=True) == \
+            frame_wire_bytes(0, vlan=False)
+
+    def test_maximum_frame(self):
+        assert frame_wire_bytes(1500, vlan=True) == 1542
+
+    def test_range(self):
+        with pytest.raises(ModelError):
+            frame_wire_bytes(1501)
+
+
+class TestEthernetLink:
+    def test_mbps_factory(self):
+        link = EthernetLink.mbps(100.0)
+        assert link.byte_time == pytest.approx(0.08)
+
+    def test_transmission_time(self):
+        link = EthernetLink.mbps(100.0)
+        assert link.transmission_time(1500) == pytest.approx(
+            1542 * 0.08)
+
+    def test_max_frame_time(self):
+        link = EthernetLink.mbps(1000.0)
+        assert link.max_frame_time == pytest.approx(1542 * 0.008)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EthernetLink(0.0)
+        with pytest.raises(ModelError):
+            EthernetLink.mbps(-5.0)
+
+
+class TestSwitchedNetwork:
+    def _network(self):
+        net = SwitchedNetwork()
+        link = EthernetLink.mbps(100.0)
+        net.add_port("sw1.out", link)
+        net.add_port("sw2.out", link)
+        return net
+
+    def test_duplicate_port_rejected(self):
+        net = self._network()
+        with pytest.raises(ModelError):
+            net.add_port("sw1.out", EthernetLink.mbps(100.0))
+
+    def test_flow_unknown_port_rejected(self):
+        net = self._network()
+        with pytest.raises(ModelError):
+            net.add_flow(Flow("f", "src", ["nope"], 100, 1))
+
+    def test_two_hop_flow_analysis(self):
+        net = self._network()
+        net.add_flow(Flow("video", "cam", ["sw1.out", "sw2.out"],
+                          payload_bytes=1000, priority=1))
+        net.add_flow(Flow("bulk", "nas", ["sw1.out"],
+                          payload_bytes=1500, priority=2))
+        system = System("eth")
+        system.add_source("cam", periodic(1000.0))
+        system.add_source("nas", periodic(500.0))
+        sinks = net.install(system)
+        result = analyze_system(system)
+        assert result.converged
+        # The high-priority video frame is blocked by at most one bulk
+        # frame at sw1 plus its own wire time.
+        wire_video = EthernetLink.mbps(100.0).transmission_time(1000)
+        wire_bulk = EthernetLink.mbps(100.0).transmission_time(1500)
+        hop1 = result.wcrt("video@sw1.out")
+        assert hop1 == pytest.approx(wire_video + wire_bulk)
+        # Second hop has no competing flow: pure wire time.
+        assert result.wcrt("video@sw2.out") == pytest.approx(wire_video)
+        assert sinks["video"] == "video@sw2.out"
+
+    def test_end_to_end_latency(self):
+        net = self._network()
+        net.add_flow(Flow("ctrl", "plc", ["sw1.out", "sw2.out"],
+                          payload_bytes=100, priority=1))
+        system = System("eth")
+        system.add_source("plc", periodic(2000.0))
+        net.install(system)
+        result = analyze_system(system)
+        lat = path_latency(system, result,
+                           ["plc"] + net.hop_names("ctrl"))
+        assert lat.worst_case == pytest.approx(
+            result.wcrt("ctrl@sw1.out") + result.wcrt("ctrl@sw2.out"))
+
+    def test_low_priority_sees_interference(self):
+        net = self._network()
+        net.add_flow(Flow("hi", "a", ["sw1.out"], 1500, priority=1))
+        net.add_flow(Flow("lo", "b", ["sw1.out"], 100, priority=2))
+        system = System("eth")
+        system.add_source("a", periodic(400.0))
+        system.add_source("b", periodic(400.0))
+        net.install(system)
+        result = analyze_system(system)
+        assert result.wcrt("lo@sw1.out") > result.wcrt("hi@sw1.out") \
+            - EthernetLink.mbps(100.0).transmission_time(1500)
+        # lo waits for at least one full hi frame.
+        assert result.wcrt("lo@sw1.out") >= \
+            EthernetLink.mbps(100.0).transmission_time(1500)

@@ -1,0 +1,170 @@
+"""Unit tests for the abstract event-model surface (paper eqs. (1)/(2))."""
+
+import math
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import UnboundedStreamError
+from repro.eventmodels import (
+    FunctionEventModel,
+    NullEventModel,
+    models_equal,
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+)
+from repro.timebase import INF
+
+
+class TestEtaPlusGenericInverse:
+    """eta_plus computed purely from delta_min via eq. (1)."""
+
+    def _fn_model(self, period):
+        # FunctionEventModel uses the generic base-class inversion.
+        return FunctionEventModel(
+            lambda n: (n - 1) * period,
+            lambda n: (n - 1) * period,
+        )
+
+    def test_zero_window(self):
+        assert self._fn_model(100).eta_plus(0.0) == 0
+
+    def test_negative_window(self):
+        assert self._fn_model(100).eta_plus(-5.0) == 0
+
+    def test_tiny_window_one_event(self):
+        assert self._fn_model(100).eta_plus(1.0) == 1
+
+    def test_exact_period_boundary(self):
+        # eq. (1): strict inequality delta_min(n) < dt, so a window of
+        # exactly one period holds only 1 event... the event at the far
+        # boundary is excluded (half-open window).
+        assert self._fn_model(100).eta_plus(100.0) == 1
+
+    def test_just_past_boundary(self):
+        assert self._fn_model(100).eta_plus(100.0001) == 2
+
+    def test_large_window(self):
+        assert self._fn_model(100).eta_plus(1000.5) == 11
+
+    def test_matches_sem_closed_form(self):
+        sem = periodic_with_jitter(100.0, 30.0)
+        generic = FunctionEventModel(sem.delta_min, sem.delta_plus)
+        for dt in (0.0, 1.0, 69.9, 70.0, 70.1, 100.0, 170.0, 1234.5):
+            assert generic.eta_plus(dt) == sem.eta_plus(dt), dt
+
+    def test_unbounded_stream_raises(self):
+        flood = FunctionEventModel(lambda n: 0.0, lambda n: 0.0)
+        with pytest.raises(UnboundedStreamError):
+            flood.eta_plus(1.0)
+
+
+class TestEtaMinGenericInverse:
+    """eta_min computed purely from delta_plus via eq. (2)."""
+
+    def test_negative_window(self):
+        m = periodic(100.0)
+        generic = FunctionEventModel(m.delta_min, m.delta_plus)
+        assert generic.eta_min(-1.0) == 0
+
+    def test_small_window_zero(self):
+        m = periodic(100.0)
+        generic = FunctionEventModel(m.delta_min, m.delta_plus)
+        assert generic.eta_min(99.0) == 0
+
+    def test_boundary_exclusive(self):
+        # eq. (2): min n with delta_plus(n + 2) > dt; at dt = 100 the
+        # two-event span equals 100, not >, so one event is guaranteed.
+        m = periodic(100.0)
+        generic = FunctionEventModel(m.delta_min, m.delta_plus)
+        assert generic.eta_min(100.0) == 1
+
+    def test_matches_sem_closed_form(self):
+        sem = periodic_with_jitter(100.0, 30.0)
+        generic = FunctionEventModel(sem.delta_min, sem.delta_plus)
+        for dt in (0.0, 50.0, 100.0, 130.0, 130.1, 500.0, 999.9):
+            assert generic.eta_min(dt) == sem.eta_min(dt), dt
+
+    def test_sporadic_never_guarantees(self):
+        stall = FunctionEventModel(lambda n: (n - 1) * 10.0,
+                                   lambda n: INF)
+        assert stall.eta_min(1e6) == 0
+
+
+class TestSimultaneity:
+    def test_periodic_is_one(self):
+        assert periodic(100.0).simultaneity() == 1
+
+    def test_burst_counts_coinciding_events(self):
+        # P=100, J=250, d_min=0: delta_min(n) = max((n-1)*100 - 250, 0)
+        # is zero for n <= 3 -> three events can coincide.
+        burst = periodic_with_burst(100.0, 250.0, 0.0)
+        assert burst.simultaneity() == 3
+
+    def test_dmin_prevents_simultaneity(self):
+        burst = periodic_with_burst(100.0, 250.0, 1.0)
+        assert burst.simultaneity() == 1
+
+
+class TestLoad:
+    def test_periodic_load(self):
+        assert periodic(250.0).load() == pytest.approx(1.0 / 250.0)
+
+    def test_jitter_does_not_change_longrun_load(self):
+        assert periodic_with_jitter(100.0, 90.0).load(5000) == \
+            pytest.approx(0.01, rel=1e-2)
+
+    def test_null_load(self):
+        assert NullEventModel().load() == 0.0
+
+
+class TestNullEventModel:
+    def test_no_events_ever(self):
+        null = NullEventModel()
+        assert null.eta_plus(1e9) == 0
+        assert null.eta_min(1e9) == 0
+
+    def test_delta_inf(self):
+        null = NullEventModel()
+        assert null.delta_min(2) == INF
+        assert null.delta_plus(5) == INF
+
+    def test_consistency(self):
+        assert_delta_consistent(NullEventModel(), n_max=5)
+
+    def test_equality(self):
+        assert NullEventModel() == NullEventModel()
+
+
+class TestModelsEqual:
+    def test_same_parameters(self):
+        assert models_equal(periodic(100.0), periodic(100.0))
+
+    def test_different_period(self):
+        assert not models_equal(periodic(100.0), periodic(101.0))
+
+    def test_jitter_difference(self):
+        assert not models_equal(periodic(100.0),
+                                periodic_with_jitter(100.0, 5.0))
+
+    def test_sporadic_vs_periodic(self):
+        from repro.eventmodels import sporadic
+        assert not models_equal(periodic(100.0), sporadic(100.0))
+
+
+class TestSeriesHelpers:
+    def test_delta_seq_lengths(self):
+        m = periodic(50.0)
+        assert len(m.delta_min_seq(10)) == 11
+        assert len(m.delta_plus_seq(10)) == 11
+
+    def test_eta_series_monotone(self):
+        series = periodic(50.0).eta_plus_series(500.0, 10.0)
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+    def test_eta_series_bad_step(self):
+        from repro._errors import ModelError
+        with pytest.raises(ModelError):
+            periodic(50.0).eta_plus_series(100.0, 0.0)

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example must run and produce its output."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 4
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert len(output) > 100  # produced a real report
+
+
+def test_quickstart_shows_gap():
+    output = run_example("quickstart")
+    assert "unpacked" in output
+    assert "flat view" in output
+
+
+def test_automotive_gateway_reproduces_table3():
+    output = run_example("automotive_gateway")
+    assert "R+ flat" in output and "R+ HEM" in output
+    assert "Figure 4" in output
+
+
+def test_simulation_vs_analysis_all_ok():
+    output = run_example("simulation_vs_analysis")
+    assert "VIOLATION" not in output
+    assert output.count("OK") >= 5
+
+
+def test_nested_gateway_depth_two():
+    output = run_example("nested_gateway")
+    assert "depth: 2" in output
+    assert "F1/wheel_speed" in output.replace("'", "")

@@ -1,0 +1,94 @@
+"""Failure-injection tests: overload, divergence, and error reporting
+through the full engine stack."""
+
+import pytest
+
+from repro._errors import (
+    AnalysisError,
+    ConvergenceError,
+    ModelError,
+    NotSchedulableError,
+)
+from repro.analysis import SPNPScheduler, SPPScheduler, TaskSpec
+from repro.eventmodels import periodic, periodic_with_burst
+from repro.system import System, analyze_system
+
+
+class TestOverloadSurfaces:
+    def test_cpu_overload_carries_context(self):
+        s = System()
+        s.add_source("x", periodic(10.0))
+        s.add_resource("cpu", SPPScheduler())
+        s.add_task("t", "cpu", (11.0, 11.0), ["x"], priority=1)
+        with pytest.raises(NotSchedulableError) as err:
+            analyze_system(s)
+        assert err.value.resource == "cpu"
+        assert err.value.utilization > 1.0
+
+    def test_upstream_jitter_breaks_downstream_resource(self):
+        # The first hop's response jitter (span 44) turns a perfectly
+        # periodic source into a jittered stream whose rate exactly
+        # matches the FlexRay cycle — the downstream slot's busy window
+        # then never closes.  The engine must surface an analysis
+        # error, not loop or crash.
+        from repro.flexray import FlexRayConfig, FlexRayStaticScheduler
+
+        s = System()
+        s.add_source("x", periodic(1000.0))
+        s.add_resource("cpu", SPPScheduler())
+        s.add_resource("fr", FlexRayStaticScheduler(
+            FlexRayConfig(1000.0, 50.0, 10, bit_time=0.1)))
+        s.add_task("stage1", "cpu", (1.0, 45.0), ["x"], priority=1)
+        s.add_task("frame", "fr", (10.0, 10.0), ["stage1"], slot=0)
+        with pytest.raises(AnalysisError):
+            analyze_system(s)
+
+    def test_same_chain_without_jitter_is_fine(self):
+        # Control: a zero-span first hop keeps the FlexRay slot happy.
+        from repro.flexray import FlexRayConfig, FlexRayStaticScheduler
+
+        s = System()
+        s.add_source("x", periodic(1000.0))
+        s.add_resource("cpu", SPPScheduler())
+        s.add_resource("fr", FlexRayStaticScheduler(
+            FlexRayConfig(1000.0, 50.0, 10, bit_time=0.1)))
+        s.add_task("stage1", "cpu", (45.0, 45.0), ["x"], priority=1)
+        s.add_task("frame", "fr", (10.0, 10.0), ["stage1"], slot=0)
+        result = analyze_system(s)
+        assert result.converged
+
+    def test_bus_overload_from_or_join(self):
+        s = System()
+        for i in range(4):
+            s.add_source(f"s{i}", periodic(40.0))
+        s.add_resource("bus", SPNPScheduler())
+        s.add_task("frame", "bus", (15.0, 15.0),
+                   [f"s{i}" for i in range(4)], priority=1)
+        with pytest.raises(NotSchedulableError):
+            analyze_system(s)
+
+
+class TestEngineErrorHygiene:
+    def test_graph_errors_before_any_analysis(self):
+        s = System()
+        s.add_resource("cpu", SPPScheduler())
+        s.add_source("x", periodic(10.0))
+        s.add_task("t", "cpu", (1.0, 1.0), ["missing"], priority=1)
+        with pytest.raises(ModelError):
+            analyze_system(s)
+
+    def test_zero_iteration_budget(self):
+        s = System()
+        s.add_source("x", periodic(10.0))
+        s.add_resource("cpu", SPPScheduler())
+        s.add_task("t", "cpu", (1.0, 1.0), ["x"], priority=1)
+        with pytest.raises(ConvergenceError):
+            analyze_system(s, max_iterations=0)
+
+    def test_scheduler_errors_are_analysis_family(self):
+        # Any scheduler failure must derive from AnalysisError so sweeps
+        # can catch one family (SMFF robustness contract).
+        tasks = [TaskSpec("a", 20.0, 20.0, periodic(10.0), priority=1)]
+        for scheduler in (SPPScheduler(), SPNPScheduler()):
+            with pytest.raises(AnalysisError):
+                scheduler.analyze(tasks, "r")

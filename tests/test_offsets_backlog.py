@@ -1,0 +1,143 @@
+"""Unit tests for offset joins and backlog bounds."""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import AnalysisError, ModelError
+from repro.analysis import (
+    SPNPScheduler,
+    SPPScheduler,
+    TaskSpec,
+    backlog_bound,
+    buffer_bound,
+)
+from repro.analysis.results import TaskResult
+from repro.eventmodels import (
+    offset_join,
+    or_join,
+    periodic,
+    periodic_with_burst,
+    verify_dominates,
+)
+
+
+class TestOffsetJoin:
+    def test_uniform_offsets_are_periodic(self):
+        # 4 streams of period 1000 at offsets 0/250/500/750 == one
+        # periodic-250 stream.
+        j = offset_join(1000.0, [0.0, 250.0, 500.0, 750.0])
+        ref = periodic(250.0)
+        for n in range(2, 20):
+            assert j.delta_min(n) == pytest.approx(ref.delta_min(n))
+            assert j.delta_plus(n) == pytest.approx(ref.delta_plus(n))
+
+    def test_irregular_offsets(self):
+        # Offsets 0 and 100 in a 1000 cycle: gaps alternate 100 / 900.
+        j = offset_join(1000.0, [0.0, 100.0])
+        assert j.delta_min(2) == 100.0
+        assert j.delta_plus(2) == 900.0
+        assert j.delta_min(3) == 1000.0
+        assert j.delta_plus(3) == 1000.0
+
+    def test_offsets_kill_the_burst(self):
+        # The offset-blind OR-join of 4 same-period streams allows a
+        # burst of 4; offsets provably prevent it.
+        blind = or_join([periodic(1000.0)] * 4)
+        aware = offset_join(1000.0, [0.0, 250.0, 500.0, 750.0])
+        assert blind.delta_min(4) == 0.0
+        assert aware.delta_min(4) == 750.0
+        # The blind join still *covers* the offset pattern (conservatism
+        # of the offset-free model).
+        assert verify_dominates(blind, aware, n_max=24)
+
+    def test_offsets_reduced_modulo_period(self):
+        a = offset_join(100.0, [0.0, 130.0])  # 130 -> 30
+        b = offset_join(100.0, [0.0, 30.0])
+        for n in range(2, 10):
+            assert a.delta_min(n) == b.delta_min(n)
+
+    def test_simultaneous_offsets_allowed(self):
+        j = offset_join(100.0, [0.0, 0.0])
+        assert j.delta_min(2) == 0.0
+
+    def test_jitter_widens_bounds(self):
+        tight = offset_join(1000.0, [0.0, 500.0])
+        loose = offset_join(1000.0, [0.0, 500.0], jitter=50.0)
+        assert loose.delta_min(2) == tight.delta_min(2) - 50.0
+        assert loose.delta_plus(2) == tight.delta_plus(2) + 50.0
+
+    def test_jitter_reaching_gap_rejected(self):
+        with pytest.raises(ModelError):
+            offset_join(1000.0, [0.0, 100.0], jitter=100.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            offset_join(0.0, [0.0])
+        with pytest.raises(ModelError):
+            offset_join(100.0, [])
+        with pytest.raises(ModelError):
+            offset_join(100.0, [0.0], jitter=-1.0)
+
+    def test_consistency(self):
+        j = offset_join(1000.0, [0.0, 50.0, 300.0], jitter=10.0)
+        assert_delta_consistent(j, n_max=40)
+
+
+class TestBacklogBound:
+    def test_single_periodic_task(self):
+        spec = TaskSpec("t", 5.0, 5.0, periodic(10.0), priority=1)
+        result = SPPScheduler().analyze([spec], "cpu")["t"]
+        assert backlog_bound(result, spec.event_model) == 1
+
+    def test_burst_queues_up(self):
+        em = periodic_with_burst(100.0, 250.0, 0.0)  # bursts of 3
+        spec = TaskSpec("t", 30.0, 30.0, em, priority=1)
+        result = SPPScheduler().analyze([spec], "cpu")["t"]
+        assert backlog_bound(result, em) == 3
+
+    def test_interference_grows_backlog(self):
+        # Near-saturated CPU: lo's busy window spans several of its own
+        # periods, so later activations queue behind earlier ones.
+        tasks = [
+            TaskSpec("hi", 6.0, 6.0, periodic(10.0), priority=1),
+            TaskSpec("lo", 3.0, 3.0, periodic(8.0), priority=2),
+        ]
+        results = SPPScheduler().analyze(tasks, "cpu")
+        lo_backlog = backlog_bound(results["lo"], tasks[1].event_model)
+        assert lo_backlog >= 2
+
+    def test_spnp_frames(self):
+        frames = [
+            TaskSpec("a", 1.0, 1.0, periodic(4.0), priority=1),
+            TaskSpec("c", 3.0, 3.0, periodic(12.0), priority=3),
+        ]
+        results = SPNPScheduler().analyze(frames, "bus")
+        assert backlog_bound(results["a"], frames[0].event_model) >= 1
+
+    def test_buffer_bytes(self):
+        em = periodic_with_burst(100.0, 250.0, 0.0)
+        spec = TaskSpec("t", 30.0, 30.0, em, priority=1)
+        result = SPPScheduler().analyze([spec], "cpu")["t"]
+        assert buffer_bound(result, em, item_bytes=8) == 24
+
+    def test_no_busy_window_data_rejected(self):
+        bare = TaskResult("t", 1.0, 2.0)
+        with pytest.raises(AnalysisError):
+            backlog_bound(bare, periodic(10.0))
+
+
+class TestReportCli:
+    def test_report_builds_and_is_sound(self):
+        from repro.report import build_report
+        report = build_report(sim_horizon=20_000.0)
+        assert "Table 3" in report
+        assert "SOUND" in report
+        assert "VIOLATED" not in report
+
+    def test_cli_exit_code(self):
+        from repro.report import main
+        assert main(["15000"]) == 0
+
+    def test_cli_bad_arg(self):
+        from repro.report import main
+        assert main(["not-a-number"]) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for the frame-packing optimiser."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.com import (
+    Signal,
+    estimate_bus_load,
+    pack_by_period,
+    pack_first_fit,
+)
+from repro.core import TransferProperty
+from repro.eventmodels import periodic
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+def signal_set():
+    """Register-communication scenario: all signals pending, frames are
+    pure periodic.  Declaration order interleaves fast/slow signals on
+    purpose, so first-fit mixes rates per frame."""
+    signals = []
+    models = {}
+    for i in range(1, 5):
+        fast = Signal(f"fast{i}", 16, PEND)
+        slow = Signal(f"slow{i}", 16, PEND)
+        signals += [fast, slow]
+        models[fast.name] = periodic(100.0, fast.name)
+        models[slow.name] = periodic(2000.0, slow.name)
+    return signals, models
+
+
+class TestFillAndBuild:
+    def test_all_signals_packed_once(self):
+        signals, models = signal_set()
+        layer = pack_by_period(signals, models)
+        packed = [s.name for f in layer.frames.values()
+                  for s in f.signals]
+        assert sorted(packed) == sorted(s.name for s in signals)
+
+    def test_payload_limit_respected(self):
+        signals, models = signal_set()
+        for builder in (pack_by_period, pack_first_fit):
+            layer = builder(signals, models)
+            for frame in layer.frames.values():
+                assert sum(s.width_bits for s in frame.signals) <= 64
+
+    def test_period_packing_groups_rates(self):
+        signals, models = signal_set()
+        layer = pack_by_period(signals, models)
+        # With 16-bit signals and 64-bit frames: 4 per frame — the
+        # period sort puts the four fast signals in one frame.
+        f1 = list(layer.frames.values())[0]
+        assert all(s.name.startswith("fast") for s in f1.signals)
+
+    def test_pending_only_frame_is_periodic(self):
+        signals, models = signal_set()
+        layer = pack_by_period(signals, models)
+        slow_frame = [f for f in layer.frames.values()
+                      if all(s.name.startswith("slow")
+                             for s in f.signals)]
+        assert slow_frame
+        assert slow_frame[0].frame_type.value == "periodic"
+
+    def test_derived_timer_follows_fastest_pending(self):
+        signals, models = signal_set()
+        layer = pack_by_period(signals, models)
+        for frame in layer.frames.values():
+            fastest = min(models[s.name].period for s in frame.signals)
+            assert frame.period == fastest
+
+    def test_explicit_timer_respected(self):
+        signals, models = signal_set()
+        layer = pack_by_period(signals, models, timer_period=500.0)
+        assert all(f.period == 500.0 for f in layer.frames.values())
+
+    def test_triggering_only_group_is_direct(self):
+        signals = [Signal("a", 32, TRIG), Signal("b", 32, TRIG)]
+        models = {"a": periodic(100.0), "b": periodic(150.0)}
+        layer = pack_by_period(signals, models)
+        assert all(f.frame_type.value == "direct"
+                   for f in layer.frames.values())
+
+    def test_validation(self):
+        signals, models = signal_set()
+        with pytest.raises(ModelError):
+            pack_by_period([], models)
+        with pytest.raises(ModelError):
+            pack_by_period(signals, {})
+        with pytest.raises(ModelError):
+            pack_by_period([Signal("dup", 8, TRIG),
+                            Signal("dup", 8, TRIG)],
+                           {"dup": periodic(100.0)})
+
+
+class TestBusLoadComparison:
+    def test_period_packing_not_worse_than_first_fit(self):
+        signals, models = signal_set()
+        smart = estimate_bus_load(pack_by_period(signals, models), models)
+        naive = estimate_bus_load(pack_first_fit(signals, models), models)
+        assert smart <= naive + 1e-9
+
+    def test_load_positive_and_below_capacity(self):
+        signals, models = signal_set()
+        load = estimate_bus_load(pack_by_period(signals, models), models)
+        assert 0 < load < 1.0
+
+    def test_interleaved_order_hurts_first_fit(self):
+        # First-fit mixes fast and slow per frame: every frame's timer
+        # is dragged to the fast rate, nearly doubling the bus load
+        # compared to the period-grouped packing.
+        signals, models = signal_set()
+        smart = estimate_bus_load(pack_by_period(signals, models), models)
+        naive = estimate_bus_load(pack_first_fit(signals, models), models)
+        assert naive > 1.5 * smart

@@ -1,0 +1,105 @@
+"""Tests for the polling receive mode (simulator + unpack_polled bound)."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.can import CanBusTiming
+from repro.com import ComLayer, Frame, FrameType, Signal
+from repro.core import (
+    BusyWindowOutput,
+    TransferProperty,
+    apply_operation,
+    unpack_polled,
+)
+from repro.eventmodels import periodic, trace_within_bounds
+from repro.sim import CanBusSim, ComLayerSim, EventTrace, Simulator
+
+TRIG = TransferProperty.TRIGGERING
+
+
+def build_stack():
+    layer = ComLayer()
+    layer.add_frame(Frame("F", FrameType.DIRECT,
+                          [Signal("a", 8, TRIG)], can_id=1))
+    sim = Simulator()
+    trace = EventTrace()
+    bus = CanBusSim(sim)
+    com = ComLayerSim(sim, layer, bus, {"F": 10.0}, trace=trace)
+    return sim, trace, com
+
+
+class TestPollingSim:
+    def test_poll_sees_new_value(self):
+        sim, trace, com = build_stack()
+        com.poll_signal("a", period=100.0)
+        sim.schedule(5.0, lambda: com.write_signal("a"))
+        sim.run_until(500.0)
+        # Delivered at 15; first poll at 100 picks it up.
+        assert trace.events("poll.a") == [100.0]
+
+    def test_poll_collapses_multiple_deliveries(self):
+        sim, trace, com = build_stack()
+        com.poll_signal("a", period=100.0)
+        for t in (5.0, 30.0, 60.0):
+            sim.schedule(t, lambda: com.write_signal("a"))
+        sim.run_until(500.0)
+        # Three deliveries before the poll: one activation.
+        assert trace.events("poll.a") == [100.0]
+
+    def test_no_activation_without_new_data(self):
+        sim, trace, com = build_stack()
+        com.poll_signal("a", period=100.0)
+        sim.schedule(5.0, lambda: com.write_signal("a"))
+        sim.run_until(1000.0)
+        assert trace.events("poll.a") == [100.0]  # not repeated
+
+    def test_callback_invoked(self):
+        sim, trace, com = build_stack()
+        seen = []
+        com.poll_signal("a", period=50.0,
+                        callback=lambda s, t: seen.append((s, t)))
+        sim.schedule(0.0, lambda: com.write_signal("a"))
+        sim.run_until(200.0)
+        assert seen == [("a", 50.0)]
+
+    def test_interrupt_mode_still_works_alongside(self):
+        sim, trace, com = build_stack()
+        interrupts = []
+        com.on_delivery("a", lambda s, t: interrupts.append(t))
+        com.poll_signal("a", period=100.0)
+        sim.schedule(5.0, lambda: com.write_signal("a"))
+        sim.run_until(200.0)
+        assert interrupts == [15.0]
+        assert trace.events("poll.a") == [100.0]
+
+    def test_validation(self):
+        _, _, com = build_stack()
+        with pytest.raises(ModelError):
+            com.poll_signal("ghost", 100.0)
+        with pytest.raises(ModelError):
+            com.poll_signal("a", 0.0)
+
+    def test_polled_stream_within_unpack_polled_bound(self):
+        # Drive the frame fast, poll slowly: the poll.a stream must be
+        # inside the shaped unpacked model (min distance >= poll period).
+        layer = ComLayer()
+        layer.add_frame(Frame("F", FrameType.DIRECT,
+                              [Signal("a", 8, TRIG)], can_id=1))
+        sim = Simulator()
+        trace = EventTrace()
+        bus = CanBusSim(sim)
+        com = ComLayerSim(sim, layer, bus, {"F": 10.0}, trace=trace)
+        com.poll_signal("a", period=250.0)
+        source = periodic(100.0, "a")
+        t = 0.0
+        while t < 10_000.0:
+            sim.schedule(t, lambda: com.write_signal("a"))
+            t += 100.0
+        sim.run_until(20_000.0)
+
+        hem = layer.build_frame_hem("F", {"a": source})
+        delivered = apply_operation(hem, BusyWindowOutput(10.0, 10.0))
+        polled_bound = unpack_polled(delivered, "a", poll_period=250.0)
+        observed = trace.events("poll.a")
+        assert len(observed) > 20
+        assert trace_within_bounds(observed, polled_bound)

@@ -1,0 +1,325 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin the mathematical backbone of the library:
+
+* structural invariants of every δ/η pair,
+* the Galois connection between η⁺ and δ⁻ (paper eq. (1)),
+* equivalence of the two OR-join evaluations (eqs. (3)/(4)),
+* conservatism of analyses against the discrete-event simulator,
+* conservatism of every lossy conversion (freeze, fit_standard).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SPNPScheduler, SPPScheduler, TaskSpec
+from repro.analysis.resource_model import PeriodicResource
+from repro.core import (
+    BusyWindowOutput,
+    TransferProperty,
+    apply_operation,
+    hsc_pack,
+)
+from repro.eventmodels import (
+    StandardEventModel,
+    TaskOutputModel,
+    fit_standard,
+    freeze,
+    or_join,
+    or_join_superposition,
+    periodic,
+    trace_within_bounds,
+    verify_dominates,
+)
+from repro.sim import (
+    CanBusSim,
+    ResponseRecorder,
+    Simulator,
+    SppCpuSim,
+    worst_case_arrivals,
+)
+from repro.timebase import INF
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+periods = st.floats(min_value=10.0, max_value=1000.0,
+                    allow_nan=False, allow_infinity=False)
+jitters = st.floats(min_value=0.0, max_value=500.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def sem_models(draw):
+    p = draw(periods)
+    j = draw(jitters)
+    if j >= p:
+        d = draw(st.floats(min_value=0.0, max_value=p / 2))
+    else:
+        d = None
+    return StandardEventModel(round(p, 3), round(j, 3),
+                              None if d is None else round(d, 3))
+
+
+# ----------------------------------------------------------------------
+# δ/η structure
+# ----------------------------------------------------------------------
+class TestDeltaStructure:
+    @given(sem_models())
+    def test_delta_monotone_and_ordered(self, m):
+        prev_min = prev_plus = 0.0
+        for n in range(2, 24):
+            dmin, dplus = m.delta_min(n), m.delta_plus(n)
+            assert dmin >= prev_min - 1e-9
+            assert dplus >= prev_plus - 1e-9
+            assert dmin <= dplus + 1e-9
+            prev_min, prev_plus = dmin, dplus
+
+    @given(sem_models(), st.integers(2, 10), st.integers(2, 10))
+    def test_delta_min_superadditive(self, m, a, b):
+        # δ⁻(a + b - 1) >= δ⁻(a) + δ⁻(b): split a window at an event.
+        assert m.delta_min(a + b - 1) >= \
+            m.delta_min(a) + m.delta_min(b) - 1e-9
+
+    @given(sem_models(), st.integers(2, 10), st.integers(2, 10))
+    def test_delta_plus_subadditive(self, m, a, b):
+        assert m.delta_plus(a + b - 1) <= \
+            m.delta_plus(a) + m.delta_plus(b) + 1e-9
+
+
+class TestGaloisConnection:
+    @given(sem_models(), st.integers(2, 30))
+    def test_eta_of_delta(self, m, n):
+        # Events n fit in any window just above δ⁻(n)...
+        d = m.delta_min(n)
+        assert m.eta_plus(d + 1e-6) >= n
+        # ...but a window clearly below δ⁻(n) holds fewer (evaluated a
+        # hair under the boundary to stay off float-rounding edges).
+        if d > 1e-3:
+            assert m.eta_plus(d - 1e-6) <= n - 1 \
+                or m.delta_min(n + 1) <= d + 1e-6
+
+    @given(sem_models(),
+           st.floats(min_value=0.1, max_value=5000.0, allow_nan=False))
+    def test_delta_of_eta(self, m, dt):
+        # δ⁻(η⁺(Δt)) < Δt by eq. (1).
+        n = m.eta_plus(dt)
+        if n >= 2:
+            assert m.delta_min(n) < dt
+
+    @given(sem_models(),
+           st.floats(min_value=0.0, max_value=5000.0, allow_nan=False))
+    def test_eta_min_below_eta_plus(self, m, dt):
+        assert m.eta_min(dt) <= m.eta_plus(dt)
+
+
+# ----------------------------------------------------------------------
+# OR-join equivalence and conservatism
+# ----------------------------------------------------------------------
+class TestOrJoinProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(sem_models(), min_size=2, max_size=3))
+    def test_pairwise_equals_superposition(self, models):
+        exact = or_join(models)
+        sup = or_join_superposition(models)
+        for n in range(2, 12):
+            assert sup.delta_min(n) == pytest.approx(
+                exact.delta_min(n), abs=1e-5)
+            e, s = exact.delta_plus(n), sup.delta_plus(n)
+            if math.isinf(e) or math.isinf(s):
+                assert math.isinf(e) == math.isinf(s)
+            else:
+                assert s == pytest.approx(e, abs=1e-5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(sem_models(), min_size=2, max_size=3),
+           st.integers(0, 10_000))
+    def test_merged_traces_within_join(self, models, seed):
+        # Any interleaving of per-stream worst-case traces (with random
+        # phases) must respect the OR-join bound.
+        rng = random.Random(seed)
+        merged = []
+        for m in models:
+            phase = rng.uniform(0.0, m.period)
+            merged.extend(worst_case_arrivals(m, 4000.0, phase=phase))
+        merged.sort()
+        assume(len(merged) >= 2)
+        join = or_join(models)
+        assert trace_within_bounds(merged[:60], join)
+
+
+# ----------------------------------------------------------------------
+# Θ_τ conservatism against simulation
+# ----------------------------------------------------------------------
+class TestOutputModelConservatism:
+    @settings(max_examples=20, deadline=None)
+    @given(sem_models(), st.floats(min_value=1.0, max_value=50.0))
+    def test_single_task_output_stream(self, m, wcet):
+        assume(wcet / m.period < 0.9)
+        # Simulate the task alone under worst-case arrivals; its
+        # completion stream must fall inside Θ_τ of its analysis bounds.
+        spec = TaskSpec("t", wcet, wcet, m, priority=1)
+        analysis = SPPScheduler().analyze([spec], "cpu")["t"]
+
+        sim = Simulator()
+        rec = ResponseRecorder()
+        cpu = SppCpuSim(sim, rec)
+        cpu.add_task("t", 1, wcet)
+        for t in worst_case_arrivals(m, 3000.0):
+            sim.schedule(t, lambda: cpu.activate("t"))
+        sim.run_until(6000.0)
+        completions = [c for _, c in rec.jobs("t")]
+        assume(len(completions) >= 2)
+        out_model = TaskOutputModel(m, analysis.r_min, analysis.r_max)
+        assert trace_within_bounds(completions, out_model)
+
+
+# ----------------------------------------------------------------------
+# Analysis vs simulation (SPP and SPNP)
+# ----------------------------------------------------------------------
+class TestAnalysisConservatism:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(periods,
+                              st.floats(min_value=1.0, max_value=30.0)),
+                    min_size=1, max_size=3))
+    def test_spp_bounds_simulation(self, params):
+        specs = [TaskSpec(f"t{i}", c, c, periodic(round(p, 3)),
+                          priority=i)
+                 for i, (p, c) in enumerate(params)]
+        assume(sum(s.load() for s in specs) < 0.95)
+        results = SPPScheduler().analyze(specs, "cpu")
+
+        sim = Simulator()
+        rec = ResponseRecorder()
+        cpu = SppCpuSim(sim, rec)
+        for i, spec in enumerate(specs):
+            cpu.add_task(spec.name, i, spec.c_max)
+        for spec in specs:
+            for t in worst_case_arrivals(spec.event_model, 5000.0):
+                sim.schedule(t, lambda _n=spec.name: cpu.activate(_n))
+        sim.run_until(10_000.0)
+        for spec in specs:
+            if rec.count(spec.name):
+                assert rec.worst_case(spec.name) <= \
+                    results[spec.name].r_max + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(periods,
+                              st.floats(min_value=1.0, max_value=30.0)),
+                    min_size=1, max_size=3))
+    def test_spnp_bounds_simulation(self, params):
+        specs = [TaskSpec(f"f{i}", c, c, periodic(round(p, 3)),
+                          priority=i)
+                 for i, (p, c) in enumerate(params)]
+        assume(sum(s.load() for s in specs) < 0.95)
+        results = SPNPScheduler().analyze(specs, "bus")
+
+        sim = Simulator()
+        rec = ResponseRecorder()
+        bus = CanBusSim(sim, rec)
+        for i, spec in enumerate(specs):
+            bus.add_frame(spec.name, i, spec.c_max)
+        for spec in specs:
+            for t in worst_case_arrivals(spec.event_model, 5000.0):
+                sim.schedule(t, lambda _n=spec.name: bus.request(_n))
+        sim.run_until(10_000.0)
+        for spec in specs:
+            if rec.count(spec.name):
+                assert rec.worst_case(spec.name) <= \
+                    results[spec.name].r_max + 1e-6
+
+
+# ----------------------------------------------------------------------
+# HEM invariants
+# ----------------------------------------------------------------------
+class TestHemProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(sem_models(), sem_models(), sem_models())
+    def test_pack_invariants(self, trig, pend, timer):
+        hem = hsc_pack(
+            {"t": (trig, TransferProperty.TRIGGERING),
+             "p": (pend, TransferProperty.PENDING)},
+            timer=timer, name="F")
+        # Triggering inner untouched (eqs. 5/6).
+        for n in range(2, 8):
+            assert hem.inner("t").delta_min(n) == trig.delta_min(n)
+        # Pending inner: inf plus-bound (eq. 8) and at least the frame
+        # floor (eq. 7).
+        assert hem.inner("p").delta_plus(2) == INF
+        for n in range(2, 8):
+            assert hem.inner("p").delta_min(n) >= \
+                hem.outer.delta_min(n) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(sem_models(), sem_models(),
+           st.floats(min_value=0.0, max_value=20.0),
+           st.floats(min_value=0.0, max_value=50.0))
+    def test_inner_update_monotone(self, trig, timer, r_min, span):
+        hem = hsc_pack(
+            {"t": (trig, TransferProperty.TRIGGERING)},
+            timer=timer, name="F")
+        out = apply_operation(hem, BusyWindowOutput(r_min, r_min + span))
+        inner = out.inner("t")
+        for n in range(2, 10):
+            # Def. 9: min distances only shrink (down to the spacing
+            # floor), max distances only grow.
+            assert inner.delta_min(n) <= \
+                max(trig.delta_min(n), (n - 1) * r_min) + 1e-9
+            assert inner.delta_plus(n) >= trig.delta_plus(n) - 1e-9
+            assert inner.delta_min(n) >= (n - 1) * r_min - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(sem_models(), sem_models())
+    def test_hem_is_outer_for_flat_consumers(self, a, b):
+        hem = hsc_pack(
+            {"a": (a, TransferProperty.TRIGGERING),
+             "b": (b, TransferProperty.TRIGGERING)}, name="F")
+        join = or_join([a, b])
+        for n in range(2, 10):
+            assert hem.delta_min(n) == pytest.approx(join.delta_min(n))
+
+
+# ----------------------------------------------------------------------
+# Lossy conversions stay conservative
+# ----------------------------------------------------------------------
+class TestConversionConservatism:
+    @settings(max_examples=30, deadline=None)
+    @given(sem_models())
+    def test_freeze_dominates(self, m):
+        assert verify_dominates(freeze(m, n_max=16), m, n_max=48)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(sem_models(), min_size=2, max_size=3))
+    def test_fit_standard_dominates_join(self, models):
+        join = or_join(models)
+        fit = fit_standard(join)
+        assert verify_dominates(fit, join, n_max=48)
+
+
+# ----------------------------------------------------------------------
+# Supply functions
+# ----------------------------------------------------------------------
+class TestSupplyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=500.0),
+           st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.1, max_value=2000.0))
+    def test_sbf_inverse_is_minimal(self, period, frac, demand):
+        server = PeriodicResource(period, max(period * frac, 1e-3))
+        t = server.sbf_inverse(demand)
+        assert server.sbf(t) >= demand - 1e-6
+        assert server.sbf(max(0.0, t - 1e-4)) < demand + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=500.0),
+           st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.0, max_value=3000.0),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_sbf_superadditive_window(self, period, frac, t, dt):
+        # Supply in a longer window never decreases.
+        server = PeriodicResource(period, max(period * frac, 1e-3))
+        assert server.sbf(t + dt) >= server.sbf(t) - 1e-9

@@ -1,0 +1,134 @@
+"""Integration tests on the paper's evaluation system (section 6)."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.core import is_hierarchical
+from repro.examples_lib.rox08 import (
+    CPU_TASKS,
+    SOURCES,
+    TASK_SIGNAL,
+    analyze_both_variants,
+    build_com_layer,
+    build_source_models,
+    build_system,
+)
+from repro.system import analyze_system
+from repro.system.propagation import _StreamResolver
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return analyze_both_variants()
+
+
+@pytest.fixture(scope="module")
+def hem_state():
+    system = build_system("hem")
+    result = analyze_system(system)
+    responses = {}
+    for rr in result.resource_results.values():
+        responses.update(rr.task_results)
+    return system, result, _StreamResolver(system, responses, {})
+
+
+class TestStructure:
+    def test_sources_match_table1(self):
+        models = build_source_models()
+        assert models["S1"].period == 250.0
+        assert models["S2"].period == 450.0
+        assert models["S4"].period == 400.0
+
+    def test_frames_match_table2(self):
+        layer = build_com_layer()
+        assert layer.frames["F1"].payload_bytes == 4
+        assert layer.frames["F2"].payload_bytes == 2
+        assert layer.frames["F1"].can_id < layer.frames["F2"].can_id
+
+    def test_f1_carries_three_signals(self):
+        layer = build_com_layer()
+        assert {s.name for s in layer.frames["F1"].signals} == \
+            {"S1", "S2", "S3"}
+
+    def test_invalid_variant(self):
+        with pytest.raises(ModelError):
+            build_system("turbo")
+
+
+class TestTable3Shape:
+    """The reproduction target: who wins, by roughly what factor."""
+
+    def test_hem_never_worse(self, comparison):
+        for task in CPU_TASKS:
+            assert comparison.wcrt_hem[task] <= \
+                comparison.wcrt_flat[task] + 1e-9
+
+    def test_reduction_grows_with_lower_priority(self, comparison):
+        reds = [comparison.reduction_percent(t)
+                for t in ("T1", "T2", "T3")]
+        assert reds == sorted(reds)
+
+    def test_lowest_priority_reduction_substantial(self, comparison):
+        # The paper reports double-digit reductions for the lower
+        # priority tasks.
+        assert comparison.reduction_percent("T3") > 30.0
+
+    def test_flat_t3_suffers_frame_storm(self, comparison):
+        # Flat T3 sees every frame as a potential activation; its WCRT
+        # must exceed the sum of all CETs considerably.
+        assert comparison.wcrt_flat["T3"] > 24 + 32 + 40
+
+    def test_rows_accessor(self, comparison):
+        rows = comparison.rows()
+        assert [r[0] for r in rows] == ["T1", "T2", "T3"]
+
+
+class TestFigure4Shape:
+    def test_frame_curve_dominates_signals(self, hem_state):
+        _, _, resolver = hem_state
+        frame_out = resolver.port("F1")
+        assert is_hierarchical(frame_out)
+        for dt in (250.0, 500.0, 1000.0, 2000.0):
+            total = frame_out.outer.eta_plus(dt)
+            for label in frame_out.labels:
+                assert frame_out.inner(label).eta_plus(dt) <= total
+
+    def test_signal_sum_close_to_frame_curve(self, hem_state):
+        # Triggering signals + timer make up the frame stream; the sum
+        # of inner activations cannot exceed total frames by much more
+        # than the (unbounded-burst-free) packing slack.
+        _, _, resolver = hem_state
+        frame_out = resolver.port("F1")
+        dt = 2000.0
+        total = frame_out.outer.eta_plus(dt)
+        s1 = frame_out.inner("S1").eta_plus(dt)
+        assert s1 < total
+
+    def test_s3_curve_is_lowest(self, hem_state):
+        _, _, resolver = hem_state
+        frame_out = resolver.port("F1")
+        dt = 2000.0
+        assert frame_out.inner("S3").eta_plus(dt) <= \
+            frame_out.inner("S1").eta_plus(dt)
+
+
+class TestGlobalConsistency:
+    def test_both_variants_converge(self):
+        assert analyze_system(build_system("flat")).converged
+        assert analyze_system(build_system("hem")).converged
+
+    def test_bus_results_identical_across_variants(self, comparison):
+        # The hierarchy only changes the receiver side; the bus analysis
+        # is the same in both variants.
+        flat = analyze_system(build_system("flat"))
+        hem = analyze_system(build_system("hem"))
+        for frame in ("F1", "F2"):
+            assert flat.wcrt(frame) == pytest.approx(hem.wcrt(frame))
+
+    def test_t1_highest_priority_equals_cet_in_hem(self, comparison):
+        assert comparison.wcrt_hem["T1"] == CPU_TASKS["T1"][0]
+
+    def test_task_signal_mapping_consistent(self):
+        layer = build_com_layer()
+        for task, signal in TASK_SIGNAL.items():
+            assert layer.frame_of_signal(signal).name == "F1"

@@ -1,0 +1,118 @@
+"""Unit tests for system serialisation (round trips and golden shapes)."""
+
+import json
+
+import pytest
+
+from repro._errors import ModelError
+from repro.analysis import (
+    EDFScheduler,
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+    RoundRobinScheduler,
+    SPNPScheduler,
+    SPPScheduler,
+    TDMAScheduler,
+)
+from repro.eventmodels import (
+    models_equal,
+    or_join,
+    periodic,
+    periodic_with_jitter,
+    sporadic,
+)
+from repro.examples_lib.rox08 import build_system
+from repro.system import (
+    analyze_system,
+    model_from_dict,
+    model_to_dict,
+    scheduler_from_dict,
+    scheduler_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+class TestModelRoundTrip:
+    @pytest.mark.parametrize("model", [
+        periodic(100.0),
+        periodic_with_jitter(100.0, 35.0),
+        sporadic(250.0, 10.0),
+    ])
+    def test_standard_exact(self, model):
+        clone = model_from_dict(model_to_dict(model))
+        assert models_equal(model, clone, n_max=32)
+
+    def test_curve_via_freeze(self):
+        join = or_join([periodic(100.0), periodic(150.0)])
+        clone = model_from_dict(model_to_dict(join))
+        # exact within the freeze horizon
+        for n in range(2, 32):
+            assert clone.delta_min(n) == pytest.approx(join.delta_min(n))
+
+    def test_json_compatible(self):
+        payload = model_to_dict(periodic_with_jitter(10.0, 3.0))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"type": "quantum"})
+
+
+class TestSchedulerRoundTrip:
+    @pytest.mark.parametrize("scheduler", [
+        SPPScheduler(0.9),
+        SPNPScheduler(),
+        RoundRobinScheduler(),
+        TDMAScheduler(),
+        EDFScheduler(),
+        HierarchicalSPPScheduler(PeriodicResource(100.0, 30.0)),
+    ])
+    def test_round_trip_policy(self, scheduler):
+        clone = scheduler_from_dict(scheduler_to_dict(scheduler))
+        assert clone.policy == scheduler.policy
+
+    def test_spp_limit_preserved(self):
+        clone = scheduler_from_dict(scheduler_to_dict(SPPScheduler(0.7)))
+        assert clone.utilization_limit == 0.7
+
+    def test_server_parameters_preserved(self):
+        original = HierarchicalSPPScheduler(PeriodicResource(80.0, 20.0))
+        clone = scheduler_from_dict(scheduler_to_dict(original))
+        assert clone.server.period == 80.0
+        assert clone.server.budget == 20.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError):
+            scheduler_from_dict({"policy": "magic"})
+
+
+class TestSystemRoundTrip:
+    def test_paper_system_round_trip_same_results(self):
+        original = build_system("hem")
+        clone = system_from_dict(system_to_dict(original))
+        r1 = analyze_system(original)
+        r2 = analyze_system(clone)
+        for task in ("T1", "T2", "T3", "F1", "F2"):
+            assert r2.wcrt(task) == pytest.approx(r1.wcrt(task))
+
+    def test_dict_is_json_serialisable(self):
+        payload = system_to_dict(build_system("flat"))
+        clone_payload = json.loads(json.dumps(payload))
+        clone = system_from_dict(clone_payload)
+        assert set(clone.tasks) == set(build_system("flat").tasks)
+
+    def test_junction_metadata_preserved(self):
+        original = build_system("hem")
+        payload = system_to_dict(original)
+        pack = payload["junctions"]["F1_pack"]
+        assert pack["kind"] == "pack"
+        assert pack["timer"] == "F1_timer"
+        assert set(pack["properties"].values()) == \
+            {"triggering", "pending"}
+
+    def test_invalid_graph_rejected_on_load(self):
+        payload = system_to_dict(build_system("hem"))
+        payload["tasks"]["T1"]["inputs"] = ["ghost_node"]
+        with pytest.raises(ModelError):
+            system_from_dict(payload)

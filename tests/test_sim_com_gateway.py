@@ -1,0 +1,175 @@
+"""Unit tests for the COM-layer simulator and full gateway runs."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.can import CanBusTiming
+from repro.com import ComLayer, Frame, FrameType, Signal
+from repro.core import TransferProperty
+from repro.eventmodels import periodic, trace_within_bounds
+from repro.sim import (
+    CanBusSim,
+    ComLayerSim,
+    EventTrace,
+    GatewayScenario,
+    Simulator,
+    arrivals_for_models,
+    simulate_gateway,
+)
+
+TRIG = TransferProperty.TRIGGERING
+PEND = TransferProperty.PENDING
+
+
+def build_sim_stack(frames):
+    layer = ComLayer()
+    for f in frames:
+        layer.add_frame(f)
+    sim = Simulator()
+    trace = EventTrace()
+    bus = CanBusSim(sim)
+    tx = {f.name: 10.0 for f in frames}
+    com = ComLayerSim(sim, layer, bus, tx, trace=trace)
+    return sim, trace, com
+
+
+class TestComLayerSim:
+    def test_triggering_signal_requests_frame(self):
+        frame = Frame("F", FrameType.DIRECT, [Signal("a", 8, TRIG)],
+                      can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        sim.schedule(5.0, lambda: com.write_signal("a"))
+        sim.run_until(100.0)
+        assert trace.events("tx.F") == [5.0]
+        assert trace.events("wire.F") == [15.0]
+        assert trace.events("rx.a") == [15.0]
+
+    def test_pending_signal_waits_for_timer(self):
+        frame = Frame("F", FrameType.PERIODIC, [Signal("a", 8, TRIG)],
+                      period=50.0, can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        sim.schedule(5.0, lambda: com.write_signal("a"))
+        sim.run_until(120.0)
+        # Effectively pending in a periodic frame: no transmission at 5;
+        # the timer fires at 50 and delivers at 60.
+        assert trace.events("tx.F") == [50.0, 100.0]
+        assert trace.events("rx.a") == [60.0]
+
+    def test_overwrite_collapses_writes(self):
+        frame = Frame("F", FrameType.PERIODIC, [Signal("a", 8, PEND)],
+                      period=100.0, can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        for t in (10.0, 20.0, 30.0):
+            sim.schedule(t, lambda: com.write_signal("a"))
+        sim.run_until(150.0)
+        # Three writes before the first transmission: one fresh delivery.
+        assert trace.events("rx.a") == [110.0]
+
+    def test_pending_rides_with_trigger(self):
+        frame = Frame("F", FrameType.DIRECT,
+                      [Signal("t", 8, TRIG), Signal("p", 8, PEND)],
+                      can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        sim.schedule(5.0, lambda: com.write_signal("p"))
+        sim.schedule(20.0, lambda: com.write_signal("t"))
+        sim.run_until(100.0)
+        # p waits (no transmission at 5), rides the frame t triggers.
+        assert trace.events("tx.F") == [20.0]
+        assert trace.events("rx.p") == [30.0]
+        assert trace.events("rx.t") == [30.0]
+
+    def test_stale_frame_delivers_nothing(self):
+        frame = Frame("F", FrameType.MIXED, [Signal("t", 8, TRIG)],
+                      period=40.0, can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        sim.schedule(5.0, lambda: com.write_signal("t"))
+        sim.run_until(100.0)
+        # Timer frames at 40 and 80 carry no new value of t.
+        assert trace.events("wire.F") == [15.0, 50.0, 90.0]
+        assert trace.events("rx.t") == [5.0 + 10.0]
+
+    def test_delivery_callback(self):
+        frame = Frame("F", FrameType.DIRECT, [Signal("a", 8, TRIG)],
+                      can_id=1)
+        sim, trace, com = build_sim_stack([frame])
+        seen = []
+        com.on_delivery("a", lambda sig, t: seen.append((sig, t)))
+        sim.schedule(0.0, lambda: com.write_signal("a"))
+        sim.run_until(100.0)
+        assert seen == [("a", 10.0)]
+
+    def test_unknown_signal_rejected(self):
+        frame = Frame("F", FrameType.DIRECT, [Signal("a", 8, TRIG)],
+                      can_id=1)
+        _, _, com = build_sim_stack([frame])
+        with pytest.raises(ModelError):
+            com.write_signal("zzz")
+        with pytest.raises(ModelError):
+            com.on_delivery("zzz", lambda s, t: None)
+
+    def test_missing_tx_time_rejected(self):
+        layer = ComLayer()
+        layer.add_frame(Frame("F", FrameType.DIRECT,
+                              [Signal("a", 8, TRIG)], can_id=1))
+        sim = Simulator()
+        bus = CanBusSim(sim)
+        with pytest.raises(ModelError):
+            ComLayerSim(sim, layer, bus, tx_times={})
+
+
+class TestGatewayScenario:
+    def _scenario(self, mode="periodic"):
+        layer = ComLayer()
+        layer.add_frame(Frame(
+            "F", FrameType.MIXED,
+            [Signal("fast", 8, TRIG), Signal("slow", 8, PEND)],
+            period=400.0, can_id=1))
+        models = {"fast": periodic(100.0, "fast"),
+                  "slow": periodic(300.0, "slow")}
+        return GatewayScenario(
+            layer=layer,
+            bus_timing=CanBusTiming(0.5),
+            signal_arrivals=arrivals_for_models(models, 5000.0, mode=mode),
+            cpu_tasks={"consumer": (1, 5.0, "fast")},
+        )
+
+    def test_run_produces_traffic(self):
+        run = simulate_gateway(self._scenario(), 5000.0)
+        assert run.responses.count("F") > 10
+        assert run.responses.count("consumer") > 10
+        assert len(run.delivered("fast")) > 10
+
+    def test_deliveries_monotone(self):
+        run = simulate_gateway(self._scenario(), 5000.0)
+        d = run.delivered("fast")
+        assert d == sorted(d)
+
+    def test_pending_delivered_despite_no_trigger(self):
+        run = simulate_gateway(self._scenario(), 5000.0)
+        assert len(run.delivered("slow")) > 5
+
+    def test_worst_mode_denser_than_periodic(self):
+        worst = simulate_gateway(self._scenario(mode="worst"), 5000.0)
+        per = simulate_gateway(self._scenario(mode="periodic"), 5000.0)
+        assert worst.responses.worst_case("consumer") >= \
+            per.responses.worst_case("consumer") - 1e-9
+
+    def test_delivered_streams_within_hem_bounds(self):
+        # The unpacked inner models must bound the simulated deliveries.
+        from repro.core import BusyWindowOutput, apply_operation
+        scenario = self._scenario(mode="worst")
+        run = simulate_gateway(scenario, 20_000.0)
+        hem = scenario.layer.build_frame_hem(
+            "F", {"fast": periodic(100.0), "slow": periodic(300.0)})
+        # Bus response interval from the simulated wire time (single
+        # frame, idle bus): [tx, tx].
+        tx = scenario.bus_timing.transmission_time_max(2)
+        out = apply_operation(hem, BusyWindowOutput(tx, tx))
+        for label in ("fast", "slow"):
+            assert trace_within_bounds(run.delivered(label),
+                                       out.inner(label)), label
+
+    def test_bad_mode_rejected(self):
+        models = {"x": periodic(10.0)}
+        with pytest.raises(ModelError):
+            arrivals_for_models(models, 100.0, mode="chaotic")

@@ -1,0 +1,187 @@
+"""Unit tests for the CPU and CAN bus simulators (hand-traced scenarios)."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.sim import CanBusSim, ResponseRecorder, Simulator, SppCpuSim
+
+
+def make_cpu():
+    sim = Simulator()
+    rec = ResponseRecorder()
+    cpu = SppCpuSim(sim, rec)
+    return sim, rec, cpu
+
+
+class TestSppCpuSim:
+    def test_single_job(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("t", 1, 10.0)
+        sim.schedule(5.0, lambda: cpu.activate("t"))
+        sim.run_until(100.0)
+        assert rec.jobs("t") == [(5.0, 15.0)]
+
+    def test_preemption(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("hi", 1, 5.0)
+        cpu.add_task("lo", 2, 10.0)
+        sim.schedule(0.0, lambda: cpu.activate("lo"))
+        sim.schedule(3.0, lambda: cpu.activate("hi"))
+        sim.run_until(100.0)
+        # lo runs 0-3, hi preempts 3-8, lo resumes 8-15.
+        assert rec.jobs("hi") == [(3.0, 8.0)]
+        assert rec.jobs("lo") == [(0.0, 15.0)]
+
+    def test_no_preemption_by_equal_or_lower(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("a", 1, 5.0)
+        cpu.add_task("b", 1, 5.0)
+        sim.schedule(0.0, lambda: cpu.activate("a"))
+        sim.schedule(1.0, lambda: cpu.activate("b"))
+        sim.run_until(100.0)
+        assert rec.jobs("a") == [(0.0, 5.0)]
+        assert rec.jobs("b") == [(1.0, 10.0)]
+
+    def test_fifo_same_task(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("t", 1, 4.0)
+        sim.schedule(0.0, lambda: cpu.activate("t"))
+        sim.schedule(0.0, lambda: cpu.activate("t"))
+        sim.run_until(100.0)
+        assert rec.jobs("t") == [(0.0, 4.0), (0.0, 8.0)]
+
+    def test_nested_preemption(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("p1", 1, 2.0)
+        cpu.add_task("p2", 2, 4.0)
+        cpu.add_task("p3", 3, 8.0)
+        sim.schedule(0.0, lambda: cpu.activate("p3"))
+        sim.schedule(1.0, lambda: cpu.activate("p2"))
+        sim.schedule(2.0, lambda: cpu.activate("p1"))
+        sim.run_until(100.0)
+        # p3 0-1, p2 1-2, p1 2-4, p2 4-7, p3 7-14.
+        assert rec.jobs("p1") == [(2.0, 4.0)]
+        assert rec.jobs("p2") == [(1.0, 7.0)]
+        assert rec.jobs("p3") == [(0.0, 14.0)]
+
+    def test_completion_callback(self):
+        sim, rec, _ = make_cpu()
+        done = []
+        cpu = SppCpuSim(sim, rec)
+        cpu.add_task("t", 1, 3.0,
+                     on_complete=lambda name, t: done.append((name, t)))
+        sim.schedule(0.0, lambda: cpu.activate("t"))
+        sim.run_until(10.0)
+        assert done == [("t", 3.0)]
+
+    def test_duplicate_task_rejected(self):
+        _, _, cpu = make_cpu()
+        cpu.add_task("t", 1, 1.0)
+        with pytest.raises(ModelError):
+            cpu.add_task("t", 2, 2.0)
+
+    def test_unknown_activation_rejected(self):
+        _, _, cpu = make_cpu()
+        with pytest.raises(ModelError):
+            cpu.activate("ghost")
+
+    def test_backlog(self):
+        sim, rec, cpu = make_cpu()
+        cpu.add_task("t", 1, 10.0)
+        sim.schedule(0.0, lambda: cpu.activate("t"))
+        sim.schedule(1.0, lambda: cpu.activate("t"))
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(2.0)
+        assert cpu.backlog() == 2
+
+
+def make_bus():
+    sim = Simulator()
+    rec = ResponseRecorder()
+    bus = CanBusSim(sim, rec)
+    return sim, rec, bus
+
+
+class TestCanBusSim:
+    def test_idle_bus_transmits_immediately(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("f", 1, 10.0)
+        sim.schedule(2.0, lambda: bus.request("f"))
+        sim.run_until(100.0)
+        assert rec.jobs("f") == [(2.0, 12.0)]
+
+    def test_non_preemptive_blocking(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("hi", 1, 5.0)
+        bus.add_frame("lo", 2, 10.0)
+        sim.schedule(0.0, lambda: bus.request("lo"))
+        sim.schedule(1.0, lambda: bus.request("hi"))
+        sim.run_until(100.0)
+        # lo holds the bus to 10; hi then transmits 10-15.
+        assert rec.jobs("lo") == [(0.0, 10.0)]
+        assert rec.jobs("hi") == [(1.0, 15.0)]
+
+    def test_priority_arbitration_when_idle(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("hi", 1, 5.0)
+        bus.add_frame("lo", 2, 5.0)
+        sim.schedule(0.0, lambda: bus.request("lo"))
+        sim.schedule(0.0, lambda: bus.request("hi"))
+        sim.run_until(100.0)
+        # Simultaneous queueing: the first request callback runs first
+        # and takes the idle bus (lo), then hi wins the next arbitration.
+        assert rec.jobs("lo") == [(0.0, 5.0)]
+        assert rec.jobs("hi") == [(0.0, 10.0)]
+
+    def test_queued_backlog_ordered_by_priority(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("a", 1, 5.0)
+        bus.add_frame("b", 2, 5.0)
+        bus.add_frame("c", 3, 20.0)
+        sim.schedule(0.0, lambda: bus.request("c"))
+        sim.schedule(1.0, lambda: bus.request("b"))
+        sim.schedule(2.0, lambda: bus.request("a"))
+        sim.run_until(100.0)
+        # c transmits 0-20; then a (higher prio) 20-25; then b 25-30.
+        assert rec.jobs("a") == [(2.0, 25.0)]
+        assert rec.jobs("b") == [(1.0, 30.0)]
+
+    def test_fifo_same_frame(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("f", 1, 4.0)
+        sim.schedule(0.0, lambda: bus.request("f"))
+        sim.schedule(0.5, lambda: bus.request("f"))
+        sim.run_until(100.0)
+        assert rec.jobs("f") == [(0.0, 4.0), (0.5, 8.0)]
+
+    def test_hooks_called(self):
+        sim, rec, bus = make_bus()
+        events = []
+        bus.add_frame(
+            "f", 1, 4.0,
+            on_start=lambda name, inst: events.append(("start", sim.now)),
+            on_complete=lambda name, inst, t: events.append(("done", t)))
+        sim.schedule(1.0, lambda: bus.request("f"))
+        sim.run_until(100.0)
+        assert events == [("start", 1.0), ("done", 5.0)]
+
+    def test_duplicate_id_rejected(self):
+        _, _, bus = make_bus()
+        bus.add_frame("a", 1, 1.0)
+        with pytest.raises(ModelError):
+            bus.add_frame("b", 1, 1.0)
+
+    def test_unknown_frame_rejected(self):
+        _, _, bus = make_bus()
+        with pytest.raises(ModelError):
+            bus.request("ghost")
+
+    def test_queue_depth(self):
+        sim, rec, bus = make_bus()
+        bus.add_frame("a", 1, 10.0)
+        bus.add_frame("b", 2, 10.0)
+        sim.schedule(0.0, lambda: bus.request("a"))
+        sim.schedule(1.0, lambda: bus.request("b"))
+        sim.schedule(2.0, lambda: bus.request("b"))
+        sim.run_until(3.0)
+        assert bus.queue_depth("b") == 2

@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event engine and stimulus generators."""
+
+import random
+
+import pytest
+
+from repro._errors import ModelError
+from repro.eventmodels import (
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+    trace_within_bounds,
+)
+from repro.sim import (
+    Simulator,
+    periodic_arrivals,
+    random_jitter_arrivals,
+    worst_case_arrivals,
+)
+
+
+class TestSimulator:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append(("b", sim.now)))
+        sim.schedule(1.0, lambda: log.append(("a", sim.now)))
+        sim.run_until(10.0)
+        assert log == [("a", 1.0), ("b", 5.0)]
+
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run_until(2.0)
+        assert log == ["first", "second"]
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: sim.schedule_in(3.0,
+                                                  lambda: log.append(
+                                                      sim.now)))
+        sim.run_until(10.0)
+        assert log == [5.0]
+
+    def test_horizon_respected(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("in"))
+        sim.schedule(15.0, lambda: log.append("out"))
+        sim.run_until(10.0)
+        assert log == ["in"]
+        assert sim.pending_events() == 1
+        assert sim.now == 10.0
+
+    def test_no_past_scheduling(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule(1.0, lambda: None))
+        with pytest.raises(ModelError):
+            sim.run_until(10.0)
+
+    def test_stop(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: log.append(2))
+        sim.run_until(10.0)
+        assert log == [1]
+
+
+class TestPeriodicArrivals:
+    def test_basic(self):
+        assert periodic_arrivals(100.0, 350.0) == [0.0, 100.0, 200.0,
+                                                   300.0]
+
+    def test_phase(self):
+        assert periodic_arrivals(100.0, 250.0, phase=50.0) == \
+            [50.0, 150.0, 250.0]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            periodic_arrivals(0.0, 100.0)
+        with pytest.raises(ModelError):
+            periodic_arrivals(10.0, 100.0, phase=-1.0)
+
+
+class TestWorstCaseArrivals:
+    def test_periodic_collapses_to_periodic(self):
+        assert worst_case_arrivals(periodic(100.0), 300.0) == \
+            [0.0, 100.0, 200.0, 300.0]
+
+    def test_jitter_front_loads(self):
+        # PJ(100, 30): delta_min(2) = 70 -> second event at 70.
+        arr = worst_case_arrivals(periodic_with_jitter(100.0, 30.0), 250.0)
+        assert arr[:3] == [0.0, 70.0, 170.0]
+
+    def test_burst_simultaneous(self):
+        arr = worst_case_arrivals(
+            periodic_with_burst(100.0, 250.0, 0.0), 100.0)
+        assert arr[:3] == [0.0, 0.0, 0.0]
+
+    def test_sequence_respects_model(self):
+        m = periodic_with_jitter(100.0, 45.0)
+        arr = worst_case_arrivals(m, 5000.0)
+        assert trace_within_bounds(arr, m)
+
+    def test_achieves_eta_plus(self):
+        # The critical-instant sequence must actually reach the eta+
+        # bound in the window anchored at 0.
+        m = periodic_with_jitter(100.0, 45.0)
+        arr = worst_case_arrivals(m, 5000.0)
+        for dt in (100.0, 500.0, 1000.0):
+            observed = sum(1 for t in arr if t < dt)
+            assert observed == m.eta_plus(dt)
+
+
+class TestRandomJitterArrivals:
+    def test_within_bounds(self):
+        m = periodic_with_jitter(100.0, 40.0)
+        for seed in range(5):
+            arr = random_jitter_arrivals(m, 10_000.0,
+                                         rng=random.Random(seed))
+            assert trace_within_bounds(arr, m)
+
+    def test_respects_dmin(self):
+        m = periodic_with_burst(100.0, 300.0, 25.0)
+        arr = random_jitter_arrivals(m, 10_000.0,
+                                     rng=random.Random(7))
+        gaps = [b - a for a, b in zip(arr, arr[1:])]
+        assert all(g >= 25.0 - 1e-9 for g in gaps)
+
+    def test_deterministic_given_rng(self):
+        m = periodic_with_jitter(100.0, 40.0)
+        a = random_jitter_arrivals(m, 1000.0, rng=random.Random(3))
+        b = random_jitter_arrivals(m, 1000.0, rng=random.Random(3))
+        assert a == b
+
+    def test_sorted(self):
+        m = periodic_with_jitter(50.0, 49.0)
+        arr = random_jitter_arrivals(m, 5000.0, rng=random.Random(11))
+        assert arr == sorted(arr)

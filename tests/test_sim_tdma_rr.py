@@ -1,0 +1,180 @@
+"""Unit tests for the TDMA and round-robin simulators, including
+conservatism against their respective analyses."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.analysis import RoundRobinScheduler, TaskSpec, TDMAScheduler
+from repro.eventmodels import periodic
+from repro.sim import (
+    ResponseRecorder,
+    RoundRobinSim,
+    Simulator,
+    TdmaSim,
+    worst_case_arrivals,
+)
+
+
+def make_tdma(slots):
+    sim = Simulator()
+    rec = ResponseRecorder()
+    return sim, rec, TdmaSim(sim, rec, slots)
+
+
+class TestTdmaSim:
+    def test_job_in_own_slot_runs_immediately(self):
+        sim, rec, tdma = make_tdma([("a", 5.0), ("b", 5.0)])
+        tdma.add_task("a", 2.0)
+        sim.schedule(0.0, lambda: tdma.activate("a"))
+        sim.run_until(100.0)
+        assert rec.jobs("a") == [(0.0, 2.0)]
+
+    def test_job_waits_for_slot(self):
+        sim, rec, tdma = make_tdma([("a", 5.0), ("b", 5.0)])
+        tdma.add_task("b", 2.0)
+        sim.schedule(1.0, lambda: tdma.activate("b"))
+        sim.run_until(100.0)
+        # b's slot starts at 5.
+        assert rec.jobs("b") == [(1.0, 7.0)]
+
+    def test_job_spans_slots(self):
+        sim, rec, tdma = make_tdma([("a", 5.0), ("b", 5.0)])
+        tdma.add_task("a", 8.0)
+        sim.schedule(0.0, lambda: tdma.activate("a"))
+        sim.run_until(100.0)
+        # 5 units in [0,5), pause during b's slot, 3 more in [10,13).
+        assert rec.jobs("a") == [(0.0, 13.0)]
+
+    def test_mid_slot_arrival_served(self):
+        sim, rec, tdma = make_tdma([("a", 5.0), ("b", 5.0)])
+        tdma.add_task("a", 1.0)
+        sim.schedule(2.0, lambda: tdma.activate("a"))
+        sim.run_until(100.0)
+        assert rec.jobs("a") == [(2.0, 3.0)]
+
+    def test_completion_at_slot_boundary(self):
+        sim, rec, tdma = make_tdma([("a", 5.0), ("b", 5.0)])
+        tdma.add_task("a", 5.0)
+        sim.schedule(0.0, lambda: tdma.activate("a"))
+        sim.run_until(100.0)
+        assert rec.jobs("a") == [(0.0, 5.0)]
+
+    def test_fifo_within_owner(self):
+        sim, rec, tdma = make_tdma([("a", 4.0), ("b", 6.0)])
+        tdma.add_task("a", 3.0)
+        sim.schedule(0.0, lambda: tdma.activate("a"))
+        sim.schedule(0.0, lambda: tdma.activate("a"))
+        sim.run_until(100.0)
+        # First job: [0,3). Second: 1 unit in [3,4), 2 units in [10,12).
+        assert rec.jobs("a") == [(0.0, 3.0), (0.0, 12.0)]
+
+    def test_validation_errors(self):
+        sim = Simulator()
+        rec = ResponseRecorder()
+        with pytest.raises(ModelError):
+            TdmaSim(sim, rec, [])
+        with pytest.raises(ModelError):
+            TdmaSim(sim, rec, [("a", 0.0)])
+        _, _, tdma = make_tdma([("a", 1.0)])
+        with pytest.raises(ModelError):
+            tdma.add_task("ghost", 1.0)
+        with pytest.raises(ModelError):
+            tdma.activate("a")  # exec time not declared
+
+    def test_conservative_vs_analysis(self):
+        # Worst-case stimuli; observed WCRT <= analysed bound.
+        specs = [
+            TaskSpec("a", 2.0, 2.0, periodic(20.0), slot=3.0),
+            TaskSpec("b", 4.0, 4.0, periodic(30.0), slot=5.0),
+        ]
+        analysis = TDMAScheduler().analyze(specs, "bus")
+        sim, rec, tdma = make_tdma([("a", 3.0), ("b", 5.0)])
+        for spec in specs:
+            tdma.add_task(spec.name, spec.c_max)
+            # Phase the arrivals right after the own slot (the analysis
+            # critical instant): a's slot is [0,3), b's is [3,8).
+            phase = 3.0 if spec.name == "a" else 8.0
+            for t in worst_case_arrivals(spec.event_model, 3000.0,
+                                         phase=phase):
+                sim.schedule(t, lambda _n=spec.name: tdma.activate(_n))
+        sim.run_until(6000.0)
+        for spec in specs:
+            assert rec.count(spec.name) > 50
+            assert rec.worst_case(spec.name) <= \
+                analysis[spec.name].r_max + 1e-6
+
+
+def make_rr():
+    sim = Simulator()
+    rec = ResponseRecorder()
+    return sim, rec, RoundRobinSim(sim, rec)
+
+
+class TestRoundRobinSim:
+    def test_single_task_runs_through(self):
+        sim, rec, rr = make_rr()
+        rr.add_task("a", quantum=2.0, exec_time=5.0)
+        sim.schedule(0.0, lambda: rr.activate("a"))
+        sim.run_until(100.0)
+        # Alone: quanta are contiguous (idle queues skipped).
+        assert rec.jobs("a") == [(0.0, 5.0)]
+
+    def test_two_tasks_interleave(self):
+        sim, rec, rr = make_rr()
+        rr.add_task("a", quantum=2.0, exec_time=4.0)
+        rr.add_task("b", quantum=2.0, exec_time=4.0)
+        sim.schedule(0.0, lambda: rr.activate("a"))
+        sim.schedule(0.0, lambda: rr.activate("b"))
+        sim.run_until(100.0)
+        # a: [0,2) then [4,6); b: [2,4) then [6,8).
+        assert rec.jobs("a") == [(0.0, 6.0)]
+        assert rec.jobs("b") == [(0.0, 8.0)]
+
+    def test_work_conserving(self):
+        sim, rec, rr = make_rr()
+        rr.add_task("a", quantum=1.0, exec_time=3.0)
+        rr.add_task("idle", quantum=100.0, exec_time=1.0)
+        sim.schedule(0.0, lambda: rr.activate("a"))
+        sim.run_until(100.0)
+        # The idle queue donates its slots: a finishes at 3.
+        assert rec.jobs("a") == [(0.0, 3.0)]
+
+    def test_quantum_bounds_contiguous_service(self):
+        sim, rec, rr = make_rr()
+        rr.add_task("small", quantum=1.0, exec_time=1.0)
+        rr.add_task("big", quantum=10.0, exec_time=10.0)
+        sim.schedule(0.0, lambda: rr.activate("big"))
+        sim.schedule(0.5, lambda: rr.activate("small"))
+        sim.run_until(100.0)
+        # big grabbed a full 10-quantum; small waits for it.
+        assert rec.jobs("big") == [(0.0, 10.0)]
+        assert rec.jobs("small") == [(0.5, 11.0)]
+
+    def test_validation_errors(self):
+        _, _, rr = make_rr()
+        rr.add_task("a", 1.0, 1.0)
+        with pytest.raises(ModelError):
+            rr.add_task("a", 1.0, 1.0)
+        with pytest.raises(ModelError):
+            rr.add_task("b", 0.0, 1.0)
+        with pytest.raises(ModelError):
+            rr.activate("ghost")
+
+    def test_conservative_vs_analysis(self):
+        specs = [
+            TaskSpec("a", 2.0, 2.0, periodic(15.0), slot=2.0),
+            TaskSpec("b", 3.0, 3.0, periodic(20.0), slot=2.0),
+            TaskSpec("c", 2.0, 2.0, periodic(25.0), slot=2.0),
+        ]
+        analysis = RoundRobinScheduler().analyze(specs, "cpu")
+        sim, rec, rr = make_rr()
+        for spec in specs:
+            rr.add_task(spec.name, quantum=spec.slot,
+                        exec_time=spec.c_max)
+            for t in worst_case_arrivals(spec.event_model, 3000.0):
+                sim.schedule(t, lambda _n=spec.name: rr.activate(_n))
+        sim.run_until(6000.0)
+        for spec in specs:
+            assert rec.count(spec.name) > 50
+            assert rec.worst_case(spec.name) <= \
+                analysis[spec.name].r_max + 1e-6

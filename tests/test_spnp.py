@@ -1,0 +1,101 @@
+"""Unit tests for the SPNP (CAN-style) analysis (hand-checked cases)."""
+
+import pytest
+
+from repro._errors import NotSchedulableError
+from repro.analysis import SPNPScheduler, TaskSpec
+from repro.eventmodels import periodic, periodic_with_burst
+
+
+def frameset_classic():
+    """Frames (C, P): A (1,4) > B (2,6) > C (3,12) by priority."""
+    return [
+        TaskSpec("A", 1.0, 1.0, periodic(4.0), priority=1),
+        TaskSpec("B", 2.0, 2.0, periodic(6.0), priority=2),
+        TaskSpec("C", 3.0, 3.0, periodic(12.0), priority=3),
+    ]
+
+
+class TestClassicCanAnalysis:
+    def test_highest_priority_blocked_by_longest_lower(self):
+        # A: blocking max(2, 3) = 3, queueing 3, + C = 4.
+        result = SPNPScheduler().analyze(frameset_classic(), "can")
+        assert result["A"].r_max == 4.0
+        assert result["A"].details["blocking"] == 3.0
+
+    def test_middle_priority(self):
+        # B: blocking 3, w = 3 + eta_A(w)*1 -> 5, + C = 7.
+        result = SPNPScheduler().analyze(frameset_classic(), "can")
+        assert result["B"].r_max == 7.0
+
+    def test_lowest_priority_no_blocking(self):
+        # C: no lower frame, w = eta_A*1 + eta_B*2 -> 3, + C = 6.
+        result = SPNPScheduler().analyze(frameset_classic(), "can")
+        assert result["C"].r_max == 6.0
+        assert result["C"].details["blocking"] == 0.0
+
+    def test_best_case_is_wire_time(self):
+        result = SPNPScheduler().analyze(frameset_classic(), "can")
+        assert result["B"].r_min == 2.0
+
+
+class TestNonPreemptiveSemantics:
+    def test_own_transmission_not_preempted(self):
+        # One big low-priority frame, one fast high-priority stream: the
+        # low frame, once started, finishes in C even though high frames
+        # arrive meanwhile.
+        frames = [
+            TaskSpec("hi", 1.0, 1.0, periodic(4.0), priority=1),
+            TaskSpec("lo", 3.0, 3.0, periodic(100.0), priority=2),
+        ]
+        result = SPNPScheduler().analyze(frames, "can")
+        # lo queues behind at most one hi (w=1), then transmits 3.
+        assert result["lo"].r_max == 4.0
+
+    def test_arrival_at_arbitration_instant_counts(self):
+        # hi frames arrive exactly every 4; with the arbitration epsilon
+        # an arrival exactly at the end of the queueing window still
+        # participates.  Construct w landing exactly on a multiple of 4.
+        frames = [
+            TaskSpec("hi", 2.0, 2.0, periodic(4.0), priority=1),
+            TaskSpec("lo", 2.0, 2.0, periodic(50.0), priority=2),
+        ]
+        result = SPNPScheduler().analyze(frames, "can")
+        # w iterates: 2 -> 2 + eta(2+)=1*2=2 ... eta_hi(2+eps)=1 -> w=2;
+        # wait: blocking 0, w0 = 2?  queueing = 0 + 0 + eta_hi(w+eps)*2.
+        # w0 = 2: eta(2+eps)=1 -> w=2. B = 2+2 = 4.
+        assert result["lo"].r_max == 4.0
+
+    def test_burst_queueing(self):
+        frames = [
+            TaskSpec("burst", 1.0, 1.0,
+                     periodic_with_burst(10.0, 20.0, 0.0), priority=1),
+            TaskSpec("lo", 2.0, 2.0, periodic(100.0), priority=2),
+        ]
+        result = SPNPScheduler().analyze(frames, "can")
+        # Burst of 3 simultaneous high frames delays lo by 3 before its
+        # own transmission.
+        assert result["lo"].r_max == 5.0
+
+
+class TestMultiInstanceWindows:
+    def test_second_instance_queues_behind_first(self):
+        # The analysed frame itself bursts: q=2 instances in one window.
+        frames = [
+            TaskSpec("b", 3.0, 3.0, periodic_with_burst(20.0, 40.0, 0.0),
+                     priority=1),
+        ]
+        result = SPNPScheduler().analyze(frames, "can")
+        # Three simultaneous instances: third waits 2*3 then transmits.
+        assert result["b"].r_max == 9.0
+        assert result["b"].q_max >= 3
+
+
+class TestOverload:
+    def test_bus_overload_detected(self):
+        frames = [
+            TaskSpec("x", 6.0, 6.0, periodic(10.0), priority=1),
+            TaskSpec("y", 5.0, 5.0, periodic(10.0), priority=2),
+        ]
+        with pytest.raises(NotSchedulableError):
+            SPNPScheduler().analyze(frames, "can")

@@ -1,0 +1,133 @@
+"""Unit tests for the SPP response-time analysis (hand-checked cases)."""
+
+import pytest
+
+from repro._errors import ModelError, NotSchedulableError
+from repro.analysis import SPPScheduler, TaskSpec
+from repro.eventmodels import (
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+)
+
+
+def taskset_classic():
+    """The textbook (C, P) set {(1,4), (2,6), (3,12)}."""
+    return [
+        TaskSpec("t1", 1.0, 1.0, periodic(4.0), priority=1),
+        TaskSpec("t2", 2.0, 2.0, periodic(6.0), priority=2),
+        TaskSpec("t3", 3.0, 3.0, periodic(12.0), priority=3),
+    ]
+
+
+class TestClassicRTA:
+    def test_highest_priority(self):
+        result = SPPScheduler().analyze(taskset_classic(), "cpu")
+        assert result["t1"].r_max == 1.0
+
+    def test_middle_priority(self):
+        result = SPPScheduler().analyze(taskset_classic(), "cpu")
+        assert result["t2"].r_max == 3.0
+
+    def test_lowest_priority(self):
+        # w = 3 + eta_1(w)*1 + eta_2(w)*2 converges at 10.
+        result = SPPScheduler().analyze(taskset_classic(), "cpu")
+        assert result["t3"].r_max == 10.0
+
+    def test_best_case_is_cmin(self):
+        result = SPPScheduler().analyze(taskset_classic(), "cpu")
+        assert result["t3"].r_min == 3.0
+
+    def test_utilization_reported(self):
+        result = SPPScheduler().analyze(taskset_classic(), "cpu")
+        assert result.utilization == pytest.approx(
+            1 / 4 + 2 / 6 + 3 / 12, rel=1e-3)
+
+
+class TestJitterEffects:
+    def test_jitter_on_interferer_raises_wcrt(self):
+        base = [
+            TaskSpec("hi", 2.0, 2.0, periodic(10.0), priority=1),
+            TaskSpec("lo", 5.0, 5.0, periodic(30.0), priority=2),
+        ]
+        jittered = [
+            TaskSpec("hi", 2.0, 2.0, periodic_with_jitter(10.0, 9.0),
+                     priority=1),
+            TaskSpec("lo", 5.0, 5.0, periodic(30.0), priority=2),
+        ]
+        r0 = SPPScheduler().analyze(base, "cpu")["lo"].r_max
+        r1 = SPPScheduler().analyze(jittered, "cpu")["lo"].r_max
+        assert r1 >= r0
+
+    def test_burst_multi_activation_window(self):
+        # The analysed task itself is bursty: multiple activations share
+        # one busy window and the later ones queue behind the earlier.
+        tasks = [TaskSpec("b", 30.0, 30.0,
+                          periodic_with_burst(100.0, 250.0, 0.0),
+                          priority=1)]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        # Three simultaneous activations: q=3 busy time 90, arrival at
+        # delta_min(3) = 0 -> response 90.
+        assert result["b"].r_max == 90.0
+        assert result["b"].q_max >= 3
+
+
+class TestOverload:
+    def test_utilization_above_one_rejected(self):
+        tasks = [TaskSpec("x", 9.0, 9.0, periodic(10.0), priority=1),
+                 TaskSpec("y", 5.0, 5.0, periodic(10.0), priority=2)]
+        with pytest.raises(NotSchedulableError) as err:
+            SPPScheduler().analyze(tasks, "cpu")
+        assert err.value.utilization > 1.0
+
+    def test_custom_limit(self):
+        tasks = [TaskSpec("x", 5.0, 5.0, periodic(10.0), priority=1)]
+        with pytest.raises(NotSchedulableError):
+            SPPScheduler(utilization_limit=0.4).analyze(tasks, "cpu")
+
+
+class TestPriorities:
+    def test_equal_priority_counts_as_interference(self):
+        tasks = [
+            TaskSpec("a", 2.0, 2.0, periodic(10.0), priority=1),
+            TaskSpec("b", 3.0, 3.0, periodic(10.0), priority=1),
+        ]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        # Conservative: each sees the other as an interferer.
+        assert result["a"].r_max == 5.0
+        assert result["b"].r_max == 5.0
+
+    def test_lower_number_wins(self):
+        tasks = [
+            TaskSpec("hi", 4.0, 4.0, periodic(10.0), priority=0),
+            TaskSpec("lo", 1.0, 1.0, periodic(10.0), priority=5),
+        ]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        assert result["hi"].r_max == 4.0
+        assert result["lo"].r_max == 5.0
+
+    def test_duplicate_names_rejected(self):
+        tasks = [
+            TaskSpec("same", 1.0, 1.0, periodic(10.0), priority=1),
+            TaskSpec("same", 1.0, 1.0, periodic(10.0), priority=2),
+        ]
+        with pytest.raises(ModelError):
+            SPPScheduler().analyze(tasks, "cpu")
+
+
+class TestTaskSpecValidation:
+    def test_negative_cmin(self):
+        with pytest.raises(ModelError):
+            TaskSpec("x", -1.0, 2.0, periodic(10.0))
+
+    def test_cmax_below_cmin(self):
+        with pytest.raises(ModelError):
+            TaskSpec("x", 3.0, 2.0, periodic(10.0))
+
+    def test_zero_cmax(self):
+        with pytest.raises(ModelError):
+            TaskSpec("x", 0.0, 0.0, periodic(10.0))
+
+    def test_load(self):
+        spec = TaskSpec("x", 1.0, 2.0, periodic(10.0))
+        assert spec.load() == pytest.approx(0.2)

@@ -1,0 +1,183 @@
+"""Unit tests for standard event models (P, J, d_min)."""
+
+import pytest
+
+from conftest import assert_delta_consistent
+from repro._errors import ModelError
+from repro.eventmodels import (
+    StandardEventModel,
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+    sporadic,
+)
+from repro.timebase import INF
+
+
+class TestConstruction:
+    def test_periodic_defaults(self):
+        m = periodic(100.0)
+        assert m.period == 100.0
+        assert m.jitter == 0.0
+        assert m.d_min == 100.0
+
+    def test_jitter_shrinks_default_dmin(self):
+        m = periodic_with_jitter(100.0, 30.0)
+        assert m.d_min == 70.0
+
+    def test_jitter_beyond_period_zero_dmin(self):
+        m = StandardEventModel(100.0, 150.0)
+        assert m.d_min == 0.0
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ModelError):
+            StandardEventModel(-1.0)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ModelError):
+            StandardEventModel(0.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ModelError):
+            StandardEventModel(100.0, -1.0)
+
+    def test_negative_dmin_rejected(self):
+        with pytest.raises(ModelError):
+            StandardEventModel(100.0, 0.0, -5.0)
+
+    def test_dmin_above_period_rejected(self):
+        with pytest.raises(ModelError):
+            StandardEventModel(100.0, 0.0, 150.0)
+
+    def test_frozen(self):
+        m = periodic(100.0)
+        with pytest.raises(Exception):
+            m.period = 50.0
+
+
+class TestDeltaClosedForms:
+    def test_periodic_delta_min(self):
+        m = periodic(100.0)
+        assert m.delta_min(2) == 100.0
+        assert m.delta_min(5) == 400.0
+
+    def test_periodic_delta_plus(self):
+        m = periodic(100.0)
+        assert m.delta_plus(2) == 100.0
+        assert m.delta_plus(5) == 400.0
+
+    def test_jitter_delta_min(self):
+        m = periodic_with_jitter(100.0, 30.0)
+        assert m.delta_min(2) == 70.0
+        assert m.delta_min(3) == 170.0
+
+    def test_jitter_delta_plus(self):
+        m = periodic_with_jitter(100.0, 30.0)
+        assert m.delta_plus(2) == 130.0
+        assert m.delta_plus(3) == 230.0
+
+    def test_burst_dmin_kicks_in(self):
+        # P=100, J=250, d=10: for small n the d_min term dominates.
+        m = periodic_with_burst(100.0, 250.0, 10.0)
+        assert m.delta_min(2) == 10.0
+        assert m.delta_min(3) == 20.0
+        # (n-1)P - J overtakes at n-1 > 250/90
+        assert m.delta_min(5) == max(4 * 100 - 250, 4 * 10) == 150.0
+
+    def test_small_n_zero(self):
+        m = periodic_with_jitter(100.0, 30.0)
+        assert m.delta_min(0) == 0.0
+        assert m.delta_min(1) == 0.0
+        assert m.delta_plus(0) == 0.0
+        assert m.delta_plus(1) == 0.0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ModelError):
+            periodic(100.0).delta_min(-1)
+
+    def test_consistency_all_variants(self):
+        for m in (periodic(100.0), periodic_with_jitter(100.0, 70.0),
+                  periodic_with_burst(100.0, 500.0, 5.0),
+                  sporadic(100.0, 20.0)):
+            assert_delta_consistent(m)
+
+
+class TestSporadic:
+    def test_delta_plus_unbounded(self):
+        m = sporadic(100.0)
+        assert m.delta_plus(2) == INF
+
+    def test_delta_min_like_periodic(self):
+        assert sporadic(100.0).delta_min(4) == periodic(100.0).delta_min(4)
+
+    def test_eta_min_zero(self):
+        assert sporadic(100.0).eta_min(1e9) == 0
+
+    def test_eta_plus_unchanged(self):
+        assert sporadic(100.0).eta_plus(250.0) == \
+            periodic(100.0).eta_plus(250.0)
+
+
+class TestEtaClosedFormsAgainstGeneric:
+    """The closed forms must agree with the generic pseudo-inverse on a
+    dense grid for several parameter combinations."""
+
+    @pytest.mark.parametrize("p,j,d", [
+        (100.0, 0.0, None),
+        (100.0, 30.0, None),
+        (100.0, 99.0, None),
+        (100.0, 250.0, 10.0),
+        (100.0, 250.0, 0.0),
+        (7.0, 3.5, None),
+    ])
+    def test_eta_plus_grid(self, p, j, d):
+        from repro.eventmodels import FunctionEventModel
+        sem = StandardEventModel(p, j, d)
+        generic = FunctionEventModel(sem.delta_min, sem.delta_plus)
+        dt = 0.0
+        while dt < 12 * p:
+            assert sem.eta_plus(dt) == generic.eta_plus(dt), dt
+            dt += p / 7.3
+
+    @pytest.mark.parametrize("p,j", [(100.0, 0.0), (100.0, 30.0),
+                                     (50.0, 49.0)])
+    def test_eta_min_grid(self, p, j):
+        from repro.eventmodels import FunctionEventModel
+        sem = StandardEventModel(p, j)
+        generic = FunctionEventModel(sem.delta_min, sem.delta_plus)
+        dt = 0.0
+        while dt < 12 * p:
+            assert sem.eta_min(dt) == generic.eta_min(dt), dt
+            dt += p / 5.1
+
+
+class TestWithJitter:
+    def test_increase_jitter(self):
+        m = periodic(100.0).with_jitter(40.0)
+        assert m.jitter == 40.0
+        assert m.d_min == 60.0
+
+    def test_burst_keeps_dmin(self):
+        m = periodic_with_burst(100.0, 300.0, 7.0).with_jitter(400.0)
+        assert m.d_min == 7.0
+
+    def test_sporadic_preserved(self):
+        m = sporadic(100.0).with_jitter(10.0)
+        assert m.delta_plus(2) == INF
+
+
+class TestBoundSemantics:
+    def test_eta_plus_one_for_any_positive_window(self):
+        # One event can always land inside an arbitrarily small window.
+        m = periodic(1000.0)
+        assert m.eta_plus(1e-9) == 1
+
+    def test_burst_window(self):
+        # Burst of 3 events possible with d_min 0.
+        m = periodic_with_burst(100.0, 250.0, 0.0)
+        assert m.eta_plus(1e-9) == 3
+
+    def test_load_independent_of_jitter(self):
+        base = periodic(100.0).load(2000)
+        jittered = periodic_with_jitter(100.0, 95.0).load(2000)
+        assert jittered == pytest.approx(base, rel=0.05)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic generators and offset-trace properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import ModelError
+from repro.core import TransferProperty
+from repro.eventmodels import offset_join, trace_within_bounds
+from repro.examples_lib.synth import (
+    synth_com_layer,
+    synth_sources,
+    synth_system,
+)
+from repro.sim import periodic_arrivals
+from repro.system import analyze_system
+
+
+class TestSynthSources:
+    def test_count_and_naming(self):
+        sources = synth_sources(6)
+        assert list(sources) == [f"S{i}" for i in range(1, 7)]
+
+    def test_periods_spread(self):
+        sources = synth_sources(8, base_period=100.0, spread=4.0)
+        periods = [m.period for m, _ in sources.values()]
+        assert min(periods) >= 100.0
+        assert max(periods) <= 4.0 * 100.0 * 1.1 + 1e-9
+
+    def test_pending_cadence(self):
+        sources = synth_sources(8, pending_every=4)
+        pending = [n for n, (_, p) in sources.items()
+                   if p is TransferProperty.PENDING]
+        assert pending == ["S4", "S8"]
+
+    def test_deterministic_by_seed(self):
+        a = synth_sources(5, seed=9)
+        b = synth_sources(5, seed=9)
+        assert all(a[k][0].period == b[k][0].period for k in a)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            synth_sources(0)
+
+
+class TestSynthComLayer:
+    def test_round_robin_distribution(self):
+        sources = synth_sources(6)
+        layer = synth_com_layer(sources, frames=2)
+        sizes = [len(f.signals) for f in layer.frames.values()]
+        assert sizes == [3, 3]
+
+    def test_too_many_signals_per_frame(self):
+        sources = synth_sources(9)
+        with pytest.raises(ModelError):
+            synth_com_layer(sources, frames=1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            synth_com_layer(synth_sources(4), frames=0)
+
+
+class TestSynthSystem:
+    def test_analysable_both_variants(self):
+        for variant in ("hem", "flat"):
+            result = analyze_system(synth_system(4, 1, variant))
+            assert result.converged
+
+    def test_bad_variant(self):
+        with pytest.raises(ModelError):
+            synth_system(4, 1, "quantum")
+
+
+class TestOffsetTraces:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=200.0, max_value=2000.0),
+           st.lists(st.floats(min_value=0.0, max_value=1999.0),
+                    min_size=1, max_size=4))
+    def test_merged_offset_traces_within_offset_join(self, period,
+                                                     offsets):
+        # The union of per-offset strictly periodic traces is exactly
+        # the sequence the offset_join models — it must lie inside.
+        merged = []
+        for off in offsets:
+            merged.extend(periodic_arrivals(period, 6 * period,
+                                            phase=off % period))
+        merged.sort()
+        model = offset_join(period, offsets)
+        assert trace_within_bounds(merged, model, check_plus=False)

@@ -1,0 +1,94 @@
+"""System-graph integration with the non-SPP schedulers and describe()."""
+
+import pytest
+
+from repro.analysis import (
+    EDFScheduler,
+    HierarchicalSPPScheduler,
+    PeriodicResource,
+    RoundRobinScheduler,
+    TDMAScheduler,
+)
+from repro.eventmodels import periodic
+from repro.examples_lib.rox08 import build_system
+from repro.system import System, analyze_system
+
+
+class TestPoliciesInGraph:
+    def test_tdma_resource(self):
+        s = System()
+        s.add_source("x", periodic(100.0))
+        s.add_source("y", periodic(100.0))
+        s.add_resource("bus", TDMAScheduler())
+        s.add_task("a", "bus", (2.0, 2.0), ["x"], slot=3.0)
+        s.add_task("b", "bus", (4.0, 4.0), ["y"], slot=5.0)
+        result = analyze_system(s)
+        assert result.converged
+        assert result.wcrt("a") == 7.0  # wait 5 (other slot) + 2
+
+    def test_round_robin_resource(self):
+        s = System()
+        s.add_source("x", periodic(50.0))
+        s.add_source("y", periodic(50.0))
+        s.add_resource("cpu", RoundRobinScheduler())
+        s.add_task("a", "cpu", (2.0, 2.0), ["x"], slot=2.0)
+        s.add_task("b", "cpu", (2.0, 2.0), ["y"], slot=2.0)
+        result = analyze_system(s)
+        assert result.wcrt("a") == 4.0
+
+    def test_edf_resource(self):
+        s = System()
+        s.add_source("x", periodic(10.0))
+        s.add_source("y", periodic(15.0))
+        s.add_resource("cpu", EDFScheduler())
+        s.add_task("a", "cpu", (2.0, 2.0), ["x"], deadline=10.0)
+        s.add_task("b", "cpu", (3.0, 3.0), ["y"], deadline=15.0)
+        result = analyze_system(s)
+        assert result.converged
+        assert result.wcrt("a") <= 10.0
+        assert result.wcrt("b") <= 15.0
+
+    def test_hierarchical_server_resource(self):
+        s = System()
+        s.add_source("x", periodic(100.0))
+        s.add_resource("partition", HierarchicalSPPScheduler(
+            PeriodicResource(50.0, 25.0)))
+        s.add_task("a", "partition", (5.0, 5.0), ["x"], priority=1)
+        result = analyze_system(s)
+        # blackout 2*(50-25)=50, then 5 of supply at full rate.
+        assert result.wcrt("a") == pytest.approx(55.0)
+
+    def test_mixed_policy_chain(self):
+        # TDMA bus feeding an SPP CPU: jitter from the bus propagates.
+        from repro.analysis import SPPScheduler
+
+        s = System()
+        s.add_source("x", periodic(100.0))
+        s.add_source("y", periodic(100.0))
+        s.add_resource("bus", TDMAScheduler())
+        s.add_resource("cpu", SPPScheduler())
+        s.add_task("tx", "bus", (2.0, 2.0), ["x"], slot=3.0)
+        s.add_task("other", "bus", (4.0, 4.0), ["y"], slot=5.0)
+        s.add_task("consume", "cpu", (10.0, 10.0), ["tx"], priority=1)
+        result = analyze_system(s)
+        assert result.converged
+        assert result.wcrt("consume") == 10.0
+
+
+class TestDescribe:
+    def test_paper_system_description(self):
+        text = build_system("hem").describe()
+        assert "System" in text
+        assert "F1_pack [pack] timer=F1_timer" in text
+        assert "T3 on CPU1" in text
+        assert "CAN: spnp" in text
+
+    def test_extras_rendered(self):
+        s = System()
+        s.add_source("x", periodic(10.0))
+        s.add_resource("cpu", TDMAScheduler())
+        s.add_task("t", "cpu", (1.0, 1.0), ["x"], slot=2.0,
+                   blocking=0.5)
+        text = s.describe()
+        assert "slot=2.0" in text
+        assert "blocking=0.5" in text

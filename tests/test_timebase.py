@@ -1,0 +1,106 @@
+"""Unit tests for the time arithmetic helpers."""
+
+import math
+
+import pytest
+
+from repro.timebase import (
+    EPS,
+    INF,
+    is_finite,
+    merge_eq,
+    strict_ceil,
+    strict_floor,
+    time_eq,
+    time_leq,
+    time_lt,
+)
+
+
+class TestStrictFloor:
+    def test_non_integer(self):
+        assert strict_floor(3.7) == 3
+
+    def test_exact_integer_steps_down(self):
+        assert strict_floor(3.0) == 2
+
+    def test_zero(self):
+        assert strict_floor(0.0) == -1
+
+    def test_negative(self):
+        assert strict_floor(-1.5) == -2
+
+    def test_negative_integer(self):
+        assert strict_floor(-2.0) == -3
+
+    def test_just_above_integer(self):
+        assert strict_floor(5.0000001) == 5
+
+
+class TestStrictCeil:
+    def test_non_integer(self):
+        assert strict_ceil(3.2) == 4
+
+    def test_exact_integer_steps_up(self):
+        assert strict_ceil(3.0) == 4
+
+    def test_zero(self):
+        assert strict_ceil(0.0) == 1
+
+    def test_negative(self):
+        assert strict_ceil(-1.5) == -1
+
+    def test_consistency_with_floor(self):
+        # strict_ceil(x) is always > x, strict_floor(x) always < x
+        for x in (0.0, 1.0, 2.5, -3.0, 17.999):
+            assert strict_ceil(x) > x
+            assert strict_floor(x) < x
+
+
+class TestTimeComparisons:
+    def test_eq_exact(self):
+        assert time_eq(1.0, 1.0)
+
+    def test_eq_within_eps(self):
+        assert time_eq(1.0, 1.0 + EPS / 2)
+
+    def test_eq_outside_eps(self):
+        assert not time_eq(1.0, 1.0 + 10 * EPS)
+
+    def test_eq_inf(self):
+        assert time_eq(INF, INF)
+
+    def test_eq_inf_vs_finite(self):
+        assert not time_eq(INF, 1e300)
+
+    def test_leq_tolerant(self):
+        assert time_leq(1.0 + EPS / 2, 1.0)
+
+    def test_leq_strict_failure(self):
+        assert not time_leq(2.0, 1.0)
+
+    def test_lt_strict(self):
+        assert time_lt(1.0, 2.0)
+
+    def test_lt_rejects_near_equal(self):
+        assert not time_lt(1.0, 1.0 + EPS / 2)
+
+    def test_is_finite(self):
+        assert is_finite(0.0)
+        assert not is_finite(INF)
+        assert not is_finite(math.nan)
+
+
+class TestMergeEq:
+    def test_equal_sequences(self):
+        assert merge_eq([1.0, 2.0], [1.0, 2.0 + EPS / 10])
+
+    def test_different_values(self):
+        assert not merge_eq([1.0, 2.0], [1.0, 3.0])
+
+    def test_different_lengths(self):
+        assert not merge_eq([1.0], [1.0, 2.0])
+
+    def test_inf_entries(self):
+        assert merge_eq([INF], [INF])
+        assert not merge_eq([INF], [1.0])

@@ -1,0 +1,141 @@
+"""Unit tests for trace-derived models and representation conversion."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.eventmodels import (
+    fit_standard,
+    model_from_trace,
+    periodic,
+    periodic_with_burst,
+    periodic_with_jitter,
+    sporadic,
+    trace_within_bounds,
+    verify_dominates,
+    violations,
+)
+from repro.timebase import INF
+
+
+class TestModelFromTrace:
+    def test_periodic_trace(self):
+        m = model_from_trace([0, 100, 200, 300, 400])
+        assert m.delta_min(2) == 100.0
+        assert m.delta_plus(2) == 100.0
+        assert m.delta_min(5) == 400.0
+
+    def test_jittered_trace_spread(self):
+        m = model_from_trace([0, 90, 200, 310, 400])
+        assert m.delta_min(2) == 90.0
+        assert m.delta_plus(2) == 110.0
+
+    def test_needs_two_events(self):
+        with pytest.raises(ModelError):
+            model_from_trace([5.0])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ModelError):
+            model_from_trace([0, 50, 40])
+
+    def test_n_max_truncation(self):
+        m = model_from_trace(list(range(0, 1000, 100)), n_max=3)
+        assert m.prefix_length == 3
+
+    def test_n_max_too_small(self):
+        with pytest.raises(ModelError):
+            model_from_trace([0, 1, 2], n_max=1)
+
+    def test_simultaneous_events_allowed(self):
+        m = model_from_trace([0.0, 0.0, 100.0])
+        assert m.delta_min(2) == 0.0
+
+
+class TestTraceWithinBounds:
+    def test_periodic_trace_inside_model(self):
+        trace = [0, 100, 200, 300]
+        assert trace_within_bounds(trace, periodic(100.0))
+
+    def test_too_tight_trace_violates(self):
+        trace = [0, 50, 100]
+        assert not trace_within_bounds(trace, periodic(100.0))
+
+    def test_jitter_headroom(self):
+        trace = [0, 80, 200, 270]
+        assert trace_within_bounds(trace, periodic_with_jitter(100.0, 30.0))
+
+    def test_check_plus_detects_stall(self):
+        trace = [0, 100, 500]
+        assert trace_within_bounds(trace, periodic(100.0))  # minus only
+        assert not trace_within_bounds(trace, periodic(100.0),
+                                       check_plus=True)
+
+    def test_sporadic_bound_allows_stall(self):
+        trace = [0, 500, 5000]
+        assert trace_within_bounds(trace, sporadic(100.0), check_plus=True)
+
+    def test_short_trace_trivially_ok(self):
+        assert trace_within_bounds([42.0], periodic(1.0))
+
+    def test_violations_report(self):
+        out = violations([0, 50, 100], periodic(100.0))
+        assert out
+        n, idx, span, bound = out[0]
+        assert n == 2 and span == 50.0 and bound == 100.0
+
+    def test_violations_empty_when_clean(self):
+        assert violations([0, 100, 200], periodic(100.0)) == []
+
+
+class TestFitStandard:
+    def test_roundtrip_periodic(self):
+        fit = fit_standard(periodic(100.0))
+        assert fit.period == pytest.approx(100.0)
+        assert fit.jitter == pytest.approx(0.0, abs=1e-6)
+
+    def test_roundtrip_jitter(self):
+        src = periodic_with_jitter(100.0, 35.0)
+        fit = fit_standard(src)
+        assert fit.period == pytest.approx(100.0)
+        assert fit.jitter == pytest.approx(35.0, abs=1e-6)
+
+    def test_fit_dominates_burst(self):
+        src = periodic_with_burst(100.0, 250.0, 10.0)
+        fit = fit_standard(src)
+        assert verify_dominates(fit, src, n_max=64)
+
+    def test_fit_sporadic(self):
+        src = sporadic(100.0, 20.0)
+        fit = fit_standard(src)
+        assert fit.sporadic
+        assert fit.delta_plus(2) == INF
+        assert verify_dominates(fit, src, n_max=64)
+
+    def test_fit_or_join_dominates(self):
+        from repro.eventmodels import or_join
+        src = or_join([periodic(100.0), periodic(150.0)])
+        fit = fit_standard(src)
+        assert verify_dominates(fit, src, n_max=64)
+
+    def test_small_horizon_rejected(self):
+        with pytest.raises(ModelError):
+            fit_standard(periodic(10.0), horizon=4)
+
+
+class TestVerifyDominates:
+    def test_self_dominates(self):
+        m = periodic_with_jitter(100.0, 10.0)
+        assert verify_dominates(m, m)
+
+    def test_wider_jitter_dominates(self):
+        tight = periodic_with_jitter(100.0, 10.0)
+        loose = periodic_with_jitter(100.0, 40.0)
+        assert verify_dominates(loose, tight)
+        assert not verify_dominates(tight, loose)
+
+    def test_different_period_no_domination(self):
+        assert not verify_dominates(periodic(100.0), periodic(90.0),
+                                    n_max=32)
+
+    def test_finite_cannot_dominate_sporadic(self):
+        assert not verify_dominates(periodic(100.0), sporadic(100.0))
+        assert verify_dominates(sporadic(100.0), periodic(100.0))

@@ -1,0 +1,72 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro._errors import ModelError
+from repro.eventmodels import periodic
+from repro.viz import (
+    eta_plus_series,
+    render_step_chart,
+    render_table,
+    series_to_csv,
+)
+
+
+class TestEtaSeries:
+    def test_series_values(self):
+        series = eta_plus_series(periodic(100.0), 250.0, 50.0)
+        assert series[0] == (0.0, 0)
+        assert dict(series)[150.0] == 2
+
+
+class TestStepChart:
+    def test_renders_all_labels(self):
+        chart = render_step_chart(
+            {"a": [(0.0, 0), (100.0, 5)],
+             "b": [(0.0, 0), (100.0, 2)]})
+        assert "a" in chart and "b" in chart
+        assert "#" in chart and "*" in chart
+
+    def test_title_included(self):
+        chart = render_step_chart({"x": [(0.0, 0), (10.0, 3)]},
+                                  title="hello")
+        assert chart.startswith("hello")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            render_step_chart({})
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ModelError):
+            render_step_chart({"x": [(0.0, 0)]})
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = series_to_csv({"a": [(0.0, 1), (10.0, 2)],
+                             "b": [(0.0, 3)]})
+        lines = csv.splitlines()
+        assert lines[0] == "dt,a,b"
+        assert lines[1] == "0,1,3"
+        assert lines[2] == "10,2,"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            series_to_csv({})
+
+
+class TestTable:
+    def test_alignment(self):
+        table = render_table(["name", "value"],
+                             [("x", 1.0), ("longer", 23.456)])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "23.5" in table  # default .1f
+
+    def test_floatfmt(self):
+        table = render_table(["v"], [(1.23456,)], floatfmt=".3f")
+        assert "1.235" in table
+
+    def test_non_float_cells(self):
+        table = render_table(["a", "b"], [(True, "text")])
+        assert "True" in table and "text" in table
