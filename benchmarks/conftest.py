@@ -7,12 +7,69 @@ ablation around it) and *prints* the reproduced rows — run with
 
 to see them.  Shape assertions (who wins, orderings, conservatism) are
 hard assertions: a benchmark run that produces the wrong shape fails.
+
+Each benchmark test additionally runs with :mod:`repro.obs` enabled and
+emits a machine-readable ``BENCH_<test>.json`` (wall time, global
+iterations to convergence, event-model cache hit rate, and the full
+metrics snapshot) into ``benchmarks/results/`` — override the directory
+with the ``BENCH_OUT_DIR`` environment variable.  These files seed the
+repo's performance trajectory: compare them across commits to catch
+hot-path regressions.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+
+BENCH_OUT_DIR = Path(os.environ.get(
+    "BENCH_OUT_DIR", Path(__file__).resolve().parent / "results"))
 
 
 def emit(title: str, body: str) -> None:
     """Print a reproduced artefact in a recognisable block."""
     bar = "=" * max(len(title), 24)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def _cache_hit_rate(counters: dict) -> float:
+    hits = counters.get("eventmodels.cache.hits", 0)
+    misses = counters.get("eventmodels.cache.misses", 0)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Instrument every benchmark test and write its BENCH_*.json."""
+    obs.configure(enabled=True, reset=True)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - t0
+        obs.configure(enabled=False)
+    snapshot = obs.metrics().snapshot()
+    counters = snapshot["counters"]
+    payload = {
+        "test": request.node.nodeid,
+        "wall_seconds": wall,
+        "iterations_to_convergence":
+            snapshot["gauges"].get("propagation.iterations_to_convergence"),
+        "global_iterations": counters.get("propagation.iterations", 0),
+        "cache_hit_rate": _cache_hit_rate(counters),
+        "sim_events": counters.get("sim.events", 0),
+        "metrics": snapshot,
+    }
+    BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    out = BENCH_OUT_DIR / f"BENCH_{safe}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")

@@ -22,6 +22,9 @@ Layers (bottom-up):
   bus substrates (paper section 4).
 * :mod:`repro.sim` — discrete-event simulator used to validate that every
   analytic bound is conservative.
+* :mod:`repro.obs` — span tracer, metrics registry, and convergence
+  diagnostics for the whole stack (off by default; enable with
+  :func:`repro.configure`).
 
 Quickstart::
 
@@ -112,6 +115,8 @@ from .eventmodels import (
     trace_within_bounds,
     verify_dominates,
 )
+from . import obs
+from .obs import configure, get_tracer, metrics
 from .system import (
     Junction,
     JunctionKind,
@@ -156,6 +161,8 @@ __all__ = [
     # system
     "System", "Source", "Task", "Resource", "Junction", "JunctionKind",
     "analyze_system", "path_latency", "PathLatency",
+    # observability
+    "obs", "configure", "get_tracer", "metrics",
     # substrates
     "ComLayer", "Frame", "FrameType", "Signal",
     "CanBus", "CanBusTiming", "frame_bits_max", "frame_bits_min",

@@ -1,7 +1,19 @@
-"""``python -m repro`` — print the full reproduction report."""
+"""``python -m repro`` — reproduction report and tracing CLI.
+
+Modes:
+
+* ``python -m repro [sim_horizon]`` — print the full reproduction
+  report (Tables 1-3, Figure 4, simulation validation).
+* ``python -m repro trace <example.py|rox08> [--out PATH]`` — run a
+  workload with observability enabled and dump the span trace as JSONL
+  (see :mod:`repro.obs.cli`).
+"""
 
 import sys
 
+from .obs.cli import trace_main
 from .report import main
 
+if len(sys.argv) > 1 and sys.argv[1] == "trace":
+    sys.exit(trace_main(sys.argv[2:]))
 sys.exit(main())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Tuple
 
+from .. import obs as _obs
 from .._errors import NotSchedulableError
 from ..timebase import EPS, time_eq
 from ..eventmodels.base import EventModel
@@ -42,7 +43,7 @@ def fixed_point(workload: Callable[[float], float], start: float,
     the window never closes and :class:`NotSchedulableError` is raised.
     """
     w = start
-    for _ in range(MAX_FIXED_POINT_ITER):
+    for step in range(1, MAX_FIXED_POINT_ITER + 1):
         w_next = workload(w)
         if w_next < w - EPS:
             # A monotone workload never shrinks along the iteration; a
@@ -52,6 +53,11 @@ def fixed_point(workload: Callable[[float], float], start: float,
                 f"{context}: workload function not monotone "
                 f"({w_next} < {w})")
         if time_eq(w_next, w):
+            if _obs.enabled:
+                registry = _obs.metrics()
+                registry.counter("busy_window.fixed_point_calls").inc()
+                registry.histogram(
+                    "busy_window.fixed_point_iterations").observe(step)
             return w_next
         if w_next > limit:
             raise NotSchedulableError(
@@ -107,4 +113,8 @@ def multi_activation_loop(
             raise NotSchedulableError(
                 f"busy window did not close within {MAX_ACTIVATIONS} "
                 f"activations")
+    if _obs.enabled:
+        registry = _obs.metrics()
+        registry.counter("busy_window.windows").inc()
+        registry.histogram("busy_window.activations").observe(q)
     return r_max, busy_times, q

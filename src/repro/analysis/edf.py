@@ -8,26 +8,41 @@ Two entry points:
   *and* deadline fall inside ``[0, t]``.
 
 * :class:`EDFScheduler` — conservative response-time bounds in the style
-  of Spuri's analysis: for the q-th job of task i (arriving at δ⁻_i(q)
-  into a synchronous busy window, absolute deadline d = δ⁻_i(q) + D_i),
+  of Spuri's deadline-busy-period analysis.  Unlike fixed priorities,
+  EDF has no synchronous critical instant: the worst case for task i can
+  have the interfering tasks released *before* i, so that their absolute
+  deadlines land at or just before i's.  The analysis therefore examines
+  a set of candidate offsets ``a`` of task i's first job into a busy
+  window that opens with all other tasks released synchronously:
+
+      a ∈ {0} ∪ {δ⁻_j(k) + D_j - D_i : j ≠ i, k >= 1, 0 < a < L}
+
+  (L = synchronous busy period of the whole task set; the candidates
+  align i's deadline with each interferer deadline, which is where the
+  interference bound below jumps).  For the q-th job of task i at offset
+  ``a`` (arrival a + δ⁻_i(q), absolute deadline d = a + δ⁻_i(q) + D_i),
   only jobs of j with deadlines at or before d interfere:
 
       n_j(d) = η⁺_j(d - D_j + ε)
-      B_i(q): w = q * C_i⁺ + Σ_{j ≠ i} min(η⁺_j(w), n_j(d)) * C_j⁺
-      r_i(q) = max(B_i(q) - δ⁻_i(q), C_i⁺)
+      B_i(a, q): w = q * C_i⁺ + Σ_{j ≠ i} min(η⁺_j(w), n_j(d)) * C_j⁺
+      r_i = max over a, q of max(B_i(a, q) - a - δ⁻_i(q), C_i⁺)
 
-  The synchronous release is the critical instant for the deadline-based
-  interference bound, making the result conservative (it may overestimate
-  relative to Spuri's exact search over all busy-period offsets).
+  Every (a, q) bound is individually conservative (η⁺ is phase
+  independent), and the candidate sweep covers the deadline alignments
+  where the true worst case occurs, so the maximum upper-bounds the
+  exact worst-case response time.  Ties in absolute deadline are counted
+  as interference (the ``+ ε``), which also covers FIFO tie-breaking.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
 from ..timebase import EPS
-from .busy_window import fixed_point, multi_activation_loop
+from .busy_window import MAX_ACTIVATIONS, fixed_point, \
+    multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
 
@@ -100,33 +115,74 @@ class EDFScheduler(Scheduler):
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
         results = {}
+        horizon = synchronous_busy_period(tasks)
         for task in tasks:
             results[task.name] = self._analyze_task(task, tasks,
-                                                    resource_name)
+                                                    resource_name,
+                                                    horizon)
         return ResourceResult(resource_name, util, results)
 
+    @staticmethod
+    def _candidate_offsets(task: TaskSpec, others: Sequence[TaskSpec],
+                           horizon: float) -> "list[float]":
+        """Offsets of task i's first job into the busy window at which
+        its absolute deadline aligns with an interferer's deadline (the
+        jump points of the deadline-limited interference bound)."""
+        offsets = {0.0}
+        for j in others:
+            for k in range(1, MAX_ACTIVATIONS + 1):
+                a = j.event_model.delta_min(k) + j.deadline \
+                    - task.deadline
+                if a >= horizon - EPS:
+                    break  # δ⁻ is non-decreasing, so a only grows
+                if a > EPS:
+                    offsets.add(a)
+        return sorted(offsets)
+
     def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
-                      resource_name: str) -> TaskResult:
+                      resource_name: str, horizon: float) -> TaskResult:
         others = [t for t in tasks if t is not task]
+        em = task.event_model
+        candidates = self._candidate_offsets(task, others, horizon)
 
-        def busy_time(q: int) -> float:
-            abs_deadline = task.event_model.delta_min(q) + task.deadline
+        best_r = task.c_max
+        best_busy: "list[float]" = [task.c_max]
+        best_q = 1
+        for a in candidates:
 
-            def workload(w: float) -> float:
-                demand = q * task.c_max
-                for j in others:
-                    n_arrived = j.event_model.eta_plus(w)
-                    n_deadline = j.event_model.eta_plus(
-                        abs_deadline - j.deadline + _DEADLINE_EPS)
-                    demand += min(n_arrived, n_deadline) * j.c_max
-                return demand
+            def busy_time(q: int, _a: float = a) -> float:
+                abs_deadline = _a + em.delta_min(q) + task.deadline
 
-            return fixed_point(workload, q * task.c_max,
-                               context=f"{resource_name}/{task.name} "
-                                       f"EDF q={q}")
+                def workload(w: float) -> float:
+                    demand = q * task.c_max
+                    for j in others:
+                        n_arrived = j.event_model.eta_plus(w)
+                        n_deadline = j.event_model.eta_plus(
+                            abs_deadline - j.deadline + _DEADLINE_EPS)
+                        demand += min(n_arrived, n_deadline) * j.c_max
+                    return demand
 
-        r_max, busy_times, q_max = multi_activation_loop(
-            task.event_model, busy_time)
-        r_max = max(r_max, task.c_max)
-        return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
-                          busy_times=busy_times, q_max=q_max)
+                return fixed_point(workload, q * task.c_max,
+                                   context=f"{resource_name}/{task.name} "
+                                           f"EDF a={_a} q={q}")
+
+            def window_closes(q: int, bq: float, _a: float = a) -> bool:
+                return _a + em.delta_min(q + 1) >= bq - EPS
+
+            r_a, busy_times, q_max = multi_activation_loop(
+                em, busy_time, window_closes)
+            r_a -= a  # responses are measured from task i's arrival
+            if r_a > best_r:
+                best_r = r_a
+                best_busy = busy_times
+                best_q = q_max
+
+        if _obs.enabled:
+            registry = _obs.metrics()
+            registry.counter("edf.tasks_analyzed").inc()
+            registry.histogram("edf.candidate_offsets").observe(
+                len(candidates))
+            registry.histogram("edf.busy_window_activations").observe(
+                best_q)
+        return TaskResult(name=task.name, r_min=task.c_min, r_max=best_r,
+                          busy_times=best_busy, q_max=best_q)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional, Sequence
 
+from .. import obs as _obs
 from .._errors import ModelError
 from ..timebase import INF
 from .base import EventModel
@@ -199,15 +200,23 @@ class CachedModel(EventModel):
     def delta_min(self, n: int) -> float:
         v = self._dmin_cache.get(n)
         if v is None:
+            if _obs.enabled:
+                _obs.metrics().counter("eventmodels.cache.misses").inc()
             v = self._inner.delta_min(n)
             self._dmin_cache[n] = v
+        elif _obs.enabled:
+            _obs.metrics().counter("eventmodels.cache.hits").inc()
         return v
 
     def delta_plus(self, n: int) -> float:
         v = self._dplus_cache.get(n)
         if v is None:
+            if _obs.enabled:
+                _obs.metrics().counter("eventmodels.cache.misses").inc()
             v = self._inner.delta_plus(n)
             self._dplus_cache[n] = v
+        elif _obs.enabled:
+            _obs.metrics().counter("eventmodels.cache.hits").inc()
         return v
 
     def __repr__(self) -> str:

@@ -1,0 +1,116 @@
+"""repro.obs — instrumentation for the compositional analysis engine.
+
+Three pieces:
+
+* :mod:`repro.obs.trace` — span-based tracer (context-manager API,
+  thread-local span stack) used by the global fixed-point loop to emit
+  per-iteration convergence spans.
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms behind a
+  create-on-first-use registry (cache hit rates, fixed-point iteration
+  counts, simulator throughput).
+* :mod:`repro.obs.export` — JSONL trace and JSON metrics exporters.
+
+Observability is **off by default** and the disabled fast path is a
+single module-attribute check — instrumented call sites are written as::
+
+    from .. import obs as _obs
+    ...
+    if _obs.enabled:
+        _obs.metrics().counter("eventmodels.cache.hits").inc()
+
+so no string is formatted and no dict is allocated unless tracing was
+explicitly requested via :func:`configure`.
+
+Typical use::
+
+    import repro
+    repro.configure(enabled=True)
+    result = repro.analyze_system(system)
+    from repro.viz import ConvergenceReport
+    print(ConvergenceReport.from_tracer(repro.get_tracer()).render())
+
+or from the shell: ``python -m repro trace examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from .export import (
+    metrics_to_json,
+    read_jsonl,
+    span_to_dict,
+    spans_to_jsonl,
+    tracer_to_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, Tracer
+
+#: Master switch.  Instrumented call sites check this module attribute
+#: before doing *any* observability work; keep reads cheap by accessing
+#: it through the module object (``obs.enabled``), never by ``from``
+#: imports (which would freeze the value at import time).
+enabled = False
+
+_tracer = Tracer()
+_metrics = MetricsRegistry()
+
+
+def configure(*, enabled: bool = True, reset: bool = False) -> None:
+    """Turn observability on or off for the whole process.
+
+    Parameters
+    ----------
+    enabled:
+        New state of the master switch.
+    reset:
+        Also drop all previously collected spans and zero every metric.
+    """
+    module = sys.modules[__name__]
+    module.enabled = enabled
+    if reset:
+        _tracer.reset()
+        _metrics.reset()
+
+
+def disable(*, reset: bool = False) -> None:
+    """Shorthand for ``configure(enabled=False, ...)``."""
+    configure(enabled=False, reset=reset)
+
+
+def is_enabled() -> bool:
+    """Current state of the master switch (for callers that hold a
+    ``from repro.obs import ...`` style reference)."""
+    return enabled
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _metrics
+
+
+__all__ = [
+    "enabled",
+    "configure",
+    "disable",
+    "is_enabled",
+    "get_tracer",
+    "metrics",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "span_to_dict",
+    "spans_to_jsonl",
+    "tracer_to_jsonl",
+    "read_jsonl",
+    "metrics_to_json",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro trace`` — run a workload instrumented, dump JSONL.
+
+Runs an example script (or the built-in paper system) with
+observability enabled, writes every finished span as a JSONL trace,
+prints the convergence report of any global fixed-point runs, and
+summarises the headline metrics (iterations, cache hit rate,
+fixed-point effort)::
+
+    python -m repro trace examples/quickstart.py
+    python -m repro trace rox08 --out rox08.trace.jsonl --metrics m.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import configure, get_tracer, metrics
+from .export import metrics_to_json, tracer_to_jsonl
+
+
+def _run_builtin_rox08() -> None:
+    """Analyse the paper's evaluation system (section 6) end to end."""
+    from ..examples_lib.rox08 import build_system
+    from ..system import analyze_system
+
+    result = analyze_system(build_system("hem"))
+    print(f"rox08 hem variant: converged in {result.iterations} "
+          f"iterations")
+    for rr in result.resource_results.values():
+        for name, task in sorted(rr.task_results.items()):
+            print(f"  {name}: r_max = {task.r_max:g}")
+
+
+def trace_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run an example with tracing enabled and dump the "
+                    "span trace as JSONL.")
+    parser.add_argument(
+        "target",
+        help="path to an example script, or 'rox08' for the built-in "
+             "paper system")
+    parser.add_argument(
+        "--out", default=None,
+        help="trace output path (default: <target>.trace.jsonl)")
+    parser.add_argument(
+        "--metrics", dest="metrics_out", default=None,
+        help="also write a metrics snapshot JSON to this path")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the workload's own stdout")
+    args = parser.parse_args(argv)
+
+    if args.target == "rox08":
+        out_path = args.out or "rox08.trace.jsonl"
+        workload = _run_builtin_rox08
+    else:
+        script = Path(args.target)
+        if not script.exists():
+            print(f"error: no such example: {script}", file=sys.stderr)
+            return 2
+        out_path = args.out or f"{script.stem}.trace.jsonl"
+
+        def workload() -> None:
+            runpy.run_path(str(script), run_name="__main__")
+
+    configure(enabled=True, reset=True)
+    try:
+        if args.quiet:
+            import contextlib
+            import io
+            with contextlib.redirect_stdout(io.StringIO()):
+                workload()
+        else:
+            workload()
+    finally:
+        configure(enabled=False)
+
+    tracer = get_tracer()
+    registry = metrics()
+    tracer_to_jsonl(tracer, out_path)
+    print(f"\n--- trace: {len(tracer)} spans -> {out_path}")
+
+    from ..viz.convergence import ConvergenceReport
+    report = ConvergenceReport.from_tracer(tracer)
+    if report.rows:
+        print(report.render())
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    hits = counters.get("eventmodels.cache.hits", 0)
+    misses = counters.get("eventmodels.cache.misses", 0)
+    if hits + misses:
+        print(f"event-model cache: {hits} hits / {misses} misses "
+              f"({hits / (hits + misses):.1%} hit rate)")
+    fp = snapshot["histograms"].get("busy_window.fixed_point_iterations")
+    if fp and fp["count"]:
+        print(f"busy-window fixed points: {fp['count']} solves, "
+              f"mean {fp['mean']:.1f} iterations, p99 {fp['p99']:.0f}")
+    if args.metrics_out:
+        metrics_to_json(registry, args.metrics_out)
+        print(f"metrics snapshot -> {args.metrics_out}")
+    return 0

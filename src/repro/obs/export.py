@@ -1,0 +1,86 @@
+"""Trace and metrics serialisation: JSONL spans, JSON metric snapshots.
+
+The JSONL layout is one JSON object per line, each with a ``"type"``
+field (``"span"`` today; readers must skip unknown types so the format
+can grow).  Timestamps are seconds relative to the tracer's clock
+origin, keeping traces diffable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+
+def span_to_dict(span: Span, t0: float = 0.0) -> Dict[str, Any]:
+    """JSON-serialisable representation of one finished span."""
+    record: Dict[str, Any] = {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start - t0,
+        "end": (span.end - t0) if span.end is not None else None,
+        "duration": span.duration,
+        "status": span.status,
+        "attributes": _jsonable(span.attributes),
+    }
+    if span.error is not None:
+        record["error"] = span.error
+    if span.events:
+        record["events"] = [
+            {**_jsonable(e), "time": e["time"] - t0} for e in span.events
+        ]
+    return record
+
+
+def spans_to_jsonl(spans: Sequence[Span], path: str,
+                   t0: float = 0.0) -> str:
+    """Write spans to *path* as JSONL; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_to_dict(span, t0)) + "\n")
+    return path
+
+
+def tracer_to_jsonl(tracer: Tracer, path: str) -> str:
+    """Export every finished span of *tracer* (origin-relative times)."""
+    return spans_to_jsonl(tracer.spans(), path, t0=tracer.t0)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of dicts (blank lines and
+    unknown record types are preserved as-is for forward compatibility)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def metrics_to_json(registry: MetricsRegistry, path: str,
+                    extra: Optional[Dict[str, Any]] = None) -> str:
+    """Write a metrics snapshot (plus optional extra fields) to *path*."""
+    payload = registry.snapshot()
+    if extra:
+        payload.update(_jsonable(extra))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serialisable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

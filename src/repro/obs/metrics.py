@@ -1,0 +1,222 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+All instruments are create-on-first-use through the
+:class:`MetricsRegistry` so call sites never need registration
+boilerplate::
+
+    obs.metrics().counter("eventmodels.cache.hits").inc()
+    with obs.metrics().histogram("propagation.local_seconds").time_block():
+        scheduler.analyze(...)
+
+Instrument objects are cheap plain-Python holders; the registry hands
+out the same object for the same name, so hot call sites may keep a
+local reference.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .._errors import ModelError
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class _TimeBlock:
+    """Context manager that observes its elapsed wall time."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: "Histogram"):
+        self._hist = hist
+
+    def __enter__(self) -> "_TimeBlock":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._hist.observe(time.perf_counter() - self._t0)
+        return False
+
+
+class Histogram:
+    """Collects raw observations; summary statistics on demand.
+
+    Observations are kept exactly (analysis runs produce thousands of
+    samples, not millions), so percentiles are exact rather than
+    bucket-approximated.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def time_block(self) -> _TimeBlock:
+        """``with hist.time_block(): ...`` observes the block's seconds."""
+        return _TimeBlock(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return self.total / len(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact p-th percentile (0 <= p <= 100), linear interpolation."""
+        if not 0.0 <= p <= 100.0:
+            raise ModelError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Namespace of instruments, create-on-first-use, kind-checked."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name))
+        return h
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """All instrument values as one JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.summary()
+                               for n, h in sorted(self._histograms.items())},
+            }
+
+    def is_empty(self) -> bool:
+        """True when no instrument has recorded anything."""
+        with self._lock:
+            return (all(c.value == 0 for c in self._counters.values())
+                    and all(g.value is None for g in self._gauges.values())
+                    and all(h.count == 0
+                            for h in self._histograms.values()))
+
+    def reset(self) -> None:
+        """Zero every instrument in place (objects stay valid, so call
+        sites holding references keep working)."""
+        with self._lock:
+            for c in self._counters.values():
+                c.reset()
+            for g in self._gauges.values():
+                g.reset()
+            for h in self._histograms.values():
+                h.reset()

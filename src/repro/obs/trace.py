@@ -1,0 +1,176 @@
+"""Span-based tracing for the analysis engine.
+
+A :class:`Span` is a named, timed region of work with free-form
+attributes; spans nest via a thread-local stack kept by the
+:class:`Tracer`.  Finished spans accumulate on the tracer and can be
+exported as JSONL (:mod:`repro.obs.export`) or summarised by the
+convergence renderer in :mod:`repro.viz.convergence`.
+
+Call sites never touch this module when observability is disabled: the
+hot paths guard every tracer call with ``if obs.enabled:`` so the
+disabled cost is a single attribute load and branch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One named, timed region of work.
+
+    Spans are context managers::
+
+        with tracer.span("local_analysis", resource="cpu1") as span:
+            ...
+            span.set(tasks=3)
+
+    An exception escaping the ``with`` block marks the span with
+    ``status="error"`` and the exception repr before re-raising.
+    """
+
+    __slots__ = ("name", "attributes", "events", "span_id", "parent_id",
+                 "start", "end", "status", "error", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int],
+                 attributes: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.events: List[Dict[str, Any]] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event inside the span."""
+        self.events.append({"name": name,
+                            "time": time.perf_counter(),
+                            **attributes})
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall-clock seconds between start and finish, if finished."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def finish(self) -> None:
+        self._tracer._finish(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.status = "error"
+            self.error = repr(exc)
+        self.finish()
+        return False  # never swallow the exception
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"<Span {self.name} id={self.span_id} {state}>"
+
+
+class Tracer:
+    """Collects spans; keeps a per-thread stack of open spans.
+
+    ``span()``/``start()`` push onto the calling thread's stack so
+    nested spans automatically pick up their parent.  Finished spans are
+    appended to a shared list guarded by a lock (the analysis engine is
+    single-threaded today, but simulators and future sharded backends
+    may not be).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self.finished: List[Span] = []
+        #: perf_counter origin for relative timestamps in exports.
+        self.t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, **attributes: Any) -> Span:
+        """Open a span (caller must ``finish()`` it, or use ``span()``)."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = self.current()
+        span = Span(self, name, span_id,
+                    parent.span_id if parent is not None else None,
+                    attributes)
+        self._stack().append(span)
+        return span
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span for use as a context manager."""
+        return self.start(name, **attributes)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record an event on the current span (dropped when no span is
+        open — events only make sense inside a traced region)."""
+        current = self.current()
+        if current is not None:
+            current.event(name, **attributes)
+
+    def _finish(self, span: Span) -> None:
+        if span.end is not None:
+            return  # double-finish is a no-op
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # Exception safety: pop every span opened after this one too, so
+        # a missed finish() deeper down cannot corrupt the stack.
+        while stack:
+            popped = stack.pop()
+            if popped is span:
+                break
+        with self._lock:
+            self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans, optionally filtered by name."""
+        with self._lock:
+            snapshot = list(self.finished)
+        if name is None:
+            return snapshot
+        return [s for s in snapshot if s.name == name]
+
+    def reset(self) -> None:
+        """Drop all finished spans and restart the clock origin."""
+        with self._lock:
+            self.finished.clear()
+            self._next_id = 0
+        self._local = threading.local()
+        self.t0 = time.perf_counter()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.finished)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, List, Optional, Tuple
 
+from .. import obs as _obs
 from .._errors import ModelError
 
 
@@ -44,15 +46,26 @@ class Simulator:
     def run_until(self, t_end: float) -> None:
         """Execute events up to and including *t_end*."""
         self._running = True
+        executed = 0
+        t_start = time.perf_counter() if _obs.enabled else 0.0
         while self._queue and self._running:
-            time, _, action = self._queue[0]
-            if time > t_end:
+            when, _, action = self._queue[0]
+            if when > t_end:
                 break
             heapq.heappop(self._queue)
-            self._now = time
+            self._now = when
             action()
+            executed += 1
         self._now = max(self._now, t_end)
         self._running = False
+        if _obs.enabled and executed:
+            elapsed = time.perf_counter() - t_start
+            registry = _obs.metrics()
+            registry.counter("sim.events").inc(executed)
+            registry.histogram("sim.run_seconds").observe(elapsed)
+            if elapsed > 0:
+                registry.gauge("sim.events_per_second").set(
+                    executed / elapsed)
 
     def stop(self) -> None:
         """Abort a running :meth:`run_until` after the current event."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from .. import obs as _obs
 from .._errors import ConvergenceError, ModelError
 from ..analysis.interface import TaskSpec
 from ..analysis.results import ResourceResult, SystemResult, TaskResult
@@ -83,6 +84,13 @@ class _StreamResolver:
                 f"dependency cycle through junction {junction.name!r}")
         self._visiting.add(key)
         try:
+            if _obs.enabled:
+                _obs.metrics().counter(
+                    f"propagation.junction.{junction.kind.name.lower()}"
+                ).inc()
+                _obs.get_tracer().event(
+                    "junction", junction=junction.name,
+                    kind=junction.kind.name.lower(), port=port)
             if junction.kind is JunctionKind.UNPACK:
                 upstream = self.port(junction.inputs[0])
                 if not is_hierarchical(upstream):
@@ -183,48 +191,88 @@ def analyze_system(system: System,
     resource_results: "Dict[str, ResourceResult]" = {}
 
     for iteration in range(1, max_iterations + 1):
-        resolver = _StreamResolver(system, responses, cycle_seeds)
+        iter_span = (_obs.get_tracer().start("global_iteration",
+                                             system=system.name,
+                                             iteration=iteration)
+                     if _obs.enabled else None)
+        try:
+            resolver = _StreamResolver(system, responses, cycle_seeds)
 
-        # Local analysis per resource.
-        new_resource_results: "Dict[str, ResourceResult]" = {}
-        for resource in system.resources.values():
-            tasks = system.tasks_on(resource.name)
-            if not tasks:
-                continue
-            specs = [
-                TaskSpec(name=t.name, c_min=t.c_min, c_max=t.c_max,
-                         event_model=resolver.activation_model(t),
-                         priority=t.priority, slot=t.slot,
-                         deadline=t.deadline, blocking=t.blocking)
-                for t in tasks
-            ]
-            new_resource_results[resource.name] = \
-                resource.scheduler.analyze(specs, resource.name)
+            # Local analysis per resource.
+            new_resource_results: "Dict[str, ResourceResult]" = {}
+            for resource in system.resources.values():
+                tasks = system.tasks_on(resource.name)
+                if not tasks:
+                    continue
+                specs = [
+                    TaskSpec(name=t.name, c_min=t.c_min, c_max=t.c_max,
+                             event_model=resolver.activation_model(t),
+                             priority=t.priority, slot=t.slot,
+                             deadline=t.deadline, blocking=t.blocking)
+                    for t in tasks
+                ]
+                if _obs.enabled:
+                    with _obs.get_tracer().span(
+                            "local_analysis", resource=resource.name,
+                            policy=resource.scheduler.policy,
+                            tasks=len(specs)) as span:
+                        rr = resource.scheduler.analyze(specs,
+                                                        resource.name)
+                        span.set(utilization=rr.utilization)
+                    _obs.metrics().histogram(
+                        "propagation.local_analysis_seconds").observe(
+                            span.duration)
+                else:
+                    rr = resource.scheduler.analyze(specs, resource.name)
+                new_resource_results[resource.name] = rr
 
-        # Gather new responses and check convergence.
-        new_responses: "Dict[str, TaskResult]" = {}
-        for rr in new_resource_results.values():
-            new_responses.update(rr.task_results)
+            # Gather new responses and check convergence.
+            new_responses: "Dict[str, TaskResult]" = {}
+            for rr in new_resource_results.values():
+                new_responses.update(rr.task_results)
 
-        stable = _responses_stable(responses, new_responses)
-        responses = new_responses
-        resource_results = new_resource_results
+            stable = _responses_stable(responses, new_responses)
+            if iter_span is not None:
+                iter_span.set(**_response_residuals(responses,
+                                                    new_responses))
+            responses = new_responses
+            resource_results = new_resource_results
 
-        # Propagate: compute every task's output model with the *new*
-        # responses and compare with the previous iteration's models.
-        resolver = _StreamResolver(system, responses, cycle_seeds)
-        new_models: "Dict[str, EventModel]" = {}
-        for task_name in system.tasks:
-            out = resolver.port(task_name)
-            new_models[task_name] = CachedModel(out, name=f"{task_name}.out")
-            # Cycle seeds advance with the iteration.
-            cycle_seeds[task_name] = new_models[task_name]
+            # Propagate: compute every task's output model with the *new*
+            # responses and compare with the previous iteration's models.
+            resolver = _StreamResolver(system, responses, cycle_seeds)
+            new_models: "Dict[str, EventModel]" = {}
+            for task_name in system.tasks:
+                out = resolver.port(task_name)
+                new_models[task_name] = CachedModel(out,
+                                                    name=f"{task_name}.out")
+                # Cycle seeds advance with the iteration.
+                cycle_seeds[task_name] = new_models[task_name]
 
-        if stable and _models_stable(prev_models, new_models):
-            return SystemResult(iterations=iteration, converged=True,
-                                resource_results=resource_results)
-        prev_models = new_models
+            models_stable = _models_stable(prev_models, new_models)
+            converged = stable and models_stable
+            if iter_span is not None:
+                changed = _changed_ports(prev_models, new_models)
+                iter_span.set(responses_stable=stable,
+                              models_stable=models_stable,
+                              unstable_models=len(changed),
+                              changed_ports=changed,
+                              converged=converged)
+                _obs.metrics().counter("propagation.iterations").inc()
+            if converged:
+                if _obs.enabled:
+                    _obs.metrics().gauge(
+                        "propagation.iterations_to_convergence").set(
+                            iteration)
+                return SystemResult(iterations=iteration, converged=True,
+                                    resource_results=resource_results)
+            prev_models = new_models
+        finally:
+            if iter_span is not None:
+                iter_span.finish()
 
+    if _obs.enabled:
+        _obs.metrics().counter("propagation.divergences").inc()
     raise ConvergenceError(
         f"global analysis did not converge within {max_iterations} "
         f"iterations")
@@ -249,3 +297,38 @@ def _models_stable(old: "Dict[str, EventModel]",
         return False
     return all(models_equal(old[k], new[k], n_max=CONVERGENCE_CHECK_N)
                for k in new)
+
+
+def _response_residuals(old: "Dict[str, TaskResult]",
+                        new: "Dict[str, TaskResult]") -> dict:
+    """Convergence diagnostics for one iteration (observability only):
+    the largest response-time movement and which task moved most."""
+    residual_r_max = 0.0
+    residual_r_min = 0.0
+    argmax = None
+    for name, result in new.items():
+        prev = old.get(name)
+        if prev is None:
+            # New task this iteration: its whole response is the delta.
+            d_max, d_min = result.r_max, result.r_min
+        else:
+            d_max = abs(prev.r_max - result.r_max)
+            d_min = abs(prev.r_min - result.r_min)
+        if d_max > residual_r_max:
+            residual_r_max = d_max
+            argmax = name
+        if d_min > residual_r_min:
+            residual_r_min = d_min
+    return {"residual_r_max": residual_r_max,
+            "residual_r_min": residual_r_min,
+            "residual_argmax": argmax}
+
+
+def _changed_ports(old: "Dict[str, EventModel]",
+                   new: "Dict[str, EventModel]") -> list:
+    """Task output ports whose propagated model moved this iteration
+    (observability only)."""
+    return sorted(
+        name for name, model in new.items()
+        if name not in old
+        or not models_equal(old[name], model, n_max=CONVERGENCE_CHECK_N))

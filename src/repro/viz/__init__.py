@@ -1,6 +1,8 @@
-"""Reporting helpers: ASCII charts, CSV series, text tables."""
+"""Reporting helpers: ASCII charts, CSV series, text tables, and the
+convergence diagnostics renderer."""
 
 from .ascii import eta_plus_series, render_step_chart, series_to_csv
+from .convergence import ConvergenceReport, render_convergence_report
 from .gantt import gantt_from_recorder, render_gantt
 from .tables import render_table
 
@@ -11,4 +13,6 @@ __all__ = [
     "render_table",
     "render_gantt",
     "gantt_from_recorder",
+    "ConvergenceReport",
+    "render_convergence_report",
 ]

@@ -1,0 +1,331 @@
+"""Tests for the observability subsystem (repro.obs) and its wiring.
+
+Covers: span nesting and exception safety, histogram percentiles,
+JSONL round-trip, the convergence report, and — crucially — that the
+disabled fast path adds no spans, no metrics, and no obs-side
+allocations to ``analyze_system``.
+"""
+
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro import analyze_system, configure, get_tracer, metrics, obs
+from repro._errors import ModelError
+from repro.examples_lib.rox08 import build_system
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    read_jsonl,
+    span_to_dict,
+    spans_to_jsonl,
+    tracer_to_jsonl,
+)
+from repro.viz import ConvergenceReport, render_convergence_report
+
+
+@pytest.fixture
+def obs_on():
+    """Enable observability for one test, clean up afterwards."""
+    configure(enabled=True, reset=True)
+    yield obs
+    configure(enabled=False, reset=True)
+
+
+@pytest.fixture(autouse=True)
+def obs_off_guard():
+    """No test may leak a flipped switch into the rest of the suite."""
+    yield
+    configure(enabled=False)
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                with tracer.span("leaf") as leaf:
+                    assert leaf.parent_id == inner.span_id
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        assert [s.name for s in tracer.spans()] == \
+            ["leaf", "inner", "outer"]
+
+    def test_exception_marks_span_and_restores_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("boom"):
+                    raise ValueError("kaputt")
+        assert tracer.current() is None
+        boom = tracer.spans("boom")[0]
+        assert boom.status == "error"
+        assert "kaputt" in boom.error
+        assert boom.end is not None
+        # the outer span still closed cleanly
+        assert tracer.spans("outer")[0].status == "error" or \
+            tracer.spans("outer")[0].status == "ok"
+
+    def test_missed_finish_deeper_down_is_recovered(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("forgotten")  # never finished explicitly
+        outer.finish()
+        assert tracer.current() is None
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("work", phase=1) as span:
+            span.set(items=3)
+            tracer.event("checkpoint", at="half")
+        done = tracer.spans("work")[0]
+        assert done.attributes == {"phase": 1, "items": 3}
+        assert done.events[0]["name"] == "checkpoint"
+        assert done.duration >= 0.0
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")  # must not raise
+        assert len(tracer) == 0
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        assert not reg.is_empty()
+        reg.reset()
+        assert reg.is_empty()
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(50.5)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(90) == pytest.approx(90.1)
+        with pytest.raises(ModelError):
+            hist.percentile(101)
+
+    def test_histogram_empty_and_singleton(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(50) == 0.0
+        hist.observe(7.0)
+        assert hist.percentile(50) == 7.0
+        assert hist.summary()["p99"] == 7.0
+
+    def test_time_block(self):
+        hist = MetricsRegistry().histogram("t")
+        with hist.time_block():
+            pass
+        assert hist.count == 1
+        assert hist.values[0] >= 0.0
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", system="s") as outer:
+            tracer.event("junction", junction="F1", kind="pack")
+            with tracer.span("inner", resource="cpu"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer_to_jsonl(tracer, str(path))
+        records = read_jsonl(str(path))
+        assert len(records) == 2
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["attributes"] == {"system": "s"}
+        assert by_name["inner"]["parent_id"] == outer.span_id
+        assert by_name["outer"]["events"][0]["junction"] == "F1"
+        assert all(r["type"] == "span" for r in records)
+        assert all(r["end"] >= r["start"] >= 0.0 for r in records)
+
+    def test_span_to_dict_serialises_odd_attributes(self):
+        tracer = Tracer()
+        with tracer.span("x", model=object(), names=("a", "b")) as span:
+            pass
+        record = span_to_dict(span)
+        assert isinstance(record["attributes"]["model"], str)
+        assert record["attributes"]["names"] == ["a", "b"]
+
+    def test_metrics_to_json(self, tmp_path):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(1.0)
+        path = tmp_path / "metrics.json"
+        obs.metrics_to_json(reg, str(path), extra={"wall_seconds": 0.5})
+        data = json.loads(Path(path).read_text())
+        assert data["counters"]["c"] == 2
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["wall_seconds"] == 0.5
+
+
+class TestEngineIntegration:
+    def test_analyze_system_emits_convergence_spans(self, obs_on):
+        result = analyze_system(build_system("hem"))
+        tracer = get_tracer()
+        iterations = tracer.spans("global_iteration")
+        assert len(iterations) == result.iterations
+        first, last = iterations[0].attributes, iterations[-1].attributes
+        assert first["iteration"] == 1
+        assert first["residual_r_max"] > 0.0
+        assert first["unstable_models"] == len(first["changed_ports"]) > 0
+        assert last["converged"] is True
+        assert last["residual_r_max"] == 0.0
+        # local analyses nested under their iteration span
+        local = tracer.spans("local_analysis")
+        assert {s.attributes["resource"] for s in local} == {"CAN", "CPU1"}
+        assert all(s.parent_id is not None for s in local)
+
+    def test_analyze_system_emits_metrics(self, obs_on):
+        analyze_system(build_system("hem"))
+        snap = metrics().snapshot()
+        assert snap["counters"]["propagation.iterations"] >= 2
+        assert snap["counters"]["eventmodels.cache.hits"] > 0
+        assert snap["counters"]["propagation.junction.pack"] > 0
+        assert snap["counters"]["propagation.junction.unpack"] > 0
+        assert snap["counters"]["busy_window.fixed_point_calls"] > 0
+        assert snap["histograms"][
+            "propagation.local_analysis_seconds"]["count"] > 0
+        assert snap["gauges"]["propagation.iterations_to_convergence"] \
+            == snap["counters"]["propagation.iterations"]
+
+    def test_simulator_throughput_metrics(self, obs_on):
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until(100.0)
+        snap = metrics().snapshot()
+        assert snap["counters"]["sim.events"] == 10
+        assert snap["gauges"]["sim.events_per_second"] > 0
+
+    def test_convergence_report_renders(self, obs_on, tmp_path):
+        analyze_system(build_system("hem"))
+        report = ConvergenceReport.from_tracer(get_tracer())
+        text = report.render()
+        assert report.converged is True
+        assert "converged" in text
+        assert "max |dR+|" in text
+        # the same report reconstructed from an exported JSONL trace
+        path = tmp_path / "t.jsonl"
+        tracer_to_jsonl(get_tracer(), str(path))
+        roundtrip = ConvergenceReport.from_records(read_jsonl(str(path)))
+        assert roundtrip.iterations == report.iterations
+        assert roundtrip.render() == text
+        assert render_convergence_report(get_tracer()) == text
+
+    def test_empty_report_is_explicit(self):
+        assert "no convergence data" in ConvergenceReport([]).render()
+
+
+class TestDisabledFastPath:
+    def test_disabled_run_collects_nothing(self):
+        configure(enabled=False, reset=True)
+        result = analyze_system(build_system("hem"))
+        assert result.converged
+        assert len(get_tracer()) == 0
+        assert metrics().is_empty()
+
+    def test_disabled_run_allocates_nothing_in_obs(self):
+        """Regression guard for the near-zero-overhead promise: with the
+        switch off, analyze_system on the rox08 example must not
+        allocate a single block inside repro/obs/*."""
+        configure(enabled=False, reset=True)
+        system = build_system("hem")
+        analyze_system(system)  # warm caches outside the snapshot window
+        obs_dir = str(Path(obs.__file__).parent)
+        tracemalloc.start()
+        try:
+            analyze_system(build_system("hem"))
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_blocks = [
+            stat for stat in snapshot.statistics("filename")
+            if stat.traceback[0].filename.startswith(obs_dir)
+        ]
+        assert obs_blocks == [], (
+            f"obs allocated while disabled: {obs_blocks}")
+
+
+class TestTraceCli:
+    def test_trace_example_produces_convergence_jsonl(self, tmp_path,
+                                                      capsys):
+        from repro.obs.cli import trace_main
+
+        out = tmp_path / "quickstart.trace.jsonl"
+        example = Path(__file__).resolve().parent.parent / "examples" \
+            / "quickstart.py"
+        code = trace_main([str(example), "--quiet", "--out", str(out)])
+        assert code == 0
+        records = read_jsonl(str(out))
+        convergence = [r for r in records
+                       if r["name"] == "global_iteration"]
+        assert convergence, "trace has no per-iteration spans"
+        assert all("residual_r_max" in r["attributes"]
+                   for r in convergence)
+        assert convergence[-1]["attributes"]["converged"] is True
+        stdout = capsys.readouterr().out
+        assert "Convergence of the global fixed-point iteration" in stdout
+        assert obs.enabled is False  # CLI must restore the switch
+
+    def test_trace_builtin_rox08(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.cli import trace_main
+
+        monkeypatch.chdir(tmp_path)
+        code = trace_main(["rox08", "--metrics", "m.json"])
+        assert code == 0
+        records = read_jsonl("rox08.trace.jsonl")
+        assert any(r["name"] == "global_iteration" for r in records)
+        assert Path("m.json").exists()
+
+    def test_trace_missing_target(self, capsys):
+        from repro.obs.cli import trace_main
+
+        assert trace_main(["no/such/example.py"]) == 2
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.configure is obs.configure
+        assert repro.get_tracer is obs.get_tracer
+        assert repro.metrics is obs.metrics
+        for name in ("obs", "configure", "get_tracer", "metrics"):
+            assert name in repro.__all__
+
+    def test_configure_toggles_module_flag(self):
+        configure(enabled=True)
+        assert obs.enabled is True
+        configure(enabled=False)
+        assert obs.enabled is False
