@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Design-space exploration: packing, offsets, error models, headroom.
+"""Design-space exploration: packing, offsets, errors, headroom, sweeps.
 
 Beyond reproducing the paper's numbers, the library is a design tool.
 This example walks the decisions an integrator faces on one CAN cluster:
@@ -7,21 +7,33 @@ This example walks the decisions an integrator faces on one CAN cluster:
 1. How should signals be packed into frames?  (packing strategies)
 2. What do transmit offsets buy on the bus?   (offset-aware joins)
 3. What does a fault model cost?              (CAN error frames)
-4. How much execution-time headroom is left?  (sensitivity search)
+4. How much execution-time headroom is left?  (a sensitivity *job*)
+5. How does the whole neighbourhood behave?   (batch design-space sweep)
+
+Steps 4-5 go through :mod:`repro.batch`: the sensitivity search and the
+WCET x period sweep are content-addressed jobs, so re-running the sweep
+serves every unchanged point from the persistent result cache — kill it
+half-way and run again, only the missing points execute.
 
 Run:  python examples/design_space.py
 """
 
+import tempfile
+
 from repro import (
+    BatchRunner,
     CanErrorModel,
+    ResultStore,
     SPNPScheduler,
     SPPScheduler,
     TaskSpec,
-    max_wcet_scaling,
+    make_backend,
     offset_join,
     or_join,
     periodic,
 )
+from repro.batch import Job, run_job, taskspec_to_dict
+from repro.batch.spaces import quickstart_space
 from repro.can import CanBusTiming, frame_bits_max
 from repro.com import (
     Signal,
@@ -84,14 +96,38 @@ def step3_errors(layer, models):
 
 
 def step4_headroom():
-    print("\n4) Receiver execution-time headroom:")
+    print("\n4) Receiver execution-time headroom (as a batch job):")
     tasks = [
         TaskSpec("ctrl", 8.0, 8.0, periodic(100.0), priority=1),
         TaskSpec("logger", 20.0, 20.0, periodic(500.0), priority=2),
     ]
-    deadlines = {"ctrl": 100.0, "logger": 500.0}
-    factor = max_wcet_scaling(SPPScheduler(), tasks, deadlines)
+    job = Job("wcet_scaling", {
+        "scheduler": {"policy": "spp"},
+        "tasks": [taskspec_to_dict(t) for t in tasks],
+        "deadlines": {"ctrl": 100.0, "logger": 500.0},
+    }, label="cpu headroom")
+    result = run_job(job)
+    factor = result.data["factor"]
     print(f"   all WCETs can grow {factor:.2f}x before a deadline miss")
+    print(f"   (job {job.key[:12]}..., {result.status} in "
+          f"{result.duration:.3f}s)")
+
+
+def step5_sweep():
+    print("\n5) Batch sweep of the WCET x period neighbourhood:")
+    space = quickstart_space()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = space.run(BatchRunner(store=ResultStore(cache_dir),
+                                     backend=make_backend(0)))
+        print(cold.table())
+        point, worst = cold.best("worst_wcrt")
+        print(f"   most stressed feasible point: {point} "
+              f"(worst WCRT {worst:.1f})")
+        # Same sweep again: every point is served from the result cache.
+        warm = space.run(BatchRunner(store=ResultStore(cache_dir),
+                                     backend=make_backend(0)))
+        print(f"   cold run: {cold.report.summary()}")
+        print(f"   warm run: {warm.report.summary()}")
 
 
 def main() -> None:
@@ -108,6 +144,7 @@ def main() -> None:
     step2_offsets()
     step3_errors(layer, models)
     step4_headroom()
+    step5_sweep()
 
 
 if __name__ == "__main__":

@@ -126,7 +126,20 @@ from .system import (
     System,
     Task,
     analyze_system,
+    canonical_json,
     path_latency,
+    system_from_dict,
+    system_hash,
+    system_to_dict,
+)
+from . import batch
+from .batch import (
+    BatchRunner,
+    DesignSpace,
+    Job,
+    JobResult,
+    ResultStore,
+    make_backend,
 )
 
 __version__ = "1.0.0"
@@ -161,8 +174,12 @@ __all__ = [
     # system
     "System", "Source", "Task", "Resource", "Junction", "JunctionKind",
     "analyze_system", "path_latency", "PathLatency",
+    "system_to_dict", "system_from_dict", "system_hash", "canonical_json",
     # observability
     "obs", "configure", "get_tracer", "metrics",
+    # batch engine
+    "batch", "Job", "JobResult", "BatchRunner", "ResultStore",
+    "DesignSpace", "make_backend",
     # substrates
     "ComLayer", "Frame", "FrameType", "Signal",
     "CanBus", "CanBusTiming", "frame_bits_max", "frame_bits_min",

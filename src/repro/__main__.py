@@ -1,4 +1,4 @@
-"""``python -m repro`` — reproduction report and tracing CLI.
+"""``python -m repro`` — reproduction report, tracing, and batch CLI.
 
 Modes:
 
@@ -7,13 +7,19 @@ Modes:
 * ``python -m repro trace <example.py|rox08> [--out PATH]`` — run a
   workload with observability enabled and dump the span trace as JSONL
   (see :mod:`repro.obs.cli`).
+* ``python -m repro batch <space> [--workers N] [--resume]`` — sweep a
+  predefined design space through the parallel batch engine with a
+  persistent result cache (see :mod:`repro.batch.cli`).
 """
 
 import sys
 
+from .batch.cli import batch_main
 from .obs.cli import trace_main
 from .report import main
 
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "batch":
+    sys.exit(batch_main(sys.argv[2:]))
 sys.exit(main())

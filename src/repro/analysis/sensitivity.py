@@ -16,6 +16,7 @@ All searches are monotone-predicate bisections via
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Callable, Dict, Sequence
 
@@ -34,18 +35,30 @@ def binary_search_max(feasible: Callable[[float], bool], lo: float,
 
     ``feasible`` must be monotone (True below the returned value).  When
     *expand* is set and ``feasible(hi)`` still holds, the upper bracket
-    doubles (up to 2^20 times) before bisection.  Raises
-    :class:`AnalysisError` if even *lo* is infeasible.
+    doubles (up to 2^20 times) before bisection; a non-positive bracket
+    is re-seeded at 1.0 so expansion makes progress from ``hi == 0``.
+    Raises :class:`AnalysisError` if even *lo* is infeasible and
+    :class:`ModelError` for malformed intervals (``lo > hi``, non-finite
+    bounds, non-positive precision).
     """
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ModelError(f"search interval [{lo}, {hi}] must be finite")
     if lo > hi:
         raise ModelError(f"empty search interval [{lo}, {hi}]")
+    if precision <= 0 or not math.isfinite(precision):
+        raise ModelError(f"precision must be positive, got {precision}")
     if not feasible(lo):
         raise AnalysisError(f"lower bound {lo} already infeasible")
+    if lo == hi and not expand:
+        return lo
     if feasible(hi):
         if not expand:
             return hi
         for _ in range(20):
-            lo, hi = hi, hi * 2.0
+            grown = hi * 2.0 if hi > 0 else 1.0
+            if not math.isfinite(grown):
+                return hi
+            lo, hi = hi, grown
             if not feasible(hi):
                 break
         else:

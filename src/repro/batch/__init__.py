@@ -1,0 +1,93 @@
+"""repro.batch — parallel batch analysis with persistent memoisation.
+
+The single-question engine (:func:`repro.system.analyze_system`)
+answers one query about one configuration; every real investigation —
+table sweeps, sensitivity searches, headroom exploration, sim-vs-
+analysis validation — asks hundreds of nearby questions.  This package
+turns those questions into content-addressed :class:`Job` objects and
+runs them through an executor with a persistent result store:
+
+* :mod:`repro.batch.jobs` — ``Job``/``JobResult``, the job-kind
+  registry, and built-in kinds (``analyze``, ``wcet_scaling``,
+  ``task_slack``, ``simulate``).
+* :mod:`repro.batch.store` — on-disk JSONL result log + hash index:
+  cross-run memoisation and checkpoint/resume.
+* :mod:`repro.batch.executor` — serial and process-pool backends with
+  per-job timeout and error capture, plus the memoising
+  :class:`BatchRunner`.
+* :mod:`repro.batch.design_space` — the :class:`DesignSpace` driver:
+  grid / random sampling over WCETs, periods, and structural knobs,
+  aggregated into :mod:`repro.viz` tables.
+* :mod:`repro.batch.spaces` — predefined spaces for the CLI and
+  benchmarks.
+
+Minimal use::
+
+    from repro.batch import BatchRunner, ResultStore, make_backend
+    from repro.batch.spaces import quickstart_space
+
+    space = quickstart_space()
+    runner = BatchRunner(store=ResultStore(".repro-batch/quickstart"),
+                         backend=make_backend(workers=4))
+    sweep = space.run(runner)
+    print(sweep.table())        # axes + convergence + worst WCRT
+    print(sweep.report.summary())
+
+Re-running the same sweep serves every point from the store; killing it
+half-way and re-running finishes only the missing points.  From the
+shell: ``python -m repro batch quickstart --workers 4 --resume``.
+"""
+
+from .design_space import (
+    Axis,
+    DesignSpace,
+    DesignSpaceResult,
+    period_axis,
+    priority_axis,
+    wcet_axis,
+)
+from .executor import (
+    BatchReport,
+    BatchRunner,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from .jobs import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Job,
+    JobResult,
+    job_kinds,
+    register_job_kind,
+    run_job,
+    taskspec_from_dict,
+    taskspec_to_dict,
+)
+from .store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "run_job",
+    "register_job_kind",
+    "job_kinds",
+    "taskspec_to_dict",
+    "taskspec_from_dict",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "ResultStore",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "BatchRunner",
+    "BatchReport",
+    "Axis",
+    "DesignSpace",
+    "DesignSpaceResult",
+    "wcet_axis",
+    "period_axis",
+    "priority_axis",
+]

@@ -1,0 +1,116 @@
+"""``python -m repro batch`` — run a design-space sweep from the shell.
+
+::
+
+    python -m repro batch quickstart --workers 4
+    python -m repro batch rox08 --resume
+    python -m repro batch synth --sample 4 --seed 7
+    python -m repro batch bench --workers 4 --cache-dir /tmp/bench
+
+Targets are the predefined spaces in :mod:`repro.batch.spaces`.  The
+result cache lives under ``--cache-dir`` (default
+``.repro-batch/<target>``); without ``--resume`` the cache is cleared
+first, with it previously completed points are served from the store
+and only failed or missing points are re-executed.  Exit status is 0
+when every point succeeded, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .. import obs as _obs
+from .executor import BatchRunner, make_backend
+from .spaces import NAMED_SPACES
+from .store import ResultStore
+
+DEFAULT_CACHE_ROOT = ".repro-batch"
+
+
+def batch_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description="Run a predefined design-space sweep through the "
+                    "batch engine.")
+    parser.add_argument(
+        "target", choices=sorted(NAMED_SPACES),
+        help="which predefined design space to sweep")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes (0 = serial, the default)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="keep the existing cache: completed points are skipped, "
+             "failed/missing points re-run")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache directory (default: "
+             f"{DEFAULT_CACHE_ROOT}/<target>)")
+    parser.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="random-sample N points instead of the full grid")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="sampling seed (with --sample)")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-time budget")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-point progress lines")
+    args = parser.parse_args(argv)
+
+    space = NAMED_SPACES[args.target]()
+    if args.timeout is not None:
+        space.timeout = args.timeout
+    points = (space.sample(args.sample, seed=args.seed)
+              if args.sample is not None else list(space.grid()))
+
+    cache_dir = args.cache_dir or f"{DEFAULT_CACHE_ROOT}/{args.target}"
+    store = ResultStore(cache_dir)
+    if not args.resume:
+        store.clear()
+
+    runner = BatchRunner(store=store,
+                         backend=make_backend(args.workers))
+
+    def progress(result) -> None:
+        if not args.quiet:
+            marker = "." if result.ok else "!"
+            print(f"  [{marker}] {result.label or result.key[:12]} "
+                  f"({result.status}, {result.duration:.3f}s)")
+
+    _obs.configure(enabled=True, reset=True)
+    try:
+        sweep = space.run(runner, points=points, progress=progress)
+    finally:
+        _obs.configure(enabled=False)
+
+    print(f"\n=== {space.name}: {len(points)} points, "
+          f"{runner.backend.name} backend "
+          f"({getattr(runner.backend, 'workers', 1)} worker(s)) ===")
+    print(sweep.table())
+    print(f"\n{sweep.report.summary()}")
+    print(f"cache: {cache_dir}")
+
+    snapshot = _obs.metrics().snapshot()
+    counters = snapshot["counters"]
+    hist = snapshot["histograms"].get("batch.job_seconds")
+    if hist and hist["count"]:
+        print(f"job latency: mean {hist['mean']:.3f}s, "
+              f"p90 {hist['p90']:.3f}s, max {hist['max']:.3f}s "
+              f"over {hist['count']} executed")
+    timeouts = counters.get("batch.jobs.timeout", 0)
+    if timeouts:
+        print(f"timeouts: {timeouts}")
+    if sweep.report.failed:
+        print(f"\nFAILED points ({len(sweep.report.failed)}):",
+              file=sys.stderr)
+        for key in sweep.report.failed:
+            result = sweep.report.results[key]
+            print(f"  {result.label or key}: {result.error}",
+                  file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,320 @@
+"""Design-space exploration driver: axes → points → jobs → tables.
+
+A :class:`DesignSpace` describes a family of system configurations as a
+base design plus named :class:`Axis` knobs — task WCET scale factors,
+source period scale factors, frame-packing parameters, anything a
+function can apply.  The driver enumerates points (full grid or random
+sample), derives one content-addressed analysis job per point, feeds
+them to a :class:`~repro.batch.executor.BatchRunner`, and aggregates
+the outcomes into :mod:`repro.viz` tables.
+
+Two ways to materialise a point:
+
+* **dict-transform mode** (``base=``): the base system is serialised
+  once; each axis ``apply(system_dict, value)`` mutates a deep copy.
+  Right for "scale these WCETs / periods" sweeps over a fixed topology.
+* **builder mode** (``builder=``): a callable receives the point as
+  keyword arguments and returns a fresh :class:`~repro.system.System`.
+  Right for structural axes — number of signals, frames, packing
+  strategy — where no dict edit captures the change.
+
+Either way only the resulting *serialised dict* enters the job payload,
+so points parallelise across processes and memoise across runs for
+free (equal dicts → equal job keys → cache hits).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .._errors import ModelError
+from ..system.model import System
+from ..system.serialize import system_to_dict
+from .executor import BatchReport, BatchRunner
+from .jobs import Job
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named knob of a design space.
+
+    Attributes
+    ----------
+    name:
+        Point-dict key (and builder keyword, in builder mode).
+    values:
+        Discrete levels for grid enumeration (also sampled uniformly by
+        :meth:`DesignSpace.sample` when *bounds* is unset).
+    bounds:
+        ``(lo, hi)`` continuous range for random sampling; such an axis
+        cannot be grid-enumerated.
+    apply:
+        Dict-transform hook ``apply(system_dict, value)`` mutating the
+        (already copied) serialised system in place.  Unused in builder
+        mode.
+    """
+
+    name: str
+    values: Optional[Tuple[Any, ...]] = None
+    bounds: Optional[Tuple[float, float]] = None
+    apply: Optional[Callable[[Dict[str, Any], Any], None]] = None
+
+    def __post_init__(self):
+        if self.values is None and self.bounds is None:
+            raise ModelError(f"axis {self.name}: needs values or bounds")
+        if self.values is not None and len(self.values) == 0:
+            raise ModelError(f"axis {self.name}: empty value list")
+        if self.values is not None and not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    def grid_values(self) -> "Tuple[Any, ...]":
+        if self.values is None:
+            raise ModelError(
+                f"axis {self.name}: continuous axes (bounds only) cannot "
+                f"be grid-enumerated; give explicit values or sample()")
+        return self.values
+
+    def sample_value(self, rng: random.Random) -> Any:
+        if self.bounds is not None:
+            return rng.uniform(*self.bounds)
+        return rng.choice(self.values)
+
+
+# ----------------------------------------------------------------------
+# built-in dict-transform axes
+# ----------------------------------------------------------------------
+def wcet_axis(values: Sequence[float],
+              tasks: Optional[Sequence[str]] = None,
+              name: str = "wcet_scale") -> Axis:
+    """Scale ``c_min``/``c_max`` of *tasks* (default: every task)."""
+    wanted = set(tasks) if tasks is not None else None
+
+    def apply(system_dict: "Dict[str, Any]", factor: Any) -> None:
+        for task_name, task in system_dict.get("tasks", {}).items():
+            if wanted is None or task_name in wanted:
+                task["c_min"] = task["c_min"] * factor
+                task["c_max"] = task["c_max"] * factor
+
+    return Axis(name, values=tuple(values), apply=apply)
+
+
+def period_axis(values: Sequence[float],
+                sources: Optional[Sequence[str]] = None,
+                name: str = "period_scale") -> Axis:
+    """Scale the period/jitter/d_min of standard-model *sources*
+    (default: every standard-model source); curve sources are skipped —
+    an arbitrary curve has no canonical period knob."""
+    wanted = set(sources) if sources is not None else None
+
+    def apply(system_dict: "Dict[str, Any]", factor: Any) -> None:
+        for src_name, model in system_dict.get("sources", {}).items():
+            if wanted is not None and src_name not in wanted:
+                continue
+            if model.get("type") != "standard":
+                continue
+            model["period"] = model["period"] * factor
+            model["jitter"] = model["jitter"] * factor
+            model["d_min"] = model["d_min"] * factor
+
+    return Axis(name, values=tuple(values), apply=apply)
+
+
+def priority_axis(task: str, values: Sequence[int],
+                  name: Optional[str] = None) -> Axis:
+    """Sweep the static priority of one task."""
+
+    def apply(system_dict: "Dict[str, Any]", priority: Any) -> None:
+        try:
+            system_dict["tasks"][task]["priority"] = priority
+        except KeyError:
+            raise ModelError(f"priority axis: unknown task {task!r}")
+
+    return Axis(name or f"priority[{task}]", values=tuple(values),
+                apply=apply)
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+class DesignSpace:
+    """A named family of system configurations plus the job recipe."""
+
+    def __init__(self, name: str, axes: Sequence[Axis],
+                 base: Optional[Union[System, Dict[str, Any]]] = None,
+                 builder: Optional[Callable[..., System]] = None,
+                 job_kind: str = "analyze",
+                 job_options: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None):
+        if (base is None) == (builder is None):
+            raise ModelError(
+                "design space needs exactly one of base= or builder=")
+        names = [a.name for a in axes]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate axis names in {names}")
+        self.name = name
+        self.axes = tuple(axes)
+        self.builder = builder
+        self.job_kind = job_kind
+        self.job_options = dict(job_options or {})
+        self.timeout = timeout
+        if isinstance(base, System):
+            self._base_dict: Optional[Dict[str, Any]] = system_to_dict(base)
+        else:
+            self._base_dict = copy.deepcopy(base) if base is not None else None
+        if self._base_dict is not None:
+            for axis in self.axes:
+                if axis.apply is None:
+                    raise ModelError(
+                        f"axis {axis.name}: dict-transform mode needs an "
+                        f"apply= hook (or use builder mode)")
+
+    # ------------------------------------------------------------------
+    # point enumeration
+    # ------------------------------------------------------------------
+    def grid(self) -> "Iterator[Dict[str, Any]]":
+        """Full cartesian product over every axis' discrete values."""
+        levels = [axis.grid_values() for axis in self.axes]
+        for combo in itertools.product(*levels):
+            yield dict(zip((a.name for a in self.axes), combo))
+
+    def grid_size(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.grid_values())
+        return size
+
+    def sample(self, n: int, seed: int = 0) -> "List[Dict[str, Any]]":
+        """*n* random points; deterministic for a given *seed*.
+
+        Discrete axes sample uniformly over their levels, continuous
+        axes uniformly over their bounds.  Duplicates are collapsed
+        (points are content-addressed anyway), so fewer than *n* points
+        can come back from small discrete spaces.
+        """
+        if n < 1:
+            raise ModelError(f"need at least one sample, got {n}")
+        rng = random.Random(seed)
+        points: "List[Dict[str, Any]]" = []
+        seen = set()
+        for _ in range(n):
+            point = {a.name: a.sample_value(rng) for a in self.axes}
+            fingerprint = tuple(sorted((k, repr(v))
+                                       for k, v in point.items()))
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                points.append(point)
+        return points
+
+    # ------------------------------------------------------------------
+    # point → job
+    # ------------------------------------------------------------------
+    def system_dict_for(self, point: "Dict[str, Any]") -> "Dict[str, Any]":
+        if self.builder is not None:
+            return system_to_dict(self.builder(**point))
+        system_dict = copy.deepcopy(self._base_dict)
+        for axis in self.axes:
+            axis.apply(system_dict, point[axis.name])
+        return system_dict
+
+    def job_for(self, point: "Dict[str, Any]") -> Job:
+        payload = {"system": self.system_dict_for(point)}
+        payload.update(self.job_options)
+        label = ", ".join(f"{k}={_fmt(v)}" for k, v in point.items())
+        return Job(self.job_kind, payload, label=label,
+                   timeout=self.timeout)
+
+    def jobs(self, points: Optional[Sequence[Dict[str, Any]]] = None
+             ) -> "List[Tuple[Dict[str, Any], Job]]":
+        if points is None:
+            points = list(self.grid())
+        return [(point, self.job_for(point)) for point in points]
+
+    # ------------------------------------------------------------------
+    def run(self, runner: BatchRunner,
+            points: Optional[Sequence[Dict[str, Any]]] = None,
+            progress=None) -> "DesignSpaceResult":
+        pairs = self.jobs(points)
+        report = runner.run([job for _, job in pairs], progress=progress)
+        return DesignSpaceResult(self, [p for p, _ in pairs],
+                                 [j for _, j in pairs], report)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return format(value, ".4g")
+    return str(value)
+
+
+#: Metrics shown by default per job kind (scalar keys of result data).
+_DEFAULT_METRICS = {
+    "analyze": ("converged", "iterations", "worst_wcrt"),
+    "simulate": ("sound", "iterations"),
+    "wcet_scaling": ("factor",),
+    "task_slack": ("slack",),
+}
+
+
+@dataclass
+class DesignSpaceResult:
+    """Points, their jobs, and the batch report — plus aggregation."""
+
+    space: DesignSpace
+    points: List[Dict[str, Any]]
+    jobs: List[Job]
+    report: BatchReport = field(repr=False)
+
+    def outcomes(self, metrics: Optional[Sequence[str]] = None
+                 ) -> "List[Dict[str, Any]]":
+        """One flat dict per point: status plus selected data scalars."""
+        if metrics is None:
+            metrics = _DEFAULT_METRICS.get(self.space.job_kind)
+        rows = []
+        for job in self.jobs:
+            result = self.report.result_for(job)
+            row: "Dict[str, Any]" = {"status": result.status
+                                     if result else "missing"}
+            data = result.data if result else {}
+            if metrics is None:
+                wanted = [k for k, v in sorted(data.items())
+                          if not isinstance(v, (dict, list))]
+            else:
+                wanted = list(metrics)
+            for key in wanted:
+                row[key] = data.get(key)
+            rows.append(row)
+        return rows
+
+    def table(self, metrics: Optional[Sequence[str]] = None,
+              floatfmt: str = ".4g") -> str:
+        """Render the sweep as an aligned :mod:`repro.viz` table."""
+        from ..viz.tables import sweep_table
+        return sweep_table(self.points, self.outcomes(metrics),
+                           floatfmt=floatfmt)
+
+    def best(self, metric: str, minimize: bool = False
+             ) -> "Tuple[Dict[str, Any], Any]":
+        """The (point, value) with the extremal *metric* among ok runs."""
+        candidates = []
+        for point, job in zip(self.points, self.jobs):
+            result = self.report.result_for(job)
+            if result is not None and result.ok and metric in result.data:
+                candidates.append((point, result.data[metric]))
+        if not candidates:
+            raise ModelError(
+                f"no successful point carries metric {metric!r}")
+        chooser = min if minimize else max
+        return chooser(candidates, key=lambda pair: pair[1])

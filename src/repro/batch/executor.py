@@ -1,0 +1,235 @@
+"""Execution backends and the batch runner.
+
+Two interchangeable backends execute :class:`~repro.batch.jobs.Job`
+lists:
+
+* :class:`SerialBackend` — in-process, deterministic order; the
+  debugging baseline and the zero-dependency fallback.
+* :class:`ProcessPoolBackend` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` fan-out.  Jobs carry serialised systems (plain
+  dicts), so nothing but JSON-compatible data crosses the process
+  boundary; workers rebuild the system and run the ordinary engine.
+
+Both enforce the per-job timeout (pre-emptively via ``SIGALRM`` inside
+:func:`~repro.batch.jobs.run_job` where the platform allows, post-hoc
+otherwise) and both capture failures as ``failed`` results instead of
+raising, so a sweep always runs to completion.
+
+:class:`BatchRunner` ties a backend to a persistent
+:class:`~repro.batch.store.ResultStore`: results stored as ``ok`` are
+served from the cache (cross-run memoisation — this is what makes a
+killed sweep resumable), everything else is (re-)executed and written
+back immediately.  Counters, the cache hit rate, and a per-job latency
+histogram are emitted through :mod:`repro.obs` when observability is
+enabled.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import obs as _obs
+from .._errors import ModelError
+from .jobs import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Job,
+    JobResult,
+    run_job,
+)
+from .store import ResultStore
+
+#: Signature of the per-result callback backends invoke as jobs finish.
+OnResult = Callable[[JobResult], None]
+
+
+def _enforce_budget(job: Job, result: JobResult) -> JobResult:
+    """Post-hoc timeout accounting for platforms without ``SIGALRM``.
+
+    A job that finished but blew its wall-time budget is never recorded
+    ``ok`` — otherwise resume semantics would differ between platforms
+    that can pre-empt and platforms that cannot.
+    """
+    if (result.status == STATUS_OK and job.timeout
+            and result.duration > job.timeout):
+        return JobResult(result.key, result.kind, result.label,
+                         STATUS_TIMEOUT,
+                         error=f"job exceeded timeout of {job.timeout}s "
+                               f"(ran {result.duration:.3f}s)",
+                         duration=result.duration)
+    return result
+
+
+class SerialBackend:
+    """Run jobs one after another in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, jobs: Sequence[Job], on_result: OnResult) -> None:
+        for job in jobs:
+            on_result(_enforce_budget(job, run_job(job)))
+
+
+class ProcessPoolBackend:
+    """Fan jobs out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (must be >= 1).
+    mp_context:
+        Optional :mod:`multiprocessing` context.  The platform default
+        (``fork`` on Linux) keeps worker start-up cheap; pass a
+        ``spawn`` context for stricter isolation.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, mp_context=None):
+        if workers < 1:
+            raise ModelError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self._mp_context = mp_context
+
+    def run(self, jobs: Sequence[Job], on_result: OnResult) -> None:
+        if not jobs:
+            return
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=self._mp_context) as pool:
+            futures = {pool.submit(run_job, job): job for job in jobs}
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    # Worker death (BrokenProcessPool) or a payload that
+                    # failed to cross the boundary: record, keep going.
+                    result = JobResult(
+                        job.key, job.kind, job.label, STATUS_FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc())
+                on_result(_enforce_budget(job, result))
+
+
+def make_backend(workers: int = 0, mp_context=None):
+    """``workers <= 0`` → :class:`SerialBackend`; otherwise a pool."""
+    if workers <= 0:
+        return SerialBackend()
+    return ProcessPoolBackend(workers, mp_context=mp_context)
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :meth:`BatchRunner.run` call."""
+
+    results: Dict[str, JobResult] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    cached: List[str] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    wall: float = 0.0
+
+    def __getitem__(self, key: str) -> JobResult:
+        return self.results[key]
+
+    def result_for(self, job: Job) -> Optional[JobResult]:
+        return self.results.get(job.key)
+
+    @property
+    def total(self) -> int:
+        return len(self.order)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return len(self.cached) / self.total if self.total else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        return (f"{self.total} jobs: {len(self.cached)} cached, "
+                f"{len(self.executed)} executed, {len(self.failed)} "
+                f"failed ({self.cache_hit_rate:.0%} cache hit rate, "
+                f"{self.wall:.2f}s)")
+
+
+class BatchRunner:
+    """Memoising batch executor: store in front, backend behind.
+
+    ``run`` deduplicates jobs by content key, serves keys whose stored
+    status is ``ok`` from the cache, executes the rest through the
+    backend, and checkpoints every finished result into the store
+    before moving on.  Failed or timed-out points are recorded but stay
+    retryable: a subsequent run (the *resume* path) re-executes exactly
+    the failed/missing keys.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 backend=None):
+        self.store = store
+        self.backend = backend or SerialBackend()
+
+    def run(self, jobs: Sequence[Job],
+            progress: Optional[OnResult] = None) -> BatchReport:
+        unique: "Dict[str, Job]" = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+
+        report = BatchReport(order=list(unique))
+        to_run: "List[Job]" = []
+        for key, job in unique.items():
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None and cached.ok:
+                report.results[key] = cached
+                report.cached.append(key)
+            else:
+                to_run.append(job)
+
+        if _obs.enabled:
+            registry = _obs.metrics()
+            registry.counter("batch.cache.hits").inc(len(report.cached))
+            registry.counter("batch.cache.misses").inc(len(to_run))
+            registry.counter("batch.jobs.submitted").inc(len(to_run))
+            registry.gauge("batch.workers").set(
+                getattr(self.backend, "workers", 1))
+
+        def on_result(result: JobResult) -> None:
+            if self.store is not None:
+                self.store.put(result)
+            report.results[result.key] = result
+            report.executed.append(result.key)
+            if not result.ok:
+                report.failed.append(result.key)
+            if _obs.enabled:
+                registry = _obs.metrics()
+                if result.ok:
+                    registry.counter("batch.jobs.completed").inc()
+                elif result.status == STATUS_TIMEOUT:
+                    registry.counter("batch.jobs.timeout").inc()
+                    registry.counter("batch.jobs.failed").inc()
+                else:
+                    registry.counter("batch.jobs.failed").inc()
+                registry.histogram("batch.job_seconds").observe(
+                    result.duration)
+            if progress is not None:
+                progress(result)
+
+        t0 = time.perf_counter()
+        try:
+            self.backend.run(to_run, on_result)
+        finally:
+            report.wall = time.perf_counter() - t0
+            if self.store is not None:
+                self.store.close()
+        return report

@@ -1,0 +1,331 @@
+"""Job abstraction: content-addressed units of analysis work.
+
+A :class:`Job` is a *pure, serialisable* description of one analysis
+question — "analyse this system", "how much WCET headroom does this
+resource have", "does the simulator stay below the analytic bounds" —
+keyed by a deterministic content hash of its canonical JSON payload.
+Because the payload carries the system as a :func:`repro.system.
+system_to_dict` dict (never a live object), jobs cross process
+boundaries without pickling schedulers or event models: workers rebuild
+the system with :func:`repro.system.system_from_dict` and run the
+ordinary engine.
+
+Job kinds are looked up in a registry so downstream code (and tests)
+can add their own::
+
+    @register_job_kind("my_kind")
+    def _run_my_kind(payload: dict) -> dict:
+        ...
+
+The executor layer (:mod:`repro.batch.executor`) calls :func:`run_job`,
+which never raises: failures come back as a :class:`JobResult` with
+``status="failed"`` and the full traceback, so one diverging fixed
+point cannot sink a thousand-point sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from .._errors import ModelError
+from ..analysis.interface import TaskSpec
+from ..system.serialize import (
+    content_hash,
+    model_from_dict,
+    model_to_dict,
+    scheduler_from_dict,
+    system_from_dict,
+)
+
+#: Result statuses.  ``ok`` results are cache-eligible; ``failed`` and
+#: ``timeout`` results are recorded (so a resumed sweep knows the point
+#: was attempted) but retried on the next run.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One content-addressed unit of analysis work.
+
+    Attributes
+    ----------
+    kind:
+        Registry name of the function that executes the job.
+    payload:
+        JSON-compatible arguments for the kind function.  Systems travel
+        as ``system_to_dict`` dicts.
+    label:
+        Human-readable tag for progress output and tables; *not* part of
+        the identity.
+    timeout:
+        Per-job wall-time budget in seconds (enforced by the executor
+        backends); also excluded from the identity.
+    key:
+        Derived content hash over ``(kind, payload)`` — equal payloads
+        produce equal keys in every process.
+    """
+
+    kind: str
+    payload: Mapping[str, Any]
+    label: str = ""
+    timeout: Optional[float] = None
+    key: str = field(init=False)
+
+    def __post_init__(self):
+        if not self.kind:
+            raise ModelError("job kind must be non-empty")
+        digest = content_hash({"kind": self.kind,
+                               "payload": dict(self.payload)})
+        object.__setattr__(self, "key", digest)
+
+
+@dataclass
+class JobResult:
+    """Outcome of executing one :class:`Job`."""
+
+    key: str
+    kind: str
+    label: str
+    status: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    traceback: str = ""
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "label": self.label,
+            "status": self.status,
+            "data": self.data,
+            "error": self.error,
+            "traceback": self.traceback,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            key=data["key"],
+            kind=data.get("kind", ""),
+            label=data.get("label", ""),
+            status=data.get("status", STATUS_FAILED),
+            data=dict(data.get("data", {})),
+            error=data.get("error", ""),
+            traceback=data.get("traceback", ""),
+            duration=data.get("duration", 0.0),
+        )
+
+
+# ----------------------------------------------------------------------
+# job-kind registry
+# ----------------------------------------------------------------------
+_JOB_KINDS: "Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]]" = {}
+
+
+def register_job_kind(name: str):
+    """Decorator registering a payload→data function under *name*."""
+    def decorator(fn: Callable[[Dict[str, Any]], Dict[str, Any]]):
+        _JOB_KINDS[name] = fn
+        return fn
+    return decorator
+
+
+def job_kinds() -> "Tuple[str, ...]":
+    return tuple(sorted(_JOB_KINDS))
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when the per-job alarm fires."""
+
+
+def run_job(job: Job) -> JobResult:
+    """Execute *job*, capturing errors and wall time; never raises."""
+    fn = _JOB_KINDS.get(job.kind)
+    t0 = time.perf_counter()
+    if fn is None:
+        return JobResult(job.key, job.kind, job.label, STATUS_FAILED,
+                         error=f"unknown job kind {job.kind!r} "
+                               f"(known: {', '.join(job_kinds())})")
+    try:
+        data = _call_with_timeout(fn, dict(job.payload), job.timeout)
+    except JobTimeout:
+        return JobResult(job.key, job.kind, job.label, STATUS_TIMEOUT,
+                         error=f"job exceeded timeout of {job.timeout}s",
+                         duration=time.perf_counter() - t0)
+    except Exception as exc:
+        return JobResult(job.key, job.kind, job.label, STATUS_FAILED,
+                         error=f"{type(exc).__name__}: {exc}",
+                         traceback=traceback.format_exc(),
+                         duration=time.perf_counter() - t0)
+    return JobResult(job.key, job.kind, job.label, STATUS_OK,
+                     data=data, duration=time.perf_counter() - t0)
+
+
+def _call_with_timeout(fn, payload: "Dict[str, Any]",
+                       timeout: Optional[float]) -> "Dict[str, Any]":
+    """Run *fn* under a SIGALRM watchdog when a timeout is requested.
+
+    The interval timer pre-empts pure-Python loops (a diverging fixed
+    point included), which per-future timeouts in the parent cannot: a
+    hung worker would keep its pool slot occupied forever.  On platforms
+    without ``SIGALRM`` (or off the main thread) the job runs
+    unguarded; the executor then falls back to post-hoc accounting.
+    """
+    if not timeout or timeout <= 0:
+        return fn(payload)
+    import signal
+    import threading
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return fn(payload)
+
+    def _alarm(signum, frame):
+        raise JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(payload)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# TaskSpec serialisation (resource-level jobs)
+# ----------------------------------------------------------------------
+def taskspec_to_dict(spec: TaskSpec) -> "Dict[str, Any]":
+    return {
+        "name": spec.name,
+        "c_min": spec.c_min,
+        "c_max": spec.c_max,
+        "event_model": model_to_dict(spec.event_model),
+        "priority": spec.priority,
+        "slot": spec.slot,
+        "deadline": spec.deadline,
+        "blocking": spec.blocking,
+    }
+
+
+def taskspec_from_dict(data: Mapping[str, Any]) -> TaskSpec:
+    return TaskSpec(
+        data["name"], data["c_min"], data["c_max"],
+        model_from_dict(data["event_model"]),
+        priority=data.get("priority", 0),
+        slot=data.get("slot"),
+        deadline=data.get("deadline"),
+        blocking=data.get("blocking", 0.0))
+
+
+# ----------------------------------------------------------------------
+# built-in job kinds
+# ----------------------------------------------------------------------
+@register_job_kind("analyze")
+def _run_analyze(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Global compositional analysis of one serialised system.
+
+    Payload: ``system`` (system dict), optional ``max_iterations``.
+    """
+    from ..system.propagation import DEFAULT_MAX_ITERATIONS, analyze_system
+
+    system = system_from_dict(payload["system"])
+    result = analyze_system(
+        system,
+        max_iterations=payload.get("max_iterations",
+                                   DEFAULT_MAX_ITERATIONS))
+    wcrt = {}
+    utilization = {}
+    for rr in result.resource_results.values():
+        utilization[rr.resource] = rr.utilization
+        for name, tr in rr.task_results.items():
+            wcrt[name] = tr.r_max
+    return {
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "wcrt": wcrt,
+        "worst_wcrt": max(wcrt.values()) if wcrt else 0.0,
+        "utilization": utilization,
+    }
+
+
+@register_job_kind("wcet_scaling")
+def _run_wcet_scaling(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Sensitivity search: max uniform WCET inflation on one resource.
+
+    Payload: ``scheduler`` (scheduler dict), ``tasks`` (TaskSpec dicts),
+    ``deadlines``, optional ``precision``.
+    """
+    from ..analysis.sensitivity import DEFAULT_PRECISION, max_wcet_scaling
+
+    scheduler = scheduler_from_dict(payload["scheduler"])
+    tasks = [taskspec_from_dict(t) for t in payload["tasks"]]
+    factor = max_wcet_scaling(
+        scheduler, tasks, dict(payload["deadlines"]),
+        precision=payload.get("precision", DEFAULT_PRECISION))
+    return {"factor": factor}
+
+
+@register_job_kind("task_slack")
+def _run_task_slack(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Sensitivity search: extra WCET one task can absorb.
+
+    Payload: ``scheduler``, ``tasks``, ``task``, ``deadlines``,
+    optional ``precision``.
+    """
+    from ..analysis.sensitivity import DEFAULT_PRECISION, task_wcet_slack
+
+    scheduler = scheduler_from_dict(payload["scheduler"])
+    tasks = [taskspec_from_dict(t) for t in payload["tasks"]]
+    slack = task_wcet_slack(
+        scheduler, tasks, payload["task"], dict(payload["deadlines"]),
+        precision=payload.get("precision", DEFAULT_PRECISION))
+    return {"slack": slack}
+
+
+@register_job_kind("simulate")
+def _run_simulate(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Sim-vs-analysis validation of one serialised system.
+
+    Analyses the system, simulates it under critical-instant arrivals
+    for ``horizon`` time units, and reports both bounds per task plus a
+    ``sound`` verdict (every observed response ≤ its analytic WCRT).
+    """
+    from ..sim.generators import worst_case_arrivals
+    from ..sim.system_sim import simulate_system
+    from ..system.propagation import analyze_system
+    from ..timebase import EPS
+
+    system = system_from_dict(payload["system"])
+    horizon = float(payload["horizon"])
+    analysis = analyze_system(system)
+    arrivals = {name: worst_case_arrivals(src.model, horizon)
+                for name, src in system.sources.items()}
+    run = simulate_system(system, arrivals, horizon)
+
+    observed = {}
+    analytic = {}
+    sound = True
+    for task in run.responses.tasks():
+        worst = run.responses.worst_case(task)
+        bound = analysis.wcrt(task)
+        observed[task] = worst
+        if bound is not None:
+            analytic[task] = bound
+            sound = sound and worst <= bound + EPS
+    return {
+        "observed": observed,
+        "analytic": analytic,
+        "sound": sound,
+        "iterations": analysis.iterations,
+    }

@@ -1,0 +1,187 @@
+"""Persistent result store: JSONL log + hash index under a cache dir.
+
+Layout of a cache directory::
+
+    <cache_dir>/
+        results.jsonl   # one JobResult per line, append-only
+        index.json      # {"size": <jsonl bytes>, "offsets": {key: off}}
+
+``results.jsonl`` is the source of truth: every finished job is
+appended (and flushed) immediately, so a sweep killed mid-flight loses
+at most the job that was in progress.  ``index.json`` is a rebuildable
+accelerator mapping each job key to the byte offset of its *latest*
+line; when it matches the log size the store seeks instead of scanning.
+A stale or missing index (crash before checkpoint, hand-edited log)
+triggers a full rescan that tolerates a truncated final line.
+
+Cross-run memoisation and checkpoint/resume both fall out of the same
+mechanism: :meth:`ResultStore.get` returns whatever the log last said
+about a key, and the runner skips keys whose stored status is ``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .._errors import ModelError
+from .jobs import STATUS_OK, JobResult
+
+RESULTS_NAME = "results.jsonl"
+INDEX_NAME = "index.json"
+
+#: Rewrite the on-disk index every this many appended results.
+CHECKPOINT_EVERY = 32
+
+
+class ResultStore:
+    """Append-only store of :class:`JobResult` records keyed by job key."""
+
+    def __init__(self, cache_dir: Union[str, Path],
+                 checkpoint_every: int = CHECKPOINT_EVERY):
+        if checkpoint_every < 1:
+            raise ModelError("checkpoint_every must be >= 1")
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._results_path = self.cache_dir / RESULTS_NAME
+        self._index_path = self.cache_dir / INDEX_NAME
+        self._checkpoint_every = checkpoint_every
+        self._offsets: "Dict[str, int]" = {}
+        self._cache: "Dict[str, JobResult]" = {}
+        self._puts_since_checkpoint = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self._results_path.exists():
+            return
+        size = self._results_path.stat().st_size
+        index = self._read_index()
+        if index is not None and index.get("size") == size:
+            self._offsets = {str(k): int(v)
+                            for k, v in index.get("offsets", {}).items()}
+            return
+        self._rescan()
+        self._write_index()
+
+    def _read_index(self) -> Optional[dict]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _rescan(self) -> None:
+        """Rebuild key→offset from the log; last write per key wins.
+
+        A torn final line (process killed mid-append) is ignored — the
+        job it described simply reruns.
+        """
+        self._offsets.clear()
+        self._cache.clear()
+        with open(self._results_path, "rb") as fh:
+            offset = fh.tell()
+            for raw in fh:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                    key = record["key"]
+                except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                        TypeError):
+                    offset = fh.tell()
+                    continue
+                self._offsets[key] = offset
+                offset = fh.tell()
+
+    def _write_index(self) -> None:
+        size = (self._results_path.stat().st_size
+                if self._results_path.exists() else 0)
+        payload = {"size": size, "offsets": self._offsets}
+        tmp = self._index_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self._index_path)
+        self._puts_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def keys(self) -> "List[str]":
+        return list(self._offsets)
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """Latest stored result for *key*, or ``None``."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        offset = self._offsets.get(key)
+        if offset is None:
+            return None
+        with open(self._results_path, "rb") as fh:
+            fh.seek(offset)
+            raw = fh.readline()
+        result = JobResult.from_dict(json.loads(raw.decode("utf-8")))
+        self._cache[key] = result
+        return result
+
+    def completed_keys(self) -> "List[str]":
+        """Keys whose stored status is ``ok`` (resume skips these)."""
+        return [k for k in self._offsets if self.get(k).ok]
+
+    def results(self) -> "Iterator[JobResult]":
+        for key in list(self._offsets):
+            yield self.get(key)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def put(self, result: JobResult) -> None:
+        """Append *result* to the log (flushed) and update the index."""
+        line = json.dumps(result.to_dict(), sort_keys=True) + "\n"
+        with open(self._results_path, "ab") as fh:
+            offset = fh.tell()
+            fh.write(line.encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._offsets[result.key] = offset
+        self._cache[result.key] = result
+        self._puts_since_checkpoint += 1
+        if self._puts_since_checkpoint >= self._checkpoint_every:
+            self._write_index()
+
+    def clear(self) -> None:
+        """Drop every stored result (a fresh, non-resumed run)."""
+        self._offsets.clear()
+        self._cache.clear()
+        for path in (self._results_path, self._index_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._puts_since_checkpoint = 0
+
+    def close(self) -> None:
+        """Checkpoint the index; the store stays usable afterwards."""
+        self._write_index()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ok = sum(1 for k in self._offsets if self.get(k).ok)
+        return (f"<ResultStore {self.cache_dir} {len(self._offsets)} "
+                f"results ({ok} ok)>")

@@ -101,6 +101,15 @@ def trace_main(argv: Optional[Sequence[str]] = None) -> int:
     if fp and fp["count"]:
         print(f"busy-window fixed points: {fp['count']} solves, "
               f"mean {fp['mean']:.1f} iterations, p99 {fp['p99']:.0f}")
+    submitted = counters.get("batch.jobs.submitted", 0)
+    batch_hits = counters.get("batch.cache.hits", 0)
+    if submitted or batch_hits:
+        total = batch_hits + counters.get("batch.cache.misses", 0)
+        rate = batch_hits / total if total else 0.0
+        print(f"batch jobs: {submitted} submitted, "
+              f"{counters.get('batch.jobs.completed', 0)} completed, "
+              f"{counters.get('batch.jobs.failed', 0)} failed "
+              f"({rate:.1%} cache hit rate)")
     if args.metrics_out:
         metrics_to_json(registry, args.metrics_out)
         print(f"metrics snapshot -> {args.metrics_out}")

@@ -16,11 +16,14 @@ from .model import (
 from .path import PathLatency, path_latency
 from .propagation import DEFAULT_MAX_ITERATIONS, analyze_system
 from .serialize import (
+    canonical_json,
+    content_hash,
     model_from_dict,
     model_to_dict,
     scheduler_from_dict,
     scheduler_to_dict,
     system_from_dict,
+    system_hash,
     system_to_dict,
 )
 
@@ -40,6 +43,9 @@ __all__ = [
     "decompose_multi_input",
     "system_to_dict",
     "system_from_dict",
+    "system_hash",
+    "canonical_json",
+    "content_hash",
     "model_to_dict",
     "model_from_dict",
     "scheduler_to_dict",

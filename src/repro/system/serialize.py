@@ -9,10 +9,20 @@ conservative-extension precision).
 
 Round trip: ``system_from_dict(system_to_dict(s))`` reproduces an
 equivalent system (same analysis results).
+
+The emitted dict is **canonical**: node maps are sorted by name, so two
+structurally identical systems built in different insertion orders
+serialise identically, and the round trip is a fixed point
+(``system_to_dict(system_from_dict(d)) == d``).  :func:`canonical_json`
+and :func:`system_hash` build on this to give every system a
+content-addressed identity — the cache key of the batch engine
+(:mod:`repro.batch`), stable across processes and interpreter runs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Dict
 
 from .._errors import ModelError
@@ -125,16 +135,21 @@ def scheduler_from_dict(data: "Dict[str, Any]") -> Scheduler:
 # whole systems
 # ----------------------------------------------------------------------
 def system_to_dict(system: System) -> "Dict[str, Any]":
-    """Serialise a system graph to a JSON-compatible dict."""
+    """Serialise a system graph to a canonical JSON-compatible dict.
+
+    Node maps are emitted sorted by name so the output is independent of
+    construction order; list-valued fields (task/junction ``inputs``)
+    keep their order because it is semantically meaningful.
+    """
     return {
         "name": system.name,
         "sources": {
             name: model_to_dict(src.model)
-            for name, src in system.sources.items()
+            for name, src in sorted(system.sources.items())
         },
         "resources": {
             name: scheduler_to_dict(res.scheduler)
-            for name, res in system.resources.items()
+            for name, res in sorted(system.resources.items())
         },
         "tasks": {
             name: {
@@ -148,17 +163,17 @@ def system_to_dict(system: System) -> "Dict[str, Any]":
                 "activation": t.activation,
                 "blocking": t.blocking,
             }
-            for name, t in system.tasks.items()
+            for name, t in sorted(system.tasks.items())
         },
         "junctions": {
             name: {
                 "kind": j.kind.value,
                 "inputs": list(j.inputs),
                 "properties": {k: v.value
-                               for k, v in j.properties.items()},
+                               for k, v in sorted(j.properties.items())},
                 "timer": j.timer,
             }
-            for name, j in system.junctions.items()
+            for name, j in sorted(system.junctions.items())
         },
     }
 
@@ -184,3 +199,33 @@ def system_from_dict(data: "Dict[str, Any]") -> System:
             timer=j.get("timer"))
     system.validate()
     return system
+
+
+# ----------------------------------------------------------------------
+# canonical encoding and content hashing
+# ----------------------------------------------------------------------
+def canonical_json(data: Any) -> str:
+    """Canonical JSON encoding of a JSON-compatible value.
+
+    Keys are sorted at every nesting level and separators carry no
+    whitespace, so the encoding depends only on the *content* of the
+    value — not on dict insertion order, ``PYTHONHASHSEED``, or which
+    process produced it.  Floats rely on :func:`repr`'s shortest-
+    round-trip representation, which is identical across CPython builds.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of *data*."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def system_hash(system: System) -> str:
+    """Deterministic content hash of a system graph.
+
+    Two systems hash equal iff their canonical serialisations agree;
+    the digest is stable across processes and interpreter invocations,
+    which is what makes it usable as a cross-run cache key.
+    """
+    return content_hash(system_to_dict(system))

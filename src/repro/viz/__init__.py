@@ -4,13 +4,14 @@ convergence diagnostics renderer."""
 from .ascii import eta_plus_series, render_step_chart, series_to_csv
 from .convergence import ConvergenceReport, render_convergence_report
 from .gantt import gantt_from_recorder, render_gantt
-from .tables import render_table
+from .tables import render_table, sweep_table
 
 __all__ = [
     "eta_plus_series",
     "render_step_chart",
     "series_to_csv",
     "render_table",
+    "sweep_table",
     "render_gantt",
     "gantt_from_recorder",
     "ConvergenceReport",

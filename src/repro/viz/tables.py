@@ -33,3 +33,35 @@ def render_table(headers: Sequence[str],
            "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
     out.extend(line(row) for row in text_rows)
     return "\n".join(out)
+
+
+def sweep_table(points: Sequence[dict], outcomes: Sequence[dict],
+                floatfmt: str = ".4g") -> str:
+    """Aligned table for a design-space sweep.
+
+    *points* carries one dict of axis values per row, *outcomes* the
+    matching dict of result metrics; headers are the union of keys in
+    first-seen order (axes first), missing entries render as ``-``.
+    """
+    if len(points) != len(outcomes):
+        raise ValueError(
+            f"{len(points)} points but {len(outcomes)} outcomes")
+
+    def ordered_keys(dicts: Sequence[dict]) -> List[str]:
+        keys: List[str] = []
+        for d in dicts:
+            for k in d:
+                if k not in keys:
+                    keys.append(k)
+        return keys
+
+    axis_keys = ordered_keys(points)
+    metric_keys = ordered_keys(outcomes)
+    headers = axis_keys + metric_keys
+    rows = []
+    for point, outcome in zip(points, outcomes):
+        row = [point.get(k, "-") for k in axis_keys]
+        row += [outcome.get(k, "-") if outcome.get(k) is not None else "-"
+                for k in metric_keys]
+        rows.append(row)
+    return render_table(headers, rows, floatfmt=floatfmt)

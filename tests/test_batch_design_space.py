@@ -1,0 +1,197 @@
+"""DesignSpace driver: enumeration, transforms, aggregation, CLI."""
+
+import pytest
+
+from repro import SPPScheduler, System, periodic
+from repro._errors import ModelError
+from repro.batch import (
+    Axis,
+    BatchRunner,
+    DesignSpace,
+    ResultStore,
+    period_axis,
+    priority_axis,
+    wcet_axis,
+)
+from repro.batch.cli import batch_main
+from repro.batch.spaces import (
+    NAMED_SPACES,
+    pipeline_system,
+    quickstart_space,
+)
+from repro.system import system_from_dict, system_to_dict
+from repro.viz import sweep_table
+
+
+def base_system():
+    s = System("base")
+    s.add_source("stim", periodic(100.0))
+    s.add_source("aux", periodic(400.0))
+    s.add_resource("cpu", SPPScheduler())
+    s.add_task("a", "cpu", (4.0, 8.0), ["stim"], priority=1)
+    s.add_task("b", "cpu", (10.0, 20.0), ["aux"], priority=2)
+    return s
+
+
+class TestAxes:
+    def test_wcet_axis_scales_selected_tasks(self):
+        d = system_to_dict(base_system())
+        wcet_axis((2.0,), tasks=["a"]).apply(d, 2.0)
+        assert d["tasks"]["a"]["c_max"] == 16.0
+        assert d["tasks"]["b"]["c_max"] == 20.0
+        system_from_dict(d)  # still a valid system
+
+    def test_period_axis_scales_standard_sources(self):
+        d = system_to_dict(base_system())
+        period_axis((0.5,)).apply(d, 0.5)
+        assert d["sources"]["stim"]["period"] == 50.0
+        assert d["sources"]["aux"]["period"] == 200.0
+
+    def test_priority_axis(self):
+        d = system_to_dict(base_system())
+        priority_axis("b", (7,)).apply(d, 7)
+        assert d["tasks"]["b"]["priority"] == 7
+
+    def test_axis_needs_values_or_bounds(self):
+        with pytest.raises(ModelError):
+            Axis("empty")
+        with pytest.raises(ModelError):
+            Axis("nothing", values=())
+
+    def test_continuous_axis_cannot_grid(self):
+        axis = Axis("load", bounds=(0.1, 0.9))
+        with pytest.raises(ModelError):
+            axis.grid_values()
+
+
+class TestEnumeration:
+    def space(self):
+        return DesignSpace(
+            "t", axes=[wcet_axis((0.5, 1.0, 1.5)),
+                       period_axis((1.0, 2.0))],
+            base=base_system())
+
+    def test_grid_is_cartesian_product(self):
+        points = list(self.space().grid())
+        assert len(points) == 6
+        assert self.space().grid_size() == 6
+        assert {(p["wcet_scale"], p["period_scale"])
+                for p in points} == {
+            (w, p) for w in (0.5, 1.0, 1.5) for p in (1.0, 2.0)}
+
+    def test_sample_deterministic_per_seed(self):
+        space = DesignSpace(
+            "t", axes=[Axis("load", bounds=(0.1, 0.9)),
+                       Axis("wcet_scale", values=(0.5, 1.0, 1.5))],
+            builder=lambda load, wcet_scale: pipeline_system(load=load))
+        a = space.sample(10, seed=42)
+        b = space.sample(10, seed=42)
+        assert a == b
+        c = space.sample(10, seed=7)
+        assert a != c
+        for p in a:
+            assert 0.1 <= p["load"] <= 0.9
+            assert p["wcet_scale"] in (0.5, 1.0, 1.5)
+
+    def test_sample_collapses_duplicates(self):
+        space = DesignSpace("t", axes=[wcet_axis((1.0, 2.0))],
+                            base=base_system())
+        points = space.sample(50, seed=0)
+        assert len(points) == 2  # only two distinct levels exist
+
+    def test_base_xor_builder_enforced(self):
+        with pytest.raises(ModelError):
+            DesignSpace("t", axes=[wcet_axis((1.0,))])
+        with pytest.raises(ModelError):
+            DesignSpace("t", axes=[wcet_axis((1.0,))],
+                        base=base_system(),
+                        builder=lambda **kw: base_system())
+
+
+class TestJobsAndIdentity:
+    def test_equal_points_give_equal_keys(self):
+        space_a = DesignSpace("a", axes=[wcet_axis((1.5,))],
+                              base=base_system())
+        space_b = DesignSpace("b", axes=[wcet_axis((1.5,))],
+                              base=base_system())
+        job_a = space_a.job_for({"wcet_scale": 1.5})
+        job_b = space_b.job_for({"wcet_scale": 1.5})
+        assert job_a.key == job_b.key
+
+    def test_different_points_give_different_keys(self):
+        space = DesignSpace("a", axes=[wcet_axis((1.0, 1.5))],
+                            base=base_system())
+        assert space.job_for({"wcet_scale": 1.0}).key != \
+            space.job_for({"wcet_scale": 1.5}).key
+
+    def test_builder_mode(self):
+        space = DesignSpace(
+            "synthy", axes=[Axis("n_chains", values=(1, 2))],
+            builder=lambda n_chains: pipeline_system(n_chains=n_chains))
+        d1 = space.system_dict_for({"n_chains": 1})
+        d2 = space.system_dict_for({"n_chains": 2})
+        assert len(d1["tasks"]) == 2
+        assert len(d2["tasks"]) == 4
+
+
+class TestRunAndAggregate:
+    def test_run_and_table(self, tmp_path):
+        space = DesignSpace(
+            "t", axes=[wcet_axis((0.5, 1.0)), period_axis((1.0, 1.5))],
+            base=base_system())
+        sweep = space.run(BatchRunner(store=ResultStore(tmp_path)))
+        assert sweep.report.ok
+        assert len(sweep.points) == 4
+        table = sweep.table()
+        assert "wcet_scale" in table
+        assert "worst_wcrt" in table
+        assert table.count("\n") >= 5  # header + rule + 4 rows
+
+    def test_best_point(self, tmp_path):
+        space = DesignSpace("t", axes=[wcet_axis((0.5, 1.0, 2.0))],
+                            base=base_system())
+        sweep = space.run(BatchRunner(store=ResultStore(tmp_path)))
+        point, value = sweep.best("worst_wcrt")
+        assert point["wcet_scale"] == 2.0
+        low_point, low_value = sweep.best("worst_wcrt", minimize=True)
+        assert low_point["wcet_scale"] == 0.5
+        assert low_value < value
+
+    def test_sweep_table_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep_table([{"a": 1}], [])
+
+
+class TestPredefinedSpacesAndCli:
+    def test_named_spaces_build(self):
+        for name, factory in NAMED_SPACES.items():
+            space = factory()
+            assert space.grid_size() >= 4, name
+
+    def test_quickstart_space_all_feasible(self, tmp_path):
+        sweep = quickstart_space().run(
+            BatchRunner(store=ResultStore(tmp_path)))
+        assert sweep.report.ok
+        assert all(o["converged"] for o in sweep.outcomes())
+
+    def test_cli_smoke_and_resume(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        rc = batch_main(["quickstart", "--cache-dir", cache, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "16 jobs" in out
+        assert "0 failed" in out
+
+        rc = batch_main(["quickstart", "--cache-dir", cache, "--quiet",
+                         "--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "16 cached" in out
+        assert "100% cache hit rate" in out
+
+    def test_cli_sample(self, tmp_path, capsys):
+        rc = batch_main(["quickstart", "--quiet", "--sample", "5",
+                         "--seed", "3",
+                         "--cache-dir", str(tmp_path / "c2")])
+        assert rc == 0
+        assert "jobs" in capsys.readouterr().out

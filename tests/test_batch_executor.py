@@ -1,0 +1,141 @@
+"""Executor backends and the memoising batch runner."""
+
+import multiprocessing
+
+import pytest
+
+from repro import SPPScheduler, System, obs, periodic
+from repro._errors import ModelError
+from repro.batch import (
+    BatchRunner,
+    Job,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    make_backend,
+)
+from repro.system import system_to_dict
+
+
+def small_system(wcet=10.0, name="small"):
+    s = System(name)
+    s.add_source("stim", periodic(100.0))
+    s.add_resource("cpu", SPPScheduler())
+    s.add_task("a", "cpu", (wcet / 2, wcet), ["stim"], priority=1)
+    s.add_task("b", "cpu", (5.0, 8.0), ["a"], priority=2)
+    return s
+
+
+def analyze_jobs(n=4):
+    return [Job("analyze",
+                {"system": system_to_dict(small_system(wcet=6.0 + i))},
+                label=f"wcet={6.0 + i}")
+            for i in range(n)]
+
+
+def fork_ctx():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        pytest.skip("fork start method unavailable")
+
+
+class TestBackends:
+    def test_make_backend_selects(self):
+        assert isinstance(make_backend(0), SerialBackend)
+        assert isinstance(make_backend(3), ProcessPoolBackend)
+        assert make_backend(3).workers == 3
+
+    def test_pool_needs_workers(self):
+        with pytest.raises(ModelError):
+            ProcessPoolBackend(0)
+
+    def test_serial_and_process_agree(self):
+        jobs = analyze_jobs(3)
+        serial_results = {}
+        SerialBackend().run(jobs, lambda r: serial_results.update(
+            {r.key: r}))
+        pool_results = {}
+        ProcessPoolBackend(2, mp_context=fork_ctx()).run(
+            jobs, lambda r: pool_results.update({r.key: r}))
+        assert set(serial_results) == set(pool_results)
+        for key, serial in serial_results.items():
+            pooled = pool_results[key]
+            assert serial.ok and pooled.ok
+            assert pooled.data["wcrt"] == pytest.approx(
+                serial.data["wcrt"])
+
+
+class TestRunnerMemoisation:
+    def test_cold_then_warm(self, tmp_path):
+        jobs = analyze_jobs(4)
+        cold = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        assert cold.ok
+        assert len(cold.executed) == 4
+        assert cold.cache_hit_rate == 0.0
+
+        warm = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        assert warm.ok
+        assert len(warm.executed) == 0
+        assert len(warm.cached) == 4
+        assert warm.cache_hit_rate == 1.0
+        for job in jobs:
+            assert warm.result_for(job).data == \
+                cold.result_for(job).data
+
+    def test_duplicate_jobs_collapse(self, tmp_path):
+        job = analyze_jobs(1)[0]
+        report = BatchRunner(store=ResultStore(tmp_path)).run(
+            [job, job, job])
+        assert report.total == 1
+        assert len(report.executed) == 1
+
+    def test_runner_without_store(self):
+        report = BatchRunner().run(analyze_jobs(2))
+        assert report.ok
+        assert len(report.executed) == 2
+
+    def test_checkpoint_resume_after_partial_run(self, tmp_path):
+        """Killing a sweep loses nothing that already finished."""
+        jobs = analyze_jobs(5)
+
+        class DiesAfterTwo(SerialBackend):
+            def run(self, pending, on_result):
+                for i, job in enumerate(pending):
+                    if i == 2:
+                        raise KeyboardInterrupt()
+                    super().run([job], on_result)
+
+        runner = BatchRunner(store=ResultStore(tmp_path),
+                             backend=DiesAfterTwo())
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(jobs)
+
+        resumed = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        assert resumed.ok
+        assert len(resumed.cached) == 2
+        assert len(resumed.executed) == 3
+
+    def test_obs_counters(self, tmp_path):
+        jobs = analyze_jobs(3)
+        obs.configure(enabled=True, reset=True)
+        try:
+            BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+            BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        finally:
+            obs.configure(enabled=False)
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters["batch.jobs.submitted"] == 3
+        assert counters["batch.jobs.completed"] == 3
+        assert counters["batch.cache.hits"] == 3
+        assert counters["batch.cache.misses"] == 3
+        hist = obs.metrics().snapshot()["histograms"][
+            "batch.job_seconds"]
+        assert hist["count"] == 3
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        BatchRunner(store=ResultStore(tmp_path)).run(
+            analyze_jobs(2), progress=seen.append)
+        assert len(seen) == 2
+        assert all(r.ok for r in seen)

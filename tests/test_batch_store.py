@@ -1,0 +1,102 @@
+"""Unit tests for the persistent JSONL result store."""
+
+import json
+
+from repro.batch import JobResult, ResultStore
+from repro.batch.store import INDEX_NAME, RESULTS_NAME
+
+
+def result(key, status="ok", **data):
+    return JobResult(key, "analyze", f"label-{key}", status,
+                     data=data, duration=0.01)
+
+
+class TestStoreBasics:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result("k1", answer=42))
+        got = store.get("k1")
+        assert got.ok
+        assert got.data["answer"] == 42
+        assert store.get("missing") is None
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result("k1", status="failed"))
+        store.put(result("k1", status="ok", attempt=2))
+        assert store.get("k1").ok
+        assert store.get("k1").data["attempt"] == 2
+        assert len(store) == 1
+
+    def test_completed_keys_only_ok(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result("good"))
+        store.put(result("bad", status="failed"))
+        store.put(result("slow", status="timeout"))
+        assert store.completed_keys() == ["good"]
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result("k1"))
+        store.clear()
+        assert len(store) == 0
+        assert store.get("k1") is None
+        assert not (tmp_path / RESULTS_NAME).exists()
+
+
+class TestPersistence:
+    def test_results_survive_reopen(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put(result("k1", answer=1))
+            store.put(result("k2", status="failed"))
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1").data["answer"] == 1
+        assert reopened.get("k2").status == "failed"
+        assert len(reopened) == 2
+
+    def test_fast_path_uses_index(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            for i in range(5):
+                store.put(result(f"k{i}", i=i))
+        index = json.loads((tmp_path / INDEX_NAME).read_text())
+        assert len(index["offsets"]) == 5
+        assert index["size"] == (tmp_path / RESULTS_NAME).stat().st_size
+        reopened = ResultStore(tmp_path)
+        assert sorted(reopened.keys()) == [f"k{i}" for i in range(5)]
+        assert reopened.get("k3").data["i"] == 3
+
+    def test_stale_index_triggers_rescan(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put(result("k1"))
+        # Append behind the index's back: sizes now disagree.
+        with open(tmp_path / RESULTS_NAME, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result("k2").to_dict()) + "\n")
+        reopened = ResultStore(tmp_path)
+        assert sorted(reopened.keys()) == ["k1", "k2"]
+
+    def test_corrupt_index_triggers_rescan(self, tmp_path):
+        with ResultStore(tmp_path) as store:
+            store.put(result("k1"))
+        (tmp_path / INDEX_NAME).write_text("{not json")
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1") is not None
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        """A crash mid-append must not poison the whole cache."""
+        with ResultStore(tmp_path) as store:
+            store.put(result("k1"))
+            store.put(result("k2"))
+        with open(tmp_path / RESULTS_NAME, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k3", "status": "o')  # torn write
+        reopened = ResultStore(tmp_path)
+        assert sorted(reopened.keys()) == ["k1", "k2"]
+        assert reopened.get("k3") is None
+
+    def test_periodic_checkpoint(self, tmp_path):
+        store = ResultStore(tmp_path, checkpoint_every=2)
+        store.put(result("k1"))
+        assert not (tmp_path / INDEX_NAME).exists()
+        store.put(result("k2"))
+        assert (tmp_path / INDEX_NAME).exists()

@@ -128,3 +128,48 @@ class TestMinPeriodScaling:
                           priority=1)]
         with pytest.raises(ModelError):
             min_period_scaling(SPPScheduler(), tasks, {"t": 10.0})
+
+
+class TestBinarySearchEdgeCases:
+    """Degenerate intervals and non-finite bounds (batch-cache
+    prerequisites: searches must fail loudly, never spin or lie)."""
+
+    def test_lo_equals_hi_feasible(self):
+        assert binary_search_max(lambda v: True, 3.0, 3.0,
+                                 expand=False) == 3.0
+
+    def test_lo_equals_hi_infeasible(self):
+        with pytest.raises(AnalysisError):
+            binary_search_max(lambda v: False, 3.0, 3.0, expand=False)
+
+    def test_expansion_from_zero_bracket(self):
+        # hi == 0 used to double to 0 forever and report 0 even though
+        # much larger values were feasible.
+        x = binary_search_max(lambda v: v <= 5.0, 0.0, 0.0,
+                              precision=1e-6)
+        assert x == pytest.approx(5.0, abs=1e-3)
+
+    def test_non_finite_bounds_rejected(self):
+        import math
+        for lo, hi in ((0.0, math.inf), (-math.inf, 1.0),
+                       (math.nan, 1.0), (0.0, math.nan)):
+            with pytest.raises(ModelError):
+                binary_search_max(lambda v: True, lo, hi)
+
+    def test_bad_precision_rejected(self):
+        import math
+        for precision in (0.0, -1e-3, math.inf, math.nan):
+            with pytest.raises(ModelError):
+                binary_search_max(lambda v: True, 0.0, 1.0,
+                                  precision=precision)
+
+    def test_expansion_never_overflows_to_inf(self):
+        # Everything feasible: expansion stops at a finite value.
+        import math
+        x = binary_search_max(lambda v: True, 0.0, 1e300)
+        assert math.isfinite(x)
+
+    def test_negative_interval_bisects(self):
+        x = binary_search_max(lambda v: v <= -2.5, -10.0, -1.0,
+                              precision=1e-6, expand=False)
+        assert x == pytest.approx(-2.5, abs=1e-4)

@@ -116,3 +116,90 @@ class TestSystemRoundTrip:
         payload["tasks"]["T1"]["inputs"] = ["ghost_node"]
         with pytest.raises(ModelError):
             system_from_dict(payload)
+
+
+class TestDeterminism:
+    """Canonical serialisation: the contract behind batch cache keys."""
+
+    #: Fixed wiring; only construction order varies between tests.
+    _PERIODS = {"s1": 100.0, "s2": 250.0}
+    _TASKS = {"t1": ("cpu", "s1", 1), "t2": ("cpu", "s2", 2),
+              "t3": ("bus", "s1", 1)}
+
+    def _system(self, order):
+        from repro import SPPScheduler, System
+        s = System("det")
+        for name in order["sources"]:
+            s.add_source(name, periodic(self._PERIODS[name]))
+        for name in order["resources"]:
+            s.add_resource(name, SPPScheduler())
+        for name in order["tasks"]:
+            resource, source, priority = self._TASKS[name]
+            s.add_task(name, resource, (1.0, 2.0), [source],
+                       priority=priority)
+        return s
+
+    def test_insertion_order_does_not_matter(self):
+        from repro.system import canonical_json, system_hash
+        a = self._system({"sources": ["s1", "s2"],
+                          "resources": ["cpu", "bus"],
+                          "tasks": ["t1", "t2", "t3"]})
+        b = self._system({"sources": ["s2", "s1"],
+                          "resources": ["bus", "cpu"],
+                          "tasks": ["t3", "t1", "t2"]})
+        assert system_to_dict(a) == system_to_dict(b)
+        assert canonical_json(system_to_dict(a)) == \
+            canonical_json(system_to_dict(b))
+        assert system_hash(a) == system_hash(b)
+
+    def test_round_trip_is_a_fixed_point(self):
+        payload = system_to_dict(build_system("hem"))
+        again = system_to_dict(system_from_dict(payload))
+        assert again == payload
+        assert json.dumps(again, sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_node_maps_emitted_sorted(self):
+        payload = system_to_dict(build_system("hem"))
+        for section in ("sources", "resources", "tasks", "junctions"):
+            names = list(payload[section])
+            assert names == sorted(names), section
+
+    def test_hash_stable_across_processes(self):
+        """The digest must not depend on PYTHONHASHSEED (i.e. on which
+        process computed it) — that is what makes it a cross-run cache
+        key."""
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro import SPPScheduler, System, periodic\n"
+            "from repro.system import system_hash\n"
+            "s = System('x')\n"
+            "s.add_source('stim', periodic(100.0))\n"
+            "s.add_resource('cpu', SPPScheduler())\n"
+            "s.add_task('a', 'cpu', (1.0, 2.0), ['stim'], priority=1)\n"
+            "print(system_hash(s))\n"
+        )
+        digests = set()
+        for seed in ("0", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            src_dir = os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "src")
+            env["PYTHONPATH"] = src_dir + os.pathsep + \
+                env.get("PYTHONPATH", "")
+            out = subprocess.run([sys.executable, "-c", snippet],
+                                 capture_output=True, text=True,
+                                 env=env, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+    def test_hash_differs_on_content_change(self):
+        from repro.system import system_hash
+        a = self._system({"sources": ["s1"], "resources": ["cpu"],
+                          "tasks": ["t1"]})
+        b = self._system({"sources": ["s1"], "resources": ["cpu"],
+                          "tasks": ["t1"]})
+        b.tasks["t1"].c_max = 3.0
+        assert system_hash(a) != system_hash(b)
