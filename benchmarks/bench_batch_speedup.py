@@ -12,7 +12,7 @@ parallel numbers are still printed and recorded.  The warm-rerun
 assertion (>= 90% cache hit rate, measured through the
 ``batch.cache.*`` obs counters) holds on any machine.
 
-Emits ``BENCH_batch.json`` into ``benchmarks/results/`` alongside the
+Emits ``BENCH_batch.json`` into the repository root alongside the
 per-test snapshot written by the shared conftest fixture.
 """
 

@@ -11,10 +11,12 @@ hard assertions: a benchmark run that produces the wrong shape fails.
 Each benchmark test additionally runs with :mod:`repro.obs` enabled and
 emits a machine-readable ``BENCH_<test>.json`` (wall time, global
 iterations to convergence, event-model cache hit rate, and the full
-metrics snapshot) into ``benchmarks/results/`` — override the directory
-with the ``BENCH_OUT_DIR`` environment variable.  These files seed the
-repo's performance trajectory: compare them across commits to catch
-hot-path regressions.
+metrics snapshot) into the repository root — override the directory
+with the ``BENCH_OUT_DIR`` environment variable.  Standalone scripts
+(``benchmarks/bench_compile.py``) write their ``BENCH_*.json`` to the
+same place, so every performance artefact lands in one directory.
+These files seed the repo's performance trajectory: compare them across
+commits to catch hot-path regressions.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import pytest
 from repro import obs
 
 BENCH_OUT_DIR = Path(os.environ.get(
-    "BENCH_OUT_DIR", Path(__file__).resolve().parent / "results"))
+    "BENCH_OUT_DIR", Path(__file__).resolve().parent.parent))
 
 
 def emit(title: str, body: str) -> None:

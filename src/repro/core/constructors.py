@@ -36,6 +36,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from .._errors import ModelError
 from ..eventmodels.base import EventModel
+from ..eventmodels.compile import fingerprint, register_fingerprint
 from ..eventmodels.curves import CachedModel
 from ..eventmodels.operations import and_join, or_join
 from ..timebase import INF
@@ -87,6 +88,11 @@ class PackRule(ConstructionRule):
         timer = " + timer" if self.has_timer else ""
         return f"pack(triggering={trig}{timer}, pending={pend})"
 
+    def fingerprint_key(self) -> tuple:
+        return (self.name, self.has_timer,
+                tuple(sorted((k, v.value)
+                             for k, v in self.properties.items())))
+
 
 class PendingInnerModel(EventModel):
     """Inner event model of a pending signal after packing (eqs. (7)/(8)).
@@ -115,6 +121,31 @@ class PendingInnerModel(EventModel):
         if n < 2:
             return 0.0
         return INF
+
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        sig = self._signal.delta_min_block(n_max)
+        out = self._outer.delta_min_block(n_max)
+        gap = self._outer.delta_plus(2)
+        if gap == INF:
+            return [0.0, 0.0] + out[2:]
+        return sig[:2] + [max(sig[n] - gap, out[n])
+                          for n in range(2, n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        return [0.0] * min(n_max + 1, 2) + [INF] * (n_max - 1)
+
+
+def _pending_fingerprint(model: PendingInnerModel):
+    signal = fingerprint(model._signal)
+    outer = fingerprint(model._outer)
+    if signal is None or outer is None:
+        return None
+    return ("pending", signal, outer)
+
+
+register_fingerprint(PendingInnerModel, _pending_fingerprint)
 
 
 def hsc_or(streams: "Dict[str, EventModel]",

@@ -28,6 +28,12 @@ from typing import Dict, Sequence, Tuple
 
 from .._errors import ModelError
 from ..eventmodels.base import EventModel
+from ..eventmodels.compile import (
+    fingerprint,
+    maybe_compile,
+    register_fingerprint,
+    register_structural_compile,
+)
 
 
 class ConstructionRule(ABC):
@@ -45,6 +51,13 @@ class ConstructionRule(ABC):
     @abstractmethod
     def describe(self) -> str:
         """One-line human-readable description of the rule."""
+
+    def fingerprint_key(self) -> tuple:
+        """Canonical key of the rule for structural fingerprints
+        (:mod:`repro.eventmodels.compile`).  Rules that carry constructor
+        state the inner update functions read must override this so two
+        hierarchies only share compiled curves when that state agrees."""
+        return (self.name,)
 
 
 class HierarchicalEventModel(EventModel):
@@ -90,6 +103,12 @@ class HierarchicalEventModel(EventModel):
 
     def eta_min(self, dt: float) -> int:
         return self._outer.eta_min(dt)
+
+    def delta_min_block(self, n_max: int) -> list:
+        return self._outer.delta_min_block(n_max)
+
+    def delta_plus_block(self, n_max: int) -> list:
+        return self._outer.delta_plus_block(n_max)
 
     # ------------------------------------------------------------------
     # hierarchy accessors
@@ -151,3 +170,35 @@ class HierarchicalEventModel(EventModel):
 def is_hierarchical(model: EventModel) -> bool:
     """True if *model* carries an embedded stream hierarchy."""
     return isinstance(model, HierarchicalEventModel)
+
+
+# ----------------------------------------------------------------------
+# curve-compilation integration
+# ----------------------------------------------------------------------
+def _hem_fingerprint(model: HierarchicalEventModel):
+    parts = [("rule",) + model.rule.fingerprint_key(),
+             fingerprint(model.outer)]
+    for label in model.labels:
+        parts.append((label, fingerprint(model.inner(label))))
+    out = ["hem"]
+    for part in parts:
+        if part is None or (len(part) == 2 and part[1] is None):
+            return None
+        out.append(part)
+    return tuple(out)
+
+
+def _hem_compile(model: HierarchicalEventModel, name):
+    """Structural compile hook: compile the outer and every inner stream
+    while preserving the hierarchy and its construction rule."""
+    outer = maybe_compile(model.outer, name=f"{model.name}.outer")
+    inner = {label: maybe_compile(model.inner(label), name=label)
+             for label in model.labels}
+    if outer is model.outer and all(inner[label] is model.inner(label)
+                                    for label in model.labels):
+        return model
+    return model.replace(outer=outer, inner=inner)
+
+
+register_fingerprint(HierarchicalEventModel, _hem_fingerprint)
+register_structural_compile(HierarchicalEventModel, _hem_compile)

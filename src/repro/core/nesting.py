@@ -30,7 +30,7 @@ from typing import Dict
 
 from .._errors import ModelError
 from ..eventmodels.base import EventModel
-from ..eventmodels.curves import CachedModel
+from ..eventmodels.compile import compile_or_cache
 from .hem import HierarchicalEventModel, is_hierarchical
 
 #: Separator in flattened path labels produced by :func:`unpack_deep`.
@@ -50,7 +50,7 @@ def shift_hierarchy(model: EventModel, jitter: float, spacing: float,
     from .update import InnerJitterSpacingModel  # avoid import cycle
 
     if not is_hierarchical(model):
-        return CachedModel(
+        return compile_or_cache(
             InnerJitterSpacingModel(model, jitter, spacing, k,
                                     name=f"{model.name}{name_suffix}"),
             name=f"{model.name}{name_suffix}")

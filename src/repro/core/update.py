@@ -32,7 +32,12 @@ from typing import Callable, Dict, Tuple, Type
 
 from .._errors import ModelError
 from ..eventmodels.base import EventModel
-from ..eventmodels.curves import CachedModel
+from ..eventmodels.compile import (
+    compile_or_cache,
+    fingerprint,
+    maybe_compile,
+    register_fingerprint,
+)
 from ..eventmodels.operations import DminShaper, TaskOutputModel
 from ..timebase import INF
 from .constructors import AndRule, OrRule, PackRule
@@ -142,6 +147,31 @@ class InnerJitterSpacingModel(EventModel):
             return INF
         return dp + self.total_shift
 
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        src = self._inner.delta_min_block(n_max)
+        shift = self.total_shift
+        spacing = self.spacing
+        return src[:2] + [max(src[n] - shift, (n - 1) * spacing)
+                          for n in range(2, n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        src = self._inner.delta_plus_block(n_max)
+        shift = self.total_shift
+        return src[:2] + [INF if dp == INF else dp + shift
+                          for dp in src[2:]]
+
+
+def _ijs_fingerprint(model: InnerJitterSpacingModel):
+    inner = fingerprint(model._inner)
+    if inner is None:
+        return None
+    return ("ijs", model.jitter, model.spacing, model.k, inner)
+
+
+register_fingerprint(InnerJitterSpacingModel, _ijs_fingerprint)
+
 
 # ----------------------------------------------------------------------
 # Inner update dispatch (Definition 7)
@@ -181,10 +211,11 @@ def apply_operation(stream: EventModel,
     Definition 6).
     """
     if not isinstance(stream, HierarchicalEventModel):
-        return op.apply_flat(stream)
+        return maybe_compile(op.apply_flat(stream),
+                             name=f"{stream.name}'")
     update = _lookup(op, stream.rule)
-    new_outer = CachedModel(op.apply_flat(stream.outer),
-                            name=f"{stream.name}.out'")
+    new_outer = compile_or_cache(op.apply_flat(stream.outer),
+                                 name=f"{stream.name}.out'")
     new_inner = update(op, stream)
     return stream.replace(outer=new_outer, inner=new_inner,
                           name=f"{stream.name}'")

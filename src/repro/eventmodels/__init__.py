@@ -15,6 +15,14 @@ from .standard import (
     sporadic,
 )
 from .combinators import check_consistent, intersect_bounds, union_bounds
+from .compile import (
+    CompilationCache,
+    CompiledEventModel,
+    compile_model,
+    fingerprint,
+    maybe_compile,
+    register_fingerprint,
+)
 from .curves import CachedModel, CurveEventModel, FunctionEventModel, freeze
 from .operations import (
     DminShaper,
@@ -45,6 +53,12 @@ __all__ = [
     "CurveEventModel",
     "FunctionEventModel",
     "CachedModel",
+    "CompiledEventModel",
+    "CompilationCache",
+    "compile_model",
+    "maybe_compile",
+    "fingerprint",
+    "register_fingerprint",
     "freeze",
     "TaskOutputModel",
     "or_join",

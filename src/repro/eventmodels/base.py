@@ -46,6 +46,11 @@ MAX_EVENTS = 1_000_000
 class EventModel(ABC):
     """Bound on the timing of all event sequences of a stream."""
 
+    # Empty __slots__ here lets the hot derived-model subclasses opt out
+    # of per-instance dicts entirely; subclasses that declare no
+    # __slots__ still get a __dict__ as usual.
+    __slots__ = ()
+
     #: Short human-readable tag used in reprs and reports.
     name: str = "em"
 
@@ -169,26 +174,53 @@ class EventModel(ABC):
         return self.eta_plus(window)
 
     # ------------------------------------------------------------------
+    # block evaluation (batch APIs)
+    # ------------------------------------------------------------------
+    def delta_min_block(self, n_max: int) -> list:
+        """[δ⁻(0), ..., δ⁻(n_max)] in one call.
+
+        The generic implementation is a plain loop; array-backed models
+        (:class:`~repro.eventmodels.compile.CompiledEventModel`) override
+        it with a prefix slice.  Engine code that needs a δ range —
+        convergence checks, serialisation, compilation — should use the
+        block APIs rather than per-n virtual calls.
+        """
+        return [self.delta_min(n) for n in range(n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        """[δ⁺(0), ..., δ⁺(n_max)] in one call (see
+        :meth:`delta_min_block`)."""
+        return [self.delta_plus(n) for n in range(n_max + 1)]
+
+    # ------------------------------------------------------------------
     # sampling helpers used by reports, figures, and tests
     # ------------------------------------------------------------------
     def delta_min_seq(self, n_max: int) -> list:
         """[δ⁻(0), δ⁻(1), ..., δ⁻(n_max)] as a plain list."""
-        return [self.delta_min(n) for n in range(n_max + 1)]
+        return self.delta_min_block(n_max)
 
     def delta_plus_seq(self, n_max: int) -> list:
         """[δ⁺(0), δ⁺(1), ..., δ⁺(n_max)] as a plain list."""
-        return [self.delta_plus(n) for n in range(n_max + 1)]
+        return self.delta_plus_block(n_max)
 
     def eta_plus_series(self, t_max: float, step: float) -> list:
         """Sampled (Δt, η⁺(Δt)) pairs for plotting figures like the
-        paper's Figure 4."""
+        paper's Figure 4.
+
+        Sample positions are computed as ``i * step`` (not accumulated)
+        so float drift over long series cannot shift or drop the final
+        sample.
+        """
         if step <= 0:
             raise ModelError("step must be positive")
         series = []
-        t = 0.0
-        while t <= t_max + EPS:
+        i = 0
+        while True:
+            t = i * step
+            if t > t_max + EPS:
+                break
             series.append((t, self.eta_plus(t)))
-            t += step
+            i += 1
         return series
 
     # ------------------------------------------------------------------
@@ -209,6 +241,8 @@ class NullEventModel(EventModel):
     δ⁻ is infinite for n >= 2 (two events never happen), δ⁺ likewise.
     Useful as the neutral element of OR-joins and for disconnected inputs.
     """
+
+    __slots__ = ()
 
     name = "null"
 
@@ -242,14 +276,19 @@ def models_equal(a: EventModel, b: EventModel, n_max: int = 64,
 
     Used by the global propagation loop as its convergence criterion: two
     models are considered equal when both δ functions agree for all
-    ``n <= n_max``.
+    ``n <= n_max``.  Evaluates both models through the block APIs so
+    compiled (array-backed) curves are compared by slices rather than
+    per-n virtual calls.
     """
+    da = a.delta_min_block(n_max)
+    db = b.delta_min_block(n_max)
     for n in range(2, n_max + 1):
-        da, db = a.delta_min(n), b.delta_min(n)
-        if not _feq(da, db, eps):
+        if not _feq(da[n], db[n], eps):
             return False
-        pa, pb = a.delta_plus(n), b.delta_plus(n)
-        if not _feq(pa, pb, eps):
+    pa = a.delta_plus_block(n_max)
+    pb = b.delta_plus_block(n_max)
+    for n in range(2, n_max + 1):
+        if not _feq(pa[n], pb[n], eps):
             return False
     return True
 

@@ -81,6 +81,8 @@ class CurveEventModel(EventModel):
         the conservative additive extension is used.
     """
 
+    __slots__ = ("_dmin", "_dplus", "_n_period", "_t_period", "name")
+
     def __init__(self, delta_min_prefix: Sequence[float],
                  delta_plus_prefix: Sequence[float],
                  n_period: Optional[int] = None,
@@ -186,6 +188,8 @@ class CachedModel(EventModel):
     evaluations O(1) after first touch without changing semantics.
     """
 
+    __slots__ = ("_inner", "_dmin_cache", "_dplus_cache", "name")
+
     def __init__(self, inner: EventModel, name: Optional[str] = None):
         self._inner = inner
         self._dmin_cache: dict = {}
@@ -218,6 +222,22 @@ class CachedModel(EventModel):
         elif _obs.enabled:
             _obs.metrics().counter("eventmodels.cache.hits").inc()
         return v
+
+    def delta_min_block(self, n_max: int) -> list:
+        cache = self._dmin_cache
+        if any(n not in cache for n in range(n_max + 1)):
+            block = self._inner.delta_min_block(n_max)
+            for n, v in enumerate(block):
+                cache.setdefault(n, v)
+        return [cache[n] for n in range(n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        cache = self._dplus_cache
+        if any(n not in cache for n in range(n_max + 1)):
+            block = self._inner.delta_plus_block(n_max)
+            for n, v in enumerate(block):
+                cache.setdefault(n, v)
+        return [cache[n] for n in range(n_max + 1)]
 
     def __repr__(self) -> str:
         return f"<Cached {self._inner!r}>"

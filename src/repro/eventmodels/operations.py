@@ -59,6 +59,8 @@ class TaskOutputModel(EventModel):
     evaluate repeatedly inside busy windows of downstream resources.
     """
 
+    __slots__ = ("_in", "r_min", "r_max", "_dmin_cache", "name")
+
     def __init__(self, input_model: EventModel, r_min: float, r_max: float,
                  name: str = "out"):
         if r_min < 0 or r_max < r_min:
@@ -102,12 +104,35 @@ class TaskOutputModel(EventModel):
             return 0.0
         return self._in.delta_plus(n) + self.response_span
 
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        top = max(self._dmin_cache)
+        if n_max > top:
+            src = self._in.delta_min_block(n_max)
+            span = self.response_span
+            r_min = self.r_min
+            cache = self._dmin_cache
+            prev = cache[top]
+            for k in range(top + 1, n_max + 1):
+                prev = cache[k] = max(src[k] - span, prev + r_min)
+        return [self._dmin_cache[k] for k in range(n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        src = self._in.delta_plus_block(n_max)
+        span = self.response_span
+        out = src[:2]
+        out.extend(v + span for v in src[2:])
+        return out
+
 
 # ----------------------------------------------------------------------
 # OR-join — paper eqs. (3) and (4)
 # ----------------------------------------------------------------------
 class _PairwiseOrJoin(EventModel):
     """Exact OR-combination of exactly two event models."""
+
+    __slots__ = ("_a", "_b", "_dmin_cache", "_dplus_cache", "name")
 
     def __init__(self, a: EventModel, b: EventModel, name: str = "or2"):
         self._a = a
@@ -154,6 +179,56 @@ class _PairwiseOrJoin(EventModel):
                 break
         self._dplus_cache[n] = best
         return best
+
+    # ------------------------------------------------------------------
+    # block evaluation: the merge formulation of eqs. (3)/(4)
+    # ------------------------------------------------------------------
+    # η⁺ of the OR-join is the sum of the input η⁺ functions, so δ⁻_or is
+    # the pseudo-inverse of a summed step function: its steps are exactly
+    # the multiset union of the input δ⁻ values.  Hence
+    #
+    #     δ⁻_or(n) = n-th smallest of {δ⁻_a(k) : k >= 1} ∪ {δ⁻_b(k) : k >= 1}
+    #     δ⁺_or(n) = (n-1)-th smallest of {δ⁺_a(k) : k >= 2} ∪ {δ⁺_b(k) : k >= 2}
+    #
+    # Every output value is *selected* from an input array (no arithmetic),
+    # so the block results are bit-identical to the per-n contribution-
+    # vector optimisation — at O(n) per join level instead of O(n²).
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        da = self._a.delta_min_block(n_max)
+        db = self._b.delta_min_block(n_max)
+        out = [0.0] * (n_max + 1)
+        cache = self._dmin_cache
+        # The merged multiset leads with da[1] = db[1] = 0; out[n] is its
+        # n-th smallest element, so consume da[1] up front and take one
+        # further element per n.
+        i, j = 2, 1
+        for n in range(2, n_max + 1):
+            if da[i] <= db[j]:
+                val = da[i]
+                i += 1
+            else:
+                val = db[j]
+                j += 1
+            out[n] = cache[n] = val
+        return out
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        pa = self._a.delta_plus_block(n_max)
+        pb = self._b.delta_plus_block(n_max)
+        out = [0.0] * (n_max + 1)
+        cache = self._dplus_cache
+        i = j = 2
+        for n in range(2, n_max + 1):
+            if pa[i] <= pb[j]:
+                val = pa[i]
+                i += 1
+            else:
+                val = pb[j]
+                j += 1
+            out[n] = cache[n] = val
+        return out
 
 
 def or_join(models: Sequence[EventModel], name: str = "or") -> EventModel:
@@ -209,8 +284,13 @@ class _SuperpositionOrJoin(EventModel):
         self._check_n(n)
         if n < 2:
             return 0.0
-        # δ⁻(n) = inf{Δt : η⁺(Δt) >= n}; η⁺ is a right-continuous step
-        # function, so binary-search the step position.
+        # δ⁻(n) = inf{Δt : η⁺(Δt) >= n}; η⁺ is a step function, so
+        # binary-search the step position.  The tolerance-terminated
+        # bisection brackets the step as lo < δ⁻(n) <= hi; a minimum
+        # distance must never be *over*estimated, so snap to the low side
+        # of the step — the η⁺ re-check guarantees lo is conservative
+        # (η⁺(lo) < n means a window of length lo cannot be claimed to
+        # separate n events).
         if self.eta_plus(self._SEARCH_CAP) < n:
             return INF
         lo, hi = 0.0, 1.0
@@ -225,13 +305,18 @@ class _SuperpositionOrJoin(EventModel):
                 lo = mid
             if hi - lo <= 1e-12 * max(1.0, hi):
                 break
-        return hi if self.eta_plus(hi) >= n else lo
+        # Invariant maintained by the loop: η⁺(lo) < n <= η⁺(hi).
+        return lo
 
     def delta_plus(self, n: int) -> float:
         self._check_n(n)
         if n < 2:
             return 0.0
-        # δ⁺(n) = sup{Δt : η⁻(Δt) <= n - 2}.
+        # δ⁺(n) = sup{Δt : η⁻(Δt) <= n - 2}.  Dual of delta_min: the
+        # bisection brackets the step as lo <= δ⁺(n) <= hi, and a maximum
+        # distance must never be *under*estimated, so snap to the high
+        # side — the η⁻ re-check guarantees hi is conservative
+        # (η⁻(hi) > n - 2 means hi lies at or beyond the true supremum).
         if self.eta_min(self._SEARCH_CAP) <= n - 2:
             return INF
         lo, hi = 0.0, 1.0
@@ -246,7 +331,8 @@ class _SuperpositionOrJoin(EventModel):
                 hi = mid
             if hi - lo <= 1e-12 * max(1.0, hi):
                 break
-        return lo
+        # Invariant maintained by the loop: η⁻(lo) <= n - 2 < η⁻(hi).
+        return hi
 
 
 def or_join_superposition(models: Sequence[EventModel],
@@ -279,6 +365,16 @@ class _AndJoin(EventModel):
         if n < 2:
             return 0.0
         return max(m.delta_plus(n) for m in self._models)
+
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        blocks = [m.delta_min_block(n_max) for m in self._models]
+        return [max(b[n] for b in blocks) for n in range(n_max + 1)]
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        blocks = [m.delta_plus_block(n_max) for m in self._models]
+        return [max(b[n] for b in blocks) for n in range(n_max + 1)]
 
 
 def and_join(models: Sequence[EventModel], name: str = "and") -> EventModel:
@@ -365,3 +461,22 @@ class DminShaper(EventModel):
         if math.isinf(dp):
             return INF
         return max(dp + self.max_delay, (n - 1) * self.d)
+
+    def delta_min_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        src = self._in.delta_min_block(n_max)
+        d = self.d
+        out = src[:2]
+        out.extend(max(src[n], (n - 1) * d) for n in range(2, n_max + 1))
+        return out
+
+    def delta_plus_block(self, n_max: int) -> list:
+        self._check_n(n_max)
+        src = self._in.delta_plus_block(n_max)
+        delay = self.max_delay
+        d = self.d
+        out = src[:2]
+        out.extend(
+            INF if math.isinf(dp) else max(dp + delay, (n - 1) * d)
+            for n, dp in enumerate(src[2:], start=2))
+        return out

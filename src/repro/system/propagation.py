@@ -29,6 +29,7 @@ from ..core.constructors import hsc_and, hsc_or, hsc_pack
 from ..core.deconstruct import unpack_signal
 from ..core.hem import is_hierarchical
 from ..core.update import BusyWindowOutput, apply_operation
+from ..eventmodels import compile as _compile
 from ..eventmodels.base import EventModel, models_equal
 from ..eventmodels.curves import CachedModel
 from ..eventmodels.operations import and_join, or_join
@@ -62,7 +63,10 @@ class _StreamResolver:
         cached = self._cache.get(port)
         if cached is not None:
             return cached
-        model = self._resolve(port)
+        # Compile derived chains into array-backed curves; the global
+        # fingerprint cache carries them across iterations, so only
+        # streams whose inputs actually moved are recompiled.
+        model = _compile.maybe_compile(self._resolve(port), name=port)
         self._cache[port] = model
         return model
 
@@ -156,8 +160,10 @@ class _StreamResolver:
             return models[0]
         flat = [m.outer if is_hierarchical(m) else m for m in models]
         if task.activation == "and":
-            return and_join(flat, name=f"{task.name}.act")
-        return or_join(flat, name=f"{task.name}.act")
+            joined = and_join(flat, name=f"{task.name}.act")
+        else:
+            joined = or_join(flat, name=f"{task.name}.act")
+        return _compile.maybe_compile(joined, name=f"{task.name}.act")
 
 
 def analyze_system(system: System,
@@ -244,8 +250,11 @@ def analyze_system(system: System,
             new_models: "Dict[str, EventModel]" = {}
             for task_name in system.tasks:
                 out = resolver.port(task_name)
-                new_models[task_name] = CachedModel(out,
-                                                    name=f"{task_name}.out")
+                if not _compile.enabled:
+                    # Lazy mode: memoise the chain for the convergence
+                    # check; compiled curves are already array-backed.
+                    out = CachedModel(out, name=f"{task_name}.out")
+                new_models[task_name] = out
                 # Cycle seeds advance with the iteration.
                 cycle_seeds[task_name] = new_models[task_name]
 

@@ -168,3 +168,21 @@ class TestSeriesHelpers:
         from repro._errors import ModelError
         with pytest.raises(ModelError):
             periodic(50.0).eta_plus_series(100.0, 0.0)
+
+    def test_eta_series_no_float_drift(self):
+        # Regression: sample positions are i * step, not an accumulated
+        # t += step.  With step = 0.1 the accumulated sum drifts (1000
+        # additions overshoot t_max by ~1e-13), silently dropping the
+        # final sample and shifting late positions off-grid.
+        step, t_max = 0.1, 100.0
+        series = periodic(10.0).eta_plus_series(t_max, step)
+        assert len(series) == int(t_max / step) + 1
+        assert series[-1][0] == pytest.approx(t_max, abs=1e-12)
+        for i, (t, _) in enumerate(series):
+            assert t == i * step
+
+    def test_eta_series_block_lengths(self):
+        m = periodic(50.0)
+        assert m.delta_min_block(12) == [m.delta_min(n) for n in range(13)]
+        assert m.delta_plus_block(12) == [m.delta_plus(n)
+                                          for n in range(13)]

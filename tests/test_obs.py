@@ -208,7 +208,10 @@ class TestEngineIntegration:
         analyze_system(build_system("hem"))
         snap = metrics().snapshot()
         assert snap["counters"]["propagation.iterations"] >= 2
-        assert snap["counters"]["eventmodels.cache.hits"] > 0
+        # With curve compilation on (the default) chain memoisation moves
+        # from CachedModel to the compile fingerprint cache.
+        assert (snap["counters"].get("compile.cache.hits", 0) > 0
+                or snap["counters"].get("eventmodels.cache.hits", 0) > 0)
         assert snap["counters"]["propagation.junction.pack"] > 0
         assert snap["counters"]["propagation.junction.unpack"] > 0
         assert snap["counters"]["busy_window.fixed_point_calls"] > 0

@@ -9,6 +9,7 @@ from repro._errors import ModelError
 from repro.eventmodels import (
     DminShaper,
     NullEventModel,
+    StandardEventModel,
     TaskOutputModel,
     and_join,
     or_join,
@@ -177,6 +178,36 @@ class TestOrJoinSuperpositionEquivalence:
         sup = or_join_superposition(models)
         for dt in (50.0, 100.5, 333.0, 1000.1):
             assert sup.eta_plus(dt) == sum(m.eta_plus(dt) for m in models)
+
+    def test_randomized_bisection_stays_conservative(self):
+        """The superposition join evaluates δ through tolerance-terminated
+        bisection; against the exact pairwise join on randomized inputs
+        its δ⁻ must never come out *larger* (nor its δ⁺ *smaller*) — the
+        snap direction at the step must keep the bound safe."""
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(40):
+            models = []
+            for _ in range(rng.randint(2, 4)):
+                p = rng.uniform(20.0, 400.0)
+                models.append(StandardEventModel(
+                    period=p, jitter=rng.uniform(0.0, 2.5 * p),
+                    d_min=rng.choice([0.0, rng.uniform(0.0, 0.5 * p)])))
+            exact = or_join(models)
+            sup = or_join_superposition(models)
+            for n in range(2, 24):
+                d_exact = exact.delta_min(n)
+                d_sup = sup.delta_min(n)
+                assert d_sup <= d_exact, (n, d_sup, d_exact)
+                assert d_sup == pytest.approx(d_exact, abs=1e-6,
+                                              rel=1e-9), n
+                p_exact = exact.delta_plus(n)
+                p_sup = sup.delta_plus(n)
+                assert p_sup >= p_exact, (n, p_sup, p_exact)
+                if not math.isinf(p_exact):
+                    assert p_sup == pytest.approx(p_exact, abs=1e-6,
+                                                  rel=1e-9), n
 
 
 class TestAndJoin:

@@ -164,6 +164,48 @@ class TestSerializationProperties:
                 join.delta_min(n), abs=1e-6)
 
 
+class TestAdditiveExtensionProperties:
+    """The additive extension used by detached compiled curves and
+    :func:`freeze` must bound the direct evaluation: δ⁻ never
+    overestimated, δ⁺ never underestimated — for jittered periodic and
+    bursty sources alike."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(sem_models(), st.integers(min_value=5, max_value=24),
+           st.integers(min_value=1, max_value=60))
+    def test_additive_extension_bounds_direct_evaluation(
+            self, model, prefix_top, beyond):
+        from repro.eventmodels.curves import _extend_additive
+
+        dmin = [model.delta_min(n) for n in range(prefix_top + 1)]
+        dplus = [model.delta_plus(n) for n in range(prefix_top + 1)]
+        n = prefix_top + beyond
+        ext_min = _extend_additive(dmin, n)
+        ext_plus = _extend_additive(dplus, n)
+        assert ext_min <= model.delta_min(n) + 1e-9 * max(1.0, ext_min)
+        assert ext_plus >= model.delta_plus(n) - 1e-9 * max(1.0, ext_plus)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=20.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=1500.0),
+           st.floats(min_value=0.5, max_value=10.0),
+           st.integers(min_value=6, max_value=20),
+           st.integers(min_value=1, max_value=80))
+    def test_burst_model_extension_conservative(self, p, j, d, top, beyond):
+        from repro.eventmodels import periodic_with_burst
+        from repro.eventmodels.curves import _extend_additive
+
+        assume(j >= p)  # actual burst shape
+        assume(d <= p / 2)
+        model = periodic_with_burst(round(p, 3), round(j, 3), round(d, 3))
+        dmin = [model.delta_min(n) for n in range(top + 1)]
+        dplus = [model.delta_plus(n) for n in range(top + 1)]
+        n = top + beyond
+        assert _extend_additive(dmin, n) <= model.delta_min(n) + 1e-9
+        ext_plus = _extend_additive(dplus, n)
+        assert ext_plus >= model.delta_plus(n) - 1e-9 * max(1.0, ext_plus)
+
+
 class TestFlexRayProperties:
     @settings(max_examples=25, deadline=None)
     @given(st.floats(min_value=500.0, max_value=5000.0),
