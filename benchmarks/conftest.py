@@ -9,14 +9,17 @@ to see them.  Shape assertions (who wins, orderings, conservatism) are
 hard assertions: a benchmark run that produces the wrong shape fails.
 
 Each benchmark test additionally runs with :mod:`repro.obs` enabled and
-emits a machine-readable ``BENCH_<test>.json`` (wall time, global
-iterations to convergence, event-model cache hit rate, and the full
-metrics snapshot) into the repository root — override the directory
-with the ``BENCH_OUT_DIR`` environment variable.  Standalone scripts
-(``benchmarks/bench_compile.py``) write their ``BENCH_*.json`` to the
-same place, so every performance artefact lands in one directory.
-These files seed the repo's performance trajectory: compare them across
-commits to catch hot-path regressions.
+records a machine-readable entry (wall time, global iterations to
+convergence, event-model cache hit rate, and the full metrics snapshot)
+into a single ``BENCH_suite.json`` map in the repository root, keyed by
+test name — override the directory with the ``BENCH_OUT_DIR``
+environment variable.  The file is read-modify-written per test, so a
+partial run (``pytest benchmarks/ -k table3``) updates only the entries
+it exercised.  The two standalone engine benchmarks
+(``benchmarks/bench_compile.py`` → ``BENCH_compile.json``,
+``benchmarks/bench_batch_speedup.py`` → ``BENCH_batch.json``) keep
+their own files.  These artefacts seed the repo's performance
+trajectory: compare them across commits to catch hot-path regressions.
 """
 
 from __future__ import annotations
@@ -48,9 +51,19 @@ def _cache_hit_rate(counters: dict) -> float:
     return hits / total if total else 0.0
 
 
+def _load_suite(path: Path) -> dict:
+    """Current contents of the suite map (tolerates a missing or
+    corrupt file — benchmarks must not fail on a bad artefact)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
 @pytest.fixture(autouse=True)
 def bench_metrics(request):
-    """Instrument every benchmark test and write its BENCH_*.json."""
+    """Instrument every benchmark test and record it in the suite map."""
     obs.configure(enabled=True, reset=True)
     t0 = time.perf_counter()
     try:
@@ -71,7 +84,9 @@ def bench_metrics(request):
         "metrics": snapshot,
     }
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
+    out = BENCH_OUT_DIR / "BENCH_suite.json"
+    suite = _load_suite(out)
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
-    out = BENCH_OUT_DIR / f"BENCH_{safe}.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    suite[safe] = payload
+    out.write_text(json.dumps(suite, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")

@@ -25,6 +25,9 @@ Layers (bottom-up):
 * :mod:`repro.obs` — span tracer, metrics registry, and convergence
   diagnostics for the whole stack (off by default; enable with
   :func:`repro.configure`).
+* :mod:`repro.explain` — result-level observability: WCRT blame
+  attribution, event-model lineage graphs, and the
+  ``python -m repro explain`` driver.
 
 Quickstart::
 
@@ -117,6 +120,8 @@ from .eventmodels import (
 )
 from . import obs
 from .obs import configure, get_tracer, metrics
+from . import explain
+from .explain import Blame, BlameTerm, LineageGraph
 from .system import (
     Junction,
     JunctionKind,
@@ -177,6 +182,8 @@ __all__ = [
     "system_to_dict", "system_from_dict", "system_hash", "canonical_json",
     # observability
     "obs", "configure", "get_tracer", "metrics",
+    # explanation (blame attribution + lineage; engine loads lazily)
+    "explain", "Blame", "BlameTerm", "LineageGraph",
     # batch engine
     "batch", "Job", "JobResult", "BatchRunner", "ResultStore",
     "DesignSpace", "make_backend",

@@ -10,11 +10,15 @@ Modes:
 * ``python -m repro batch <space> [--workers N] [--resume]`` — sweep a
   predefined design space through the parallel batch engine with a
   persistent result cache (see :mod:`repro.batch.cli`).
+* ``python -m repro explain <example> [--task NAME] [--dot PATH]
+  [--chrome PATH]`` — WCRT blame attribution and event-model lineage
+  for a built-in example (see :mod:`repro.explain.cli`).
 """
 
 import sys
 
 from .batch.cli import batch_main
+from .explain.cli import explain_main
 from .obs.cli import trace_main
 from .report import main
 
@@ -22,4 +26,6 @@ if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "batch":
     sys.exit(batch_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "explain":
+    sys.exit(explain_main(sys.argv[2:]))
 sys.exit(main())

@@ -40,6 +40,13 @@ from typing import Sequence
 
 from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
+from ..explain.blame import (
+    KIND_INTERFERENCE,
+    KIND_OWN,
+    Blame,
+    BlameTerm,
+    critical_activation,
+)
 from ..timebase import EPS
 from .busy_window import MAX_ACTIVATIONS, fixed_point, \
     multi_activation_loop
@@ -148,6 +155,7 @@ class EDFScheduler(Scheduler):
         best_r = task.c_max
         best_busy: "list[float]" = [task.c_max]
         best_q = 1
+        best_a = 0.0
         for a in candidates:
 
             def busy_time(q: int, _a: float = a) -> float:
@@ -176,7 +184,9 @@ class EDFScheduler(Scheduler):
                 best_r = r_a
                 best_busy = busy_times
                 best_q = q_max
+                best_a = a
 
+        blame = None
         if _obs.enabled:
             registry = _obs.metrics()
             registry.counter("edf.tasks_analyzed").inc()
@@ -184,5 +194,44 @@ class EDFScheduler(Scheduler):
                 len(candidates))
             registry.histogram("edf.busy_window_activations").observe(
                 best_q)
+            blame = self._blame(task, others, resource_name, best_r,
+                                best_busy, best_a)
         return TaskResult(name=task.name, r_min=task.c_min, r_max=best_r,
-                          busy_times=best_busy, q_max=best_q)
+                          busy_times=best_busy, q_max=best_q, blame=blame)
+
+    @staticmethod
+    def _blame(task: TaskSpec, others: Sequence[TaskSpec],
+               resource_name: str, r_max: float,
+               busy_times: Sequence[float], a: float) -> Blame:
+        """Decompose the WCRT at the critical candidate (a*, q*).
+
+        At the fixed point ``B = q*·C⁺ + Σ min(η⁺_j(B), n_j(d))·C_j⁺``
+        with ``d`` the critical job's absolute deadline; terms whose
+        arrival count exceeds the deadline-eligible count are marked
+        ``deadline-limited`` — the interference EDF filters out is
+        exactly what fixed priorities would have charged.
+        """
+        em = task.event_model
+        arrivals = [a + em.delta_min(q)
+                    for q in range(1, len(busy_times) + 1)]
+        q = critical_activation(busy_times, arrivals)
+        bq = busy_times[q - 1]
+        abs_deadline = a + em.delta_min(q) + task.deadline
+        terms = []
+        for j in others:
+            n_arrived = j.event_model.eta_plus(bq)
+            n_deadline = j.event_model.eta_plus(
+                abs_deadline - j.deadline + _DEADLINE_EPS)
+            n = min(n_arrived, n_deadline)
+            terms.append(BlameTerm(
+                j.name, KIND_INTERFERENCE, contribution=n * j.c_max,
+                activations=n, c_max=j.c_max,
+                note=("deadline-limited" if n_deadline < n_arrived
+                      else "")))
+        return Blame(
+            task=task.name, resource=resource_name, policy="edf", q=q,
+            busy_time=bq, arrival=arrivals[q - 1], wcrt=r_max,
+            own=BlameTerm(task.name, KIND_OWN, contribution=q * task.c_max,
+                          activations=q, c_max=task.c_max),
+            interference=terms,
+            candidate={"offset": a, "abs_deadline": abs_deadline})

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..explain.blame import Blame
 
 
 @dataclass
@@ -26,6 +29,10 @@ class TaskResult:
         Number of activations examined before the busy window closed.
     details:
         Analysis-specific diagnostics (e.g. blocking term for SPNP).
+    blame:
+        WCRT decomposition at the critical activation
+        (:class:`repro.explain.blame.Blame`); populated by the solvers
+        only while ``repro.obs.enabled`` is on, ``None`` otherwise.
     """
 
     name: str
@@ -34,6 +41,7 @@ class TaskResult:
     busy_times: List[float] = field(default_factory=list)
     q_max: int = 0
     details: Dict[str, float] = field(default_factory=dict)
+    blame: "Optional[Blame]" = None
 
     @property
     def response_jitter(self) -> float:

@@ -18,7 +18,15 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
+from ..explain.blame import (
+    KIND_INTERFERENCE,
+    KIND_OWN,
+    Blame,
+    BlameTerm,
+    critical_activation,
+)
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -72,5 +80,39 @@ class RoundRobinScheduler(Scheduler):
 
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time)
+        blame = None
+        if _obs.enabled:
+            blame = self._blame(task, others, resource_name, r_max,
+                                busy_times)
         return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
-                          busy_times=busy_times, q_max=q_max)
+                          busy_times=busy_times, q_max=q_max, blame=blame)
+
+    @staticmethod
+    def _blame(task: TaskSpec, others: Sequence[TaskSpec],
+               resource_name: str, r_max: float,
+               busy_times: Sequence[float]) -> Blame:
+        """Decompose the WCRT at the critical activation; interference
+        capped by the round count is marked ``slot-capped``."""
+        arrivals = [task.event_model.delta_min(q)
+                    for q in range(1, len(busy_times) + 1)]
+        q = critical_activation(busy_times, arrivals)
+        bq = busy_times[q - 1]
+        rounds = math.ceil(q * task.c_max / task.slot)
+        terms = []
+        for j in others:
+            n = j.event_model.eta_plus(bq)
+            arrival_bound = n * j.c_max
+            slot_bound = rounds * j.slot
+            capped = slot_bound < arrival_bound
+            terms.append(BlameTerm(
+                j.name, KIND_INTERFERENCE,
+                contribution=min(arrival_bound, slot_bound),
+                activations=n, c_max=j.c_max,
+                note=(f"slot-capped at {rounds} rounds x {j.slot:g}"
+                      if capped else "")))
+        return Blame(
+            task=task.name, resource=resource_name, policy="round_robin",
+            q=q, busy_time=bq, arrival=arrivals[q - 1], wcrt=r_max,
+            own=BlameTerm(task.name, KIND_OWN, contribution=q * task.c_max,
+                          activations=q, c_max=task.c_max),
+            interference=terms, candidate={"rounds": rounds})

@@ -24,7 +24,17 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
+from ..explain.blame import (
+    KIND_BLOCKING,
+    KIND_ERRORS,
+    KIND_INTERFERENCE,
+    KIND_OWN,
+    Blame,
+    BlameTerm,
+    critical_activation,
+)
 from ..timebase import EPS
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
@@ -137,7 +147,49 @@ class SPNPScheduler(Scheduler):
 
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time)
+        blame = None
+        if _obs.enabled:
+            blame = self._blame(task, higher, resource_name, blocking,
+                                r_max, busy_times)
         # Best case: the frame finds the bus idle and just transmits.
         return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
                           busy_times=busy_times, q_max=q_max,
-                          details={"blocking": blocking})
+                          details={"blocking": blocking}, blame=blame)
+
+    def _blame(self, task: TaskSpec, higher: Sequence[TaskSpec],
+               resource_name: str, blocking: float, r_max: float,
+               busy_times: Sequence[float]) -> Blame:
+        """Decompose the WCRT at the critical activation.
+
+        ``B(q*) = w + C⁺`` with ``w = blocking + (q*-1)·C⁺ +
+        Σ η⁺_j(w+ε)·C_j⁺ + E(w + C⁺)`` exact at the fixed point; the own
+        term folds the queued predecessors and the final transmission
+        into q*·C⁺.
+        """
+        arrivals = [task.event_model.delta_min(q)
+                    for q in range(1, len(busy_times) + 1)]
+        q = critical_activation(busy_times, arrivals)
+        bq = busy_times[q - 1]
+        w = bq - task.c_max
+        eps = self.arbitration_eps
+        terms = [BlameTerm(j.name, KIND_INTERFERENCE,
+                           contribution=j.event_model.eta_plus(w + eps)
+                           * j.c_max,
+                           activations=j.event_model.eta_plus(w + eps),
+                           c_max=j.c_max)
+                 for j in higher]
+        extras = []
+        if self.error_model is not None:
+            extras.append(BlameTerm(
+                "can.errors", KIND_ERRORS,
+                contribution=self.error_model.overhead(w + task.c_max)))
+        blocking_term = (BlameTerm(task.name, KIND_BLOCKING,
+                                   contribution=blocking,
+                                   note="lower-priority frame on the wire")
+                         if blocking else None)
+        return Blame(
+            task=task.name, resource=resource_name, policy="spnp", q=q,
+            busy_time=bq, arrival=arrivals[q - 1], wcrt=r_max,
+            own=BlameTerm(task.name, KIND_OWN, contribution=q * task.c_max,
+                          activations=q, c_max=task.c_max),
+            blocking=blocking_term, interference=terms, extras=extras)

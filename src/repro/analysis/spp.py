@@ -16,7 +16,16 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import obs as _obs
 from .._errors import NotSchedulableError
+from ..explain.blame import (
+    KIND_BLOCKING,
+    KIND_INTERFERENCE,
+    KIND_OWN,
+    Blame,
+    BlameTerm,
+    critical_activation,
+)
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -65,6 +74,42 @@ class SPPScheduler(Scheduler):
 
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time)
+        blame = None
+        if _obs.enabled:
+            blame = self._blame(task, interferers, resource_name, r_max,
+                                busy_times)
         return TaskResult(name=task.name, r_min=task.c_min, r_max=r_max,
                           busy_times=busy_times, q_max=q_max,
-                          details={"interferers": float(len(interferers))})
+                          details={"interferers": float(len(interferers))},
+                          blame=blame)
+
+    @staticmethod
+    def _blame(task: TaskSpec, interferers: Sequence[TaskSpec],
+               resource_name: str, r_max: float,
+               busy_times: Sequence[float]) -> Blame:
+        """Decompose the WCRT at the critical activation.
+
+        At the least fixed point ``B(q*) = blocking + q*·C⁺ +
+        Σ η⁺_j(B(q*))·C_j⁺`` holds with equality, so re-evaluating each
+        interferer's activation count at B(q*) recovers the exact
+        additive split.
+        """
+        arrivals = [task.event_model.delta_min(q)
+                    for q in range(1, len(busy_times) + 1)]
+        q = critical_activation(busy_times, arrivals)
+        bq = busy_times[q - 1]
+        terms = [BlameTerm(j.name, KIND_INTERFERENCE,
+                           contribution=j.event_model.eta_plus(bq)
+                           * j.c_max,
+                           activations=j.event_model.eta_plus(bq),
+                           c_max=j.c_max)
+                 for j in interferers]
+        blocking = (BlameTerm(task.name, KIND_BLOCKING,
+                              contribution=task.blocking)
+                    if task.blocking else None)
+        return Blame(
+            task=task.name, resource=resource_name, policy="spp", q=q,
+            busy_time=bq, arrival=arrivals[q - 1], wcrt=r_max,
+            own=BlameTerm(task.name, KIND_OWN, contribution=q * task.c_max,
+                          activations=q, c_max=task.c_max),
+            blocking=blocking, interference=terms)

@@ -69,6 +69,9 @@ class SerialBackend:
 
     name = "serial"
     workers = 1
+    #: Serial jobs write straight into the parent registry, so their
+    #: ``obs`` deltas must NOT be merged back (double counting).
+    merges_worker_obs = False
 
     def run(self, jobs: Sequence[Job], on_result: OnResult) -> None:
         for job in jobs:
@@ -89,6 +92,9 @@ class ProcessPoolBackend:
     """
 
     name = "process"
+    #: Worker registries die with their process; the runner folds each
+    #: result's ``obs`` delta into the parent registry.
+    merges_worker_obs = True
 
     def __init__(self, workers: int, mp_context=None):
         if workers < 1:
@@ -222,6 +228,12 @@ class BatchRunner:
                     registry.counter("batch.jobs.failed").inc()
                 registry.histogram("batch.job_seconds").observe(
                     result.duration)
+                if result.obs and getattr(self.backend,
+                                          "merges_worker_obs", False):
+                    registry.merge_delta(result.obs.get("metrics", {}))
+                    spans = result.obs.get("spans", 0)
+                    if spans:
+                        registry.counter("batch.worker.spans").inc(spans)
             if progress is not None:
                 progress(result)
 

@@ -30,6 +30,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from .. import obs as _obs
 from .._errors import ModelError
 from ..analysis.interface import TaskSpec
 from ..system.serialize import (
@@ -86,7 +87,16 @@ class Job:
 
 @dataclass
 class JobResult:
-    """Outcome of executing one :class:`Job`."""
+    """Outcome of executing one :class:`Job`.
+
+    ``obs`` carries the worker-side observability delta when the job ran
+    with ``repro.obs`` enabled: a ``"metrics"``
+    :meth:`~repro.obs.metrics.MetricsRegistry.delta_since` payload and a
+    ``"spans"`` count of spans the job finished.  Being a plain dict it
+    crosses the process boundary with the rest of the result; the
+    :class:`~repro.batch.executor.BatchRunner` folds it into the parent
+    registry for pool backends.
+    """
 
     key: str
     kind: str
@@ -96,6 +106,7 @@ class JobResult:
     error: str = ""
     traceback: str = ""
     duration: float = 0.0
+    obs: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -111,6 +122,7 @@ class JobResult:
             "error": self.error,
             "traceback": self.traceback,
             "duration": self.duration,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -124,6 +136,7 @@ class JobResult:
             error=data.get("error", ""),
             traceback=data.get("traceback", ""),
             duration=data.get("duration", 0.0),
+            obs=dict(data.get("obs", {})),
         )
 
 
@@ -150,26 +163,51 @@ class JobTimeout(Exception):
 
 
 def run_job(job: Job) -> JobResult:
-    """Execute *job*, capturing errors and wall time; never raises."""
+    """Execute *job*, capturing errors and wall time; never raises.
+
+    With observability enabled, the metrics recorded while the job ran
+    (and the number of spans it finished) are attached to the result as
+    a serialisable ``obs`` delta, so pool workers — whose registries die
+    with the process — still report back to the parent.
+    """
     fn = _JOB_KINDS.get(job.kind)
     t0 = time.perf_counter()
+    mark = None
+    spans_before = 0
+    if _obs.enabled:
+        registry = _obs.metrics()
+        mark = registry.mark()
+        spans_before = len(_obs.get_tracer())
+        registry.counter(f"analysis.jobs.{job.kind}").inc()
+
+    def finish(result: JobResult) -> JobResult:
+        if mark is not None and _obs.enabled:
+            result.obs = {
+                "metrics": _obs.metrics().delta_since(mark),
+                "spans": len(_obs.get_tracer()) - spans_before,
+            }
+        return result
+
     if fn is None:
-        return JobResult(job.key, job.kind, job.label, STATUS_FAILED,
-                         error=f"unknown job kind {job.kind!r} "
-                               f"(known: {', '.join(job_kinds())})")
+        return finish(JobResult(
+            job.key, job.kind, job.label, STATUS_FAILED,
+            error=f"unknown job kind {job.kind!r} "
+                  f"(known: {', '.join(job_kinds())})"))
     try:
         data = _call_with_timeout(fn, dict(job.payload), job.timeout)
     except JobTimeout:
-        return JobResult(job.key, job.kind, job.label, STATUS_TIMEOUT,
-                         error=f"job exceeded timeout of {job.timeout}s",
-                         duration=time.perf_counter() - t0)
+        return finish(JobResult(
+            job.key, job.kind, job.label, STATUS_TIMEOUT,
+            error=f"job exceeded timeout of {job.timeout}s",
+            duration=time.perf_counter() - t0))
     except Exception as exc:
-        return JobResult(job.key, job.kind, job.label, STATUS_FAILED,
-                         error=f"{type(exc).__name__}: {exc}",
-                         traceback=traceback.format_exc(),
-                         duration=time.perf_counter() - t0)
-    return JobResult(job.key, job.kind, job.label, STATUS_OK,
-                     data=data, duration=time.perf_counter() - t0)
+        return finish(JobResult(
+            job.key, job.kind, job.label, STATUS_FAILED,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            duration=time.perf_counter() - t0))
+    return finish(JobResult(job.key, job.kind, job.label, STATUS_OK,
+                            data=data, duration=time.perf_counter() - t0))
 
 
 def _call_with_timeout(fn, payload: "Dict[str, Any]",

@@ -1,0 +1,203 @@
+"""WCRT blame attribution records.
+
+A busy-window analysis reports one number per task — the worst-case
+response time — but the number is a sum with identifiable parts: the
+task's own executions in the critical window, a blocking term, and one
+activation×WCET product per interferer, all evaluated at the critical
+activation q* (the activation whose response is maximal).  A
+:class:`Blame` captures that decomposition so a user can see *which*
+interferer dominates a bound and verify the flat-vs-HEM gap is caused by
+the receiver-side activation counts, not by an analysis artefact.
+
+The record is exact, not approximate: at the least fixed point the
+workload equation holds with equality, so
+
+    own + blocking + Σ interference + Σ extras  ==  B(q*)
+    B(q*) - arrival                             ==  r⁺
+
+up to floating-point residue (:meth:`Blame.residual` exposes it; the
+consistency check in :meth:`Blame.check` asserts it is ~0).
+
+This module is import-light on purpose: the per-policy solvers in
+:mod:`repro.analysis` attach blame records behind the ``obs.enabled``
+guard, and :mod:`repro.analysis.results` references the types, so
+nothing here may import the analysis or system layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Term kinds (the ``kind`` field of :class:`BlameTerm`).
+KIND_OWN = "own"
+KIND_BLOCKING = "blocking"
+KIND_INTERFERENCE = "interference"
+KIND_SUPPLY = "supply"
+KIND_ERRORS = "errors"
+
+
+@dataclass(frozen=True)
+class BlameTerm:
+    """One additive contribution to a q*-event busy time.
+
+    Attributes
+    ----------
+    name:
+        The contributor: an interfering task/frame name, the analysed
+        task itself (``kind="own"``), or a pseudo-contributor such as
+        ``"tdma.cycle"`` or ``"can.errors"``.
+    kind:
+        One of ``own``, ``blocking``, ``interference``, ``supply``,
+        ``errors``.
+    contribution:
+        Time units this term adds to the busy window.
+    activations:
+        Number of activations admitted into the window (η⁺ at the
+        critical window; ``q*`` for the own term; 0 where the notion
+        does not apply).
+    c_max:
+        Per-activation cost, when the term is activation×WCET shaped.
+    note:
+        Qualifier for capped terms, e.g. ``"deadline-limited"`` (EDF) or
+        ``"slot-capped"`` (round robin).
+    """
+
+    name: str
+    kind: str
+    contribution: float
+    activations: float = 0.0
+    c_max: float = 0.0
+    note: str = ""
+
+
+@dataclass
+class Blame:
+    """Decomposition of one task's WCRT at the critical activation.
+
+    ``wcrt == busy_time - arrival`` and ``busy_time == sum of all
+    terms``; :meth:`check` verifies both identities.
+
+    Attributes
+    ----------
+    task / resource / policy:
+        Where the bound comes from.
+    q:
+        The critical activation index q* (1-based).
+    busy_time:
+        B(q*) — the q*-event busy time at the critical candidate.
+    arrival:
+        Earliest arrival of the q*-th activation relative to the window
+        start: δ⁻(q*), plus the critical candidate offset ``a`` for EDF.
+    wcrt:
+        The reported r⁺ (``busy_time - arrival``).
+    own:
+        The q*·C⁺ own-execution term.
+    blocking:
+        Lower-priority/blocking term, when the policy has one.
+    interference:
+        Per-interferer activation×WCET terms.
+    extras:
+        Policy-specific additive terms (TDMA cycle wait, CAN error
+        overhead).
+    candidate:
+        Free-form description of the critical candidate beyond ``q``
+        (e.g. the EDF offset ``a``).
+    """
+
+    task: str
+    resource: str
+    policy: str
+    q: int
+    busy_time: float
+    arrival: float
+    wcrt: float
+    own: BlameTerm
+    blocking: Optional[BlameTerm] = None
+    interference: List[BlameTerm] = field(default_factory=list)
+    extras: List[BlameTerm] = field(default_factory=list)
+    candidate: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def terms(self) -> List[BlameTerm]:
+        """All additive terms: own, blocking, interference, extras."""
+        out = [self.own]
+        if self.blocking is not None:
+            out.append(self.blocking)
+        out.extend(self.interference)
+        out.extend(self.extras)
+        return out
+
+    @property
+    def interference_total(self) -> float:
+        return sum(t.contribution for t in self.interference)
+
+    def total(self) -> float:
+        """Sum of every term — equals ``busy_time`` at the fixed point."""
+        return sum(t.contribution for t in self.terms())
+
+    def residual(self) -> float:
+        """``total() - busy_time`` — floating-point residue, ~0."""
+        return self.total() - self.busy_time
+
+    def explained_wcrt(self) -> float:
+        """``total() - arrival`` — must equal the reported WCRT."""
+        return self.total() - self.arrival
+
+    def check(self, tolerance: float = 1e-6) -> None:
+        """Raise ``AssertionError`` when the decomposition does not add
+        up to the reported bound (an analysis/attribution bug)."""
+        if abs(self.residual()) > tolerance:
+            raise AssertionError(
+                f"{self.task}: blame terms sum to {self.total()!r} but "
+                f"busy time is {self.busy_time!r}")
+        if abs(self.explained_wcrt() - self.wcrt) > tolerance:
+            raise AssertionError(
+                f"{self.task}: explained WCRT {self.explained_wcrt()!r} "
+                f"!= reported {self.wcrt!r}")
+
+    def dominant(self) -> Optional[BlameTerm]:
+        """The largest interference term, if any."""
+        if not self.interference:
+            return None
+        return max(self.interference, key=lambda t: t.contribution)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (for job results and trace args)."""
+        def term(t: BlameTerm) -> Dict[str, Any]:
+            return {"name": t.name, "kind": t.kind,
+                    "contribution": t.contribution,
+                    "activations": t.activations, "c_max": t.c_max,
+                    "note": t.note}
+
+        return {
+            "task": self.task,
+            "resource": self.resource,
+            "policy": self.policy,
+            "q": self.q,
+            "busy_time": self.busy_time,
+            "arrival": self.arrival,
+            "wcrt": self.wcrt,
+            "terms": [term(t) for t in self.terms()],
+            "candidate": dict(self.candidate),
+        }
+
+
+def critical_activation(busy_times: Sequence[float],
+                        arrivals: Sequence[float]) -> int:
+    """The 1-based activation index q* maximising ``B(q) - arrival(q)``.
+
+    ``busy_times[q-1]`` is B(q) and ``arrivals[q-1]`` the q-th earliest
+    arrival (δ⁻(q)); ties resolve to the earliest activation, matching
+    the first-maximum semantics of the q-loop in
+    :mod:`repro.analysis.busy_window`.
+    """
+    best_q = 1
+    best_r = float("-inf")
+    for i, (bq, arr) in enumerate(zip(busy_times, arrivals)):
+        response = bq - arr
+        if response > best_r:
+            best_r = response
+            best_q = i + 1
+    return best_q

@@ -41,7 +41,9 @@ from .export import (
     metrics_to_json,
     read_jsonl,
     span_to_dict,
+    spans_to_chrome,
     spans_to_jsonl,
+    tracer_to_chrome,
     tracer_to_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -111,6 +113,8 @@ __all__ = [
     "span_to_dict",
     "spans_to_jsonl",
     "tracer_to_jsonl",
+    "spans_to_chrome",
+    "tracer_to_chrome",
     "read_jsonl",
     "metrics_to_json",
 ]

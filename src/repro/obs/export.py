@@ -22,6 +22,7 @@ def span_to_dict(span: Span, t0: float = 0.0) -> Dict[str, Any]:
         "name": span.name,
         "span_id": span.span_id,
         "parent_id": span.parent_id,
+        "thread_id": span.thread_id,
         "start": span.start - t0,
         "end": (span.end - t0) if span.end is not None else None,
         "duration": span.duration,
@@ -61,6 +62,81 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def spans_to_chrome(spans: Sequence[Span],
+                    t0: float = 0.0) -> Dict[str, Any]:
+    """Convert finished spans to the Chrome trace-event format.
+
+    The returned object loads directly into Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``: one ``"X"``
+    (complete) event per span with microsecond timestamps relative to
+    *t0*, one ``"i"`` (instant) event per span event, plus metadata
+    naming the process and one row per traced thread.  Unfinished spans
+    are skipped — the format has no open-ended complete events.
+    """
+    # Perfetto renders tids as small integers; map thread idents to a
+    # compact, deterministic numbering in first-seen (span-id) order.
+    tid_map: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in sorted(spans, key=lambda s: s.span_id):
+        if span.end is None:
+            continue
+        tid = tid_map.setdefault(span.thread_id, len(tid_map) + 1)
+        args = _jsonable(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+            if span.error is not None:
+                args["error"] = span.error
+        events.append({
+            "name": span.name,
+            "cat": "repro" if span.status == "ok" else "repro,error",
+            "ph": "X",
+            "ts": (span.start - t0) * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+        for ev in span.events:
+            extra = {k: v for k, v in ev.items()
+                     if k not in ("name", "time")}
+            events.append({
+                "name": ev["name"],
+                "cat": "repro",
+                "ph": "i",
+                "ts": (ev["time"] - t0) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "s": "t",
+                "args": _jsonable(extra),
+            })
+    meta: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": "repro analysis"},
+    }]
+    for ident, tid in tid_map.items():
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": f"thread-{ident}"},
+        })
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def tracer_to_chrome(tracer: Tracer,
+                     path: Optional[str] = None) -> Dict[str, Any]:
+    """Export *tracer* in Chrome trace-event format; when *path* is
+    given the JSON is also written there (returns the payload either
+    way)."""
+    payload = spans_to_chrome(tracer.spans(), t0=tracer.t0)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+    return payload
 
 
 def metrics_to_json(registry: MetricsRegistry, path: str,

@@ -123,17 +123,30 @@ class Histogram:
         return max(self.values) if self.values else 0.0
 
     def percentile(self, p: float) -> float:
-        """Exact p-th percentile (0 <= p <= 100), linear interpolation."""
-        if not 0.0 <= p <= 100.0:
-            raise ModelError(f"percentile must be in [0, 100], got {p}")
+        """Exact p-th percentile with linear interpolation.
+
+        *p* is clamped into [0, 100] (callers computing e.g.
+        ``100 * (1 - 1/n)`` may land a hair outside through float
+        error); NaN is rejected.  An empty histogram reports 0.0, a
+        single sample is every percentile of itself, and p=0 / p=100
+        are exactly the min / max.
+        """
+        if math.isnan(p):
+            raise ModelError(f"percentile must be a number, got {p}")
+        p = min(100.0, max(0.0, p))
         if not self.values:
             return 0.0
         ordered = sorted(self.values)
         if len(ordered) == 1:
             return ordered[0]
+        if p <= 0.0:
+            return ordered[0]
+        if p >= 100.0:
+            return ordered[-1]
         rank = (p / 100.0) * (len(ordered) - 1)
         lo = math.floor(rank)
-        hi = math.ceil(rank)
+        # Guard the index against float error in rank for p near 100.
+        hi = min(math.ceil(rank), len(ordered) - 1)
         if lo == hi:
             return ordered[lo]
         frac = rank - lo
@@ -201,6 +214,57 @@ class MetricsRegistry:
                 "histograms": {n: h.summary()
                                for n, h in sorted(self._histograms.items())},
             }
+
+    def mark(self) -> Dict[str, Any]:
+        """Opaque baseline for :meth:`delta_since` (counter values and
+        histogram lengths at this instant)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in self._counters.items()},
+                "histograms": {n: len(h.values)
+                               for n, h in self._histograms.items()},
+            }
+
+    def delta_since(self, mark: Dict[str, Any]) -> Dict[str, Any]:
+        """Everything recorded since *mark*, as a JSON-serialisable dict
+        suitable for shipping across a process boundary and replaying
+        with :meth:`merge_delta`.
+
+        Counters become integer increments, histograms the raw samples
+        observed since the mark, gauges their current value (last write
+        wins — a gauge has no meaningful delta).
+        """
+        base_counters = mark.get("counters", {})
+        base_hists = mark.get("histograms", {})
+        with self._lock:
+            counters = {}
+            for n, c in self._counters.items():
+                inc = c.value - base_counters.get(n, 0)
+                if inc:
+                    counters[n] = inc
+            histograms = {}
+            for n, h in self._histograms.items():
+                start = base_hists.get(n, 0)
+                if len(h.values) > start:
+                    histograms[n] = list(h.values[start:])
+            gauges = {n: g.value for n, g in self._gauges.items()
+                      if g.value is not None}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_delta(self, delta: Dict[str, Any]) -> None:
+        """Replay a :meth:`delta_since` payload into this registry
+        (used by the batch runner to fold worker-side metrics into the
+        parent process)."""
+        for name, inc in delta.get("counters", {}).items():
+            self.counter(name).inc(inc)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, samples in delta.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for value in samples:
+                hist.observe(value)
 
     def is_empty(self) -> bool:
         """True when no instrument has recorded anything."""

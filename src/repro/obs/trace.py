@@ -32,7 +32,7 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "events", "span_id", "parent_id",
-                 "start", "end", "status", "error", "_tracer")
+                 "thread_id", "start", "end", "status", "error", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: Optional[int],
@@ -41,6 +41,7 @@ class Span:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.thread_id = threading.get_ident()
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.events: List[Dict[str, Any]] = []
         self.start = time.perf_counter()

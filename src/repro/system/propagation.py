@@ -33,6 +33,16 @@ from ..eventmodels import compile as _compile
 from ..eventmodels.base import EventModel, models_equal
 from ..eventmodels.curves import CachedModel
 from ..eventmodels.operations import and_join, or_join
+from ..explain.lineage import (
+    KIND_ACTIVATION,
+    KIND_AND,
+    KIND_OR,
+    KIND_PACK,
+    KIND_SOURCE,
+    KIND_THETA,
+    KIND_UNPACK,
+    lineage as _lineage,
+)
 from ..timebase import EPS
 from .model import Junction, JunctionKind, System, Task
 
@@ -74,7 +84,10 @@ class _StreamResolver:
         system = self._system
         node = system.producer_of(port)
         if node in system.sources:
-            return system.sources[node].model
+            model = system.sources[node].model
+            if _obs.enabled:
+                _lineage().record(port, KIND_SOURCE, model=repr(model))
+            return model
         if node in system.junctions:
             return self._resolve_junction(system.junctions[node], port)
         return self._resolve_task_output(system.tasks[node])
@@ -103,8 +116,17 @@ class _StreamResolver:
                         f"is flat")
                 if port == junction.name:
                     # the unadorned port exposes the outer stream
+                    if _obs.enabled:
+                        _lineage().record(
+                            port, KIND_UNPACK, inputs=junction.inputs,
+                            rule="Ψ (outer stream)", label="(outer)")
                     return upstream.outer
                 label = port[len(junction.name) + 1:]
+                if _obs.enabled:
+                    _lineage().record(
+                        port, KIND_UNPACK, inputs=junction.inputs,
+                        rule="Ψ_pa: F_i = L(i)", label=label,
+                        from_rule=upstream.rule.name)
                 return unpack_signal(upstream, label)
 
             inputs = {name: self.port(name) for name in junction.inputs}
@@ -113,11 +135,38 @@ class _StreamResolver:
                          if junction.timer is not None else None)
                 signals = {name: (model, junction.properties[name])
                            for name, model in inputs.items()}
-                return hsc_pack(signals, timer=timer, name=junction.name)
+                packed = hsc_pack(signals, timer=timer,
+                                  name=junction.name)
+                if _obs.enabled:
+                    upstream = list(junction.inputs)
+                    if junction.timer is not None:
+                        # The timer never passes through port(); record
+                        # its source node here so the DAG is closed.
+                        upstream.append(junction.timer)
+                        _lineage().record(junction.timer, KIND_SOURCE,
+                                          model=repr(timer))
+                    _lineage().record(
+                        port, KIND_PACK, inputs=upstream,
+                        rule=f"Ω_pa: {packed.rule.describe()}",
+                        inner_labels=packed.labels,
+                        timer=junction.timer)
+                return packed
             if junction.kind is JunctionKind.OR:
-                return hsc_or(inputs, name=junction.name)
+                joined = hsc_or(inputs, name=junction.name)
+                if _obs.enabled:
+                    _lineage().record(port, KIND_OR,
+                                      inputs=junction.inputs,
+                                      rule=f"Ω_∨: {joined.rule.describe()}",
+                                      inner_labels=joined.labels)
+                return joined
             if junction.kind is JunctionKind.AND:
-                return hsc_and(inputs, name=junction.name)
+                joined = hsc_and(inputs, name=junction.name)
+                if _obs.enabled:
+                    _lineage().record(port, KIND_AND,
+                                      inputs=junction.inputs,
+                                      rule=f"Ω_∧: {joined.rule.describe()}",
+                                      inner_labels=joined.labels)
+                return joined
             raise ModelError(
                 f"junction {junction.name}: unsupported kind "
                 f"{junction.kind}")
@@ -149,6 +198,18 @@ class _StreamResolver:
             # its own execution-time interval.
             r_min, r_max = task.c_min, task.c_max
         op = BusyWindowOutput(r_min, r_max)
+        if _obs.enabled:
+            attrs = {"rule": "Θ_τ", "r_min": r_min, "r_max": r_max,
+                     "resource": task.resource}
+            if is_hierarchical(activation):
+                attrs.update(
+                    inner_update=f"B_Θτ,C_{activation.rule.name} "
+                                 f"(k={activation.outer.simultaneity()})",
+                    inner_labels=activation.labels)
+            upstream = ([f"{task.name}.act"] if len(task.inputs) > 1
+                        else list(task.inputs))
+            _lineage().record(task.name, KIND_THETA, inputs=upstream,
+                              **attrs)
         return apply_operation(activation, op)
 
     # ------------------------------------------------------------------
@@ -163,6 +224,14 @@ class _StreamResolver:
             joined = and_join(flat, name=f"{task.name}.act")
         else:
             joined = or_join(flat, name=f"{task.name}.act")
+        if _obs.enabled:
+            flattened = [p for p, m in zip(task.inputs, models)
+                         if is_hierarchical(m)]
+            _lineage().record(
+                f"{task.name}.act", KIND_ACTIVATION, inputs=task.inputs,
+                rule=f"{task.activation.upper()}-join "
+                     f"({task.activation}_join of {len(models)} inputs)",
+                flattened_hierarchies=flattened)
         return _compile.maybe_compile(joined, name=f"{task.name}.act")
 
 

@@ -4,6 +4,7 @@ convergence diagnostics renderer."""
 from .ascii import eta_plus_series, render_step_chart, series_to_csv
 from .convergence import ConvergenceReport, render_convergence_report
 from .gantt import gantt_from_recorder, render_gantt
+from .lineage import lineage_to_dot, render_lineage
 from .tables import render_table, sweep_table
 
 __all__ = [
@@ -16,4 +17,6 @@ __all__ = [
     "gantt_from_recorder",
     "ConvergenceReport",
     "render_convergence_report",
+    "render_lineage",
+    "lineage_to_dot",
 ]

@@ -1,0 +1,100 @@
+"""Renderers for event-model lineage graphs.
+
+Turns the :class:`repro.explain.lineage.LineageGraph` recorded during a
+global analysis into either an ASCII derivation tree (for terminals and
+reports) or Graphviz DOT (for everything else)::
+
+    print(render_lineage(graph, "F1_rx.S3"))
+    Path("lineage.dot").write_text(lineage_to_dot(graph))
+
+Both renderers are pure functions over the graph snapshot — they never
+touch the engine or the recorder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..explain.lineage import LineageGraph
+
+
+def render_lineage(graph: LineageGraph, port: str) -> str:
+    """ASCII derivation tree of *port*, upstream-expanded.
+
+    Ports resolved more than once render once in full and afterwards as
+    a back-reference, so shared subtrees (one frame feeding many
+    receivers) and cycles stay readable.
+    """
+    lines: List[str] = []
+    seen: set = set()
+
+    def walk(name: str, prefix: str, branch: str) -> None:
+        node = graph.node(name)
+        label = f"{name}  [{node.describe()}]" if node is not None \
+            else f"{name}  [unrecorded]"
+        if name in seen:
+            lines.append(f"{prefix}{branch}{name}  (see above)")
+            return
+        seen.add(name)
+        lines.append(f"{prefix}{branch}{label}")
+        if node is None:
+            return
+        child_prefix = prefix
+        if branch:
+            child_prefix += "   " if branch.startswith("└") else "│  "
+        inputs = list(node.inputs)
+        for i, child in enumerate(inputs):
+            last = i == len(inputs) - 1
+            walk(child, child_prefix, "└─ " if last else "├─ ")
+
+    walk(port, "", "")
+    return "\n".join(lines)
+
+
+def lineage_to_dot(graph: LineageGraph,
+                   roots: Optional[Sequence[str]] = None,
+                   name: str = "lineage") -> str:
+    """Graphviz DOT of the lineage DAG (optionally restricted to the
+    ancestry of *roots*); edges point upstream → downstream."""
+    if roots:
+        keep = set()
+        for root in roots:
+            keep.add(root)
+            keep.update(n.port for n in graph.ancestors(root))
+        nodes = [n for n in graph.nodes() if n.port in keep]
+    else:
+        nodes = graph.nodes()
+
+    shape = {
+        "source": "ellipse",
+        "pack": "box3d",
+        "unpack": "invhouse",
+        "theta_tau": "box",
+        "or_join": "diamond",
+        "and_join": "diamond",
+        "activation": "diamond",
+    }
+    lines = [f"digraph {name} {{",
+             "  rankdir=LR;",
+             "  node [fontname=\"Helvetica\", fontsize=10];"]
+    known = {n.port for n in nodes}
+    for node in nodes:
+        label = _dot_escape(f"{node.port}\n{node.symbol} {node.kind}")
+        detail = node.describe()
+        lines.append(
+            f"  \"{_dot_escape(node.port)}\" [label=\"{label}\", "
+            f"shape={shape.get(node.kind, 'box')}, "
+            f"tooltip=\"{_dot_escape(detail)}\"];")
+    for node in nodes:
+        for src in node.inputs:
+            if roots and src not in known:
+                continue
+            lines.append(f"  \"{_dot_escape(src)}\" -> "
+                         f"\"{_dot_escape(node.port)}\";")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\"", "\\\"") \
+        .replace("\n", "\\n")

@@ -139,3 +139,75 @@ class TestRunnerMemoisation:
             analyze_jobs(2), progress=seen.append)
         assert len(seen) == 2
         assert all(r.ok for r in seen)
+
+
+class TestWorkerObsMerging:
+    """Worker-side metrics must reach the parent registry: pool workers
+    serialise a delta into the job result, the runner replays it."""
+
+    def test_two_worker_run_merges_worker_metrics(self, tmp_path):
+        jobs = analyze_jobs(4)
+        obs.configure(enabled=True, reset=True)
+        try:
+            backend = ProcessPoolBackend(2, mp_context=fork_ctx())
+            report = BatchRunner(store=ResultStore(tmp_path),
+                                 backend=backend).run(jobs)
+        finally:
+            obs.configure(enabled=False)
+        assert report.ok
+        snap = obs.metrics().snapshot()
+        counters = snap["counters"]
+        # parent-side batch accounting
+        assert counters["batch.jobs.submitted"] == 4
+        assert counters["batch.jobs.completed"] == 4
+        # worker-side analysis counters, folded into the parent registry
+        # (they were recorded in child processes whose registries died)
+        assert counters["analysis.jobs.analyze"] == 4
+        assert counters["propagation.iterations"] > 0
+        assert counters["busy_window.fixed_point_calls"] > 0
+        assert counters["batch.worker.spans"] > 0
+        # worker histograms merge as raw samples
+        assert snap["histograms"][
+            "propagation.local_analysis_seconds"]["count"] > 0
+        # every executed result carried its own delta
+        for result in report.results.values():
+            assert result.obs["metrics"]["counters"][
+                "analysis.jobs.analyze"] == 1
+            assert result.obs["spans"] > 0
+
+    def test_serial_backend_does_not_double_count(self, tmp_path):
+        """Serial jobs already write into the parent registry; merging
+        their deltas back would double every counter."""
+        jobs = analyze_jobs(2)
+        obs.configure(enabled=True, reset=True)
+        try:
+            report = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        finally:
+            obs.configure(enabled=False)
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters["analysis.jobs.analyze"] == 2
+        # the delta is still captured on the result (it is part of the
+        # serialised format), it is just not merged twice
+        for result in report.results.values():
+            assert result.obs["metrics"]["counters"][
+                "analysis.jobs.analyze"] == 1
+
+    def test_obs_delta_survives_result_round_trip(self, tmp_path):
+        from repro.batch import JobResult
+
+        jobs = analyze_jobs(1)
+        obs.configure(enabled=True, reset=True)
+        try:
+            report = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        finally:
+            obs.configure(enabled=False)
+        result = report.result_for(jobs[0])
+        clone = JobResult.from_dict(result.to_dict())
+        assert clone.obs == result.obs
+        assert clone.obs["metrics"]["counters"]
+
+    def test_disabled_run_attaches_no_obs(self, tmp_path):
+        obs.configure(enabled=False, reset=True)
+        jobs = analyze_jobs(1)
+        report = BatchRunner(store=ResultStore(tmp_path)).run(jobs)
+        assert report.result_for(jobs[0]).obs == {}

@@ -1,0 +1,361 @@
+"""Tests for the explanation engine (repro.explain).
+
+Covers: blame decompositions summing exactly to the reported WCRT for
+all five busy-window policies, the event-model lineage DAG (Ω_pa pack
+and Ψ unpack nodes for the hierarchical variant), the Chrome trace
+exporter, the explain CLI, and the disabled-path guarantees (no blame,
+no lineage, no obs flag leakage).
+"""
+
+import json
+
+import pytest
+
+from repro import configure, obs
+from repro.analysis import (
+    EDFScheduler,
+    RoundRobinScheduler,
+    SPNPScheduler,
+    SPPScheduler,
+    TaskSpec,
+    TDMAScheduler,
+)
+from repro.eventmodels import periodic, periodic_with_jitter
+from repro.examples_lib.rox08 import build_system
+from repro.explain import (
+    Blame,
+    explain_system,
+    lineage,
+    render_blame,
+    render_blame_table,
+    reset_lineage,
+)
+from repro.explain.blame import (
+    KIND_BLOCKING,
+    KIND_INTERFERENCE,
+    KIND_OWN,
+    KIND_SUPPLY,
+    critical_activation,
+)
+from repro.explain.lineage import (
+    KIND_PACK,
+    KIND_SOURCE,
+    KIND_THETA,
+    KIND_UNPACK,
+)
+from repro.system.propagation import analyze_system
+from repro.viz import lineage_to_dot, render_lineage
+
+
+@pytest.fixture
+def obs_on():
+    configure(enabled=True, reset=True)
+    reset_lineage()
+    yield obs
+    configure(enabled=False, reset=True)
+    reset_lineage()
+
+
+@pytest.fixture(autouse=True)
+def obs_off_guard():
+    yield
+    configure(enabled=False)
+    reset_lineage()
+
+
+def assert_exact(blame: Blame) -> None:
+    """The decomposition must reproduce the reported bound exactly."""
+    blame.check()
+    assert blame.explained_wcrt() == pytest.approx(blame.wcrt)
+    assert blame.total() == pytest.approx(blame.busy_time)
+
+
+class TestBlamePerPolicy:
+    """Every solver's blame terms sum to its reported WCRT."""
+
+    def test_spp(self, obs_on):
+        tasks = [
+            TaskSpec("hi", 1.0, 1.0, periodic(4.0), priority=1),
+            TaskSpec("mid", 2.0, 2.0, periodic_with_jitter(6.0, 3.0),
+                     priority=2),
+            TaskSpec("lo", 3.0, 3.0, periodic(12.0), priority=3),
+        ]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        for name in ("hi", "mid", "lo"):
+            blame = result[name].blame
+            assert blame is not None and blame.policy == "spp"
+            assert_exact(blame)
+        lo = result["lo"].blame
+        assert {t.name for t in lo.interference} == {"hi", "mid"}
+        assert lo.own.kind == KIND_OWN
+        assert lo.own.activations == lo.q
+        assert lo.dominant() is not None
+
+    def test_spp_blocking_term(self, obs_on):
+        tasks = [
+            TaskSpec("hi", 1.0, 1.0, periodic(10.0), priority=1,
+                     blocking=2.5),
+            TaskSpec("lo", 3.0, 3.0, periodic(20.0), priority=2),
+        ]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        blame = result["hi"].blame
+        assert blame.blocking is not None
+        assert blame.blocking.kind == KIND_BLOCKING
+        assert blame.blocking.contribution == 2.5
+        assert_exact(blame)
+
+    def test_spnp(self, obs_on):
+        frames = [
+            TaskSpec("A", 1.0, 1.0, periodic(4.0), priority=1),
+            TaskSpec("B", 2.0, 2.0, periodic(6.0), priority=2),
+            TaskSpec("C", 3.0, 3.0, periodic(12.0), priority=3),
+        ]
+        result = SPNPScheduler().analyze(frames, "can")
+        for name in ("A", "B", "C"):
+            blame = result[name].blame
+            assert blame is not None and blame.policy == "spnp"
+            assert_exact(blame)
+        # A is blocked by the longest lower-priority frame (C).
+        a = result["A"].blame
+        assert a.blocking is not None
+        assert a.blocking.contribution == 3.0
+        # The lowest priority frame has no blocking term.
+        assert result["C"].blame.blocking is None
+
+    def test_edf(self, obs_on):
+        tasks = [
+            TaskSpec("a", 1.0, 1.0, periodic(4.0), deadline=4.0),
+            TaskSpec("b", 2.0, 2.0, periodic(6.0), deadline=6.0),
+            TaskSpec("c", 3.0, 3.0, periodic(12.0), deadline=12.0),
+        ]
+        result = EDFScheduler().analyze(tasks, "cpu")
+        for name in ("a", "b", "c"):
+            blame = result[name].blame
+            assert blame is not None and blame.policy == "edf"
+            assert_exact(blame)
+            assert "offset" in blame.candidate
+            assert "abs_deadline" in blame.candidate
+
+    def test_round_robin(self, obs_on):
+        tasks = [
+            TaskSpec("a", 6.0, 6.0, periodic(30.0), slot=2.0),
+            TaskSpec("b", 1.0, 1.0, periodic(30.0), slot=9.0),
+        ]
+        result = RoundRobinScheduler().analyze(tasks, "cpu")
+        for name in ("a", "b"):
+            blame = result[name].blame
+            assert blame is not None and blame.policy == "round_robin"
+            assert_exact(blame)
+        assert result["a"].blame.candidate["rounds"] == 3
+
+    def test_tdma(self, obs_on):
+        tasks = [
+            TaskSpec("a", 1.0, 1.0, periodic(20.0), slot=2.0),
+            TaskSpec("b", 3.0, 3.0, periodic(20.0), slot=3.0),
+        ]
+        result = TDMAScheduler().analyze(tasks, "cpu")
+        for name in ("a", "b"):
+            blame = result[name].blame
+            assert blame is not None and blame.policy == "tdma"
+            assert_exact(blame)
+        # Whatever is not own execution is waiting for the own slot.
+        a = result["a"].blame
+        if a.extras:
+            assert a.extras[0].kind == KIND_SUPPLY
+            assert a.extras[0].name == "tdma.cycle"
+
+    def test_disabled_leaves_blame_none(self):
+        configure(enabled=False, reset=True)
+        tasks = [TaskSpec("a", 1.0, 1.0, periodic(4.0), priority=1)]
+        result = SPPScheduler().analyze(tasks, "cpu")
+        assert result["a"].blame is None
+
+    def test_critical_activation_picks_max_response(self):
+        assert critical_activation([3.0, 5.0, 9.0],
+                                   [0.0, 4.0, 8.0]) == 1
+        assert critical_activation([3.0, 8.0, 9.0],
+                                   [0.0, 4.0, 8.0]) == 2
+        assert critical_activation([5.0], [0.0]) == 1
+
+
+class TestRox08Blame:
+    def test_blames_sum_on_full_system(self, obs_on):
+        result = analyze_system(build_system("hem"))
+        names = []
+        for rr in result.resource_results.values():
+            for name, tr in rr.task_results.items():
+                assert tr.blame is not None, name
+                assert_exact(tr.blame)
+                names.append(name)
+        assert set(names) == {"F1", "F2", "T1", "T2", "T3"}
+
+    def test_t3_interference_drop_is_attributed(self):
+        """Table 3's headline WCRT reduction must be visible as removed
+        interference terms, not just a smaller total."""
+        hem = explain_system(build_system("hem"))
+        flat = explain_system(build_system("flat"))
+        t3_hem = hem.blame("T3")
+        t3_flat = flat.blame("T3")
+        assert t3_flat.wcrt > t3_hem.wcrt
+        assert t3_flat.interference_total > t3_hem.interference_total
+        # Same interferer set, fewer admitted activations under HEM.
+        flat_acts = {t.name: t.activations for t in t3_flat.interference}
+        hem_acts = {t.name: t.activations for t in t3_hem.interference}
+        assert flat_acts["T1"] > hem_acts["T1"]
+        assert flat_acts["T2"] > hem_acts["T2"]
+
+
+class TestLineage:
+    def test_hem_chain_has_pack_and_unpack(self, obs_on):
+        analyze_system(build_system("hem"))
+        graph = lineage().graph()
+        kinds = graph.kinds_on_chain("F1_rx.S3")
+        assert KIND_UNPACK in kinds
+        assert KIND_PACK in kinds
+        assert KIND_THETA in kinds
+        assert KIND_SOURCE in kinds
+        node = graph.node("F1_rx.S3")
+        assert node.attrs["label"] == "S3"
+        assert "Ψ" in node.attrs["rule"]
+        pack = graph.node("F1_pack")
+        assert "Ω_pa" in pack.attrs["rule"]
+        assert set(pack.attrs["inner_labels"]) == {"S1", "S2", "S3"}
+        # The pack timer is part of the DAG.
+        assert "F1_timer" in pack.inputs
+        assert graph.node("F1_timer").kind == KIND_SOURCE
+
+    def test_theta_records_inner_update(self, obs_on):
+        analyze_system(build_system("hem"))
+        node = lineage().graph().node("F1")
+        assert node.kind == KIND_THETA
+        assert "B_" in node.attrs["inner_update"]
+        assert node.attrs["r_max"] > node.attrs["r_min"] >= 0.0
+
+    def test_flat_chain_has_no_unpack(self, obs_on):
+        analyze_system(build_system("flat"))
+        graph = lineage().graph()
+        kinds = graph.kinds_on_chain("F1")
+        assert KIND_UNPACK not in kinds
+        assert KIND_PACK in kinds
+
+    def test_disabled_records_nothing(self):
+        configure(enabled=False, reset=True)
+        reset_lineage()
+        analyze_system(build_system("hem"))
+        assert len(lineage()) == 0
+
+    def test_rerecording_overwrites_per_port(self, obs_on):
+        rec = lineage()
+        rec.record("p", KIND_SOURCE, model="old")
+        rec.record("p", KIND_SOURCE, model="new")
+        graph = rec.graph()
+        assert len(graph) == 1
+        assert graph.node("p").attrs["model"] == "new"
+
+    def test_renderers(self, obs_on):
+        analyze_system(build_system("hem"))
+        graph = lineage().graph()
+        tree = render_lineage(graph, "F1_rx.S3")
+        assert "F1_rx.S3" in tree and "F1_pack" in tree
+        assert "Ψ" in tree and "Ω_pa" in tree
+        dot = lineage_to_dot(graph, roots=["F1_rx.S3"])
+        assert dot.startswith("digraph")
+        assert '"F1_pack" -> "F1"' in dot
+        # restricted to T3's ancestry: F2 must not appear
+        assert "F2" not in dot
+        full = lineage_to_dot(graph)
+        assert "F2_pack" in full
+
+    def test_render_handles_unrecorded_and_shared_nodes(self):
+        from repro.explain.lineage import LineageRecorder
+
+        rec = LineageRecorder()
+        rec.record("join", KIND_SOURCE, inputs=("a", "a"))
+        text = render_lineage(rec.graph(), "join")
+        assert "unrecorded" in text
+        assert "(see above)" in text
+
+
+class TestExplainEngine:
+    def test_explain_system_bundles_everything(self):
+        configure(enabled=False, reset=True)
+        ex = explain_system(build_system("hem"))
+        # the engine restores the switch it flipped
+        assert obs.enabled is False
+        assert ex.result.converged
+        assert set(ex.blames) == {"F1", "F2", "T1", "T2", "T3"}
+        assert ex.activation_port("T3") == "F1_rx.S3"
+        assert ex.graph.kinds_on_chain("F1_rx.S3")
+        assert ex.wcrt("T3") == ex.blame("T3").wcrt
+
+    def test_explain_system_preserves_enabled_state(self, obs_on):
+        explain_system(build_system("hem"))
+        assert obs.enabled is True
+
+    def test_render_blame_table_and_detail(self):
+        ex = explain_system(build_system("hem"))
+        table = ex.render_blame_table()
+        for name in ("F1", "F2", "T1", "T2", "T3"):
+            assert name in table
+        assert "dominant interferer" in table
+        detail = ex.render_blame("T3")
+        assert "interference" in detail
+        assert "r+" in detail
+        assert render_blame(ex.blame("T3")) == detail
+        assert render_blame_table(ex.blames) == table
+
+    def test_to_dict_is_json_serialisable(self):
+        ex = explain_system(build_system("hem"))
+        payload = json.loads(json.dumps(ex.to_dict()))
+        assert payload["system"] == "rox08-hem"
+        assert payload["wcrt"]["T3"] == ex.blame("T3").wcrt
+        terms = payload["blames"]["T3"]["terms"]
+        assert sum(t["contribution"] for t in terms) == \
+            pytest.approx(ex.blame("T3").busy_time)
+        assert "F1_rx.S3" in payload["lineage"]
+
+    def test_unknown_task_raises_keyerror(self):
+        ex = explain_system(build_system("hem"))
+        with pytest.raises(KeyError):
+            ex.blame("nope")
+        with pytest.raises(KeyError):
+            ex.activation_port("nope")
+
+
+class TestExplainCli:
+    def test_rox08_smoke(self, capsys):
+        from repro.explain.cli import explain_main
+
+        assert explain_main(["rox08"]) == 0
+        out = capsys.readouterr().out
+        assert "flat baseline vs hierarchical" in out
+        assert "T3" in out and "Ω_pa" in out
+        assert obs.enabled is False
+
+    def test_task_filter_and_artifacts(self, tmp_path, capsys):
+        from repro.explain.cli import explain_main
+
+        dot = tmp_path / "lineage.dot"
+        chrome = tmp_path / "trace.json"
+        code = explain_main(["rox08", "--task", "T3",
+                             "--dot", str(dot),
+                             "--chrome", str(chrome)])
+        assert code == 0
+        assert dot.read_text().startswith("digraph")
+        payload = json.loads(chrome.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_unknown_task_fails(self, capsys):
+        from repro.explain.cli import explain_main
+
+        assert explain_main(["rox08", "--task", "nope"]) == 2
+        assert "no such task" in capsys.readouterr().err
+
+    def test_body_gateway_smoke(self, capsys):
+        from repro.explain.cli import explain_main
+
+        assert explain_main(["body_gateway",
+                             "--task", "show_climate"]) == 0
+        out = capsys.readouterr().out
+        assert "show_climate" in out

@@ -129,15 +129,81 @@ class TestMetrics:
         assert hist.percentile(100) == 100.0
         assert hist.percentile(50) == pytest.approx(50.5)
         assert hist.percentile(90) == pytest.approx(90.1)
+
+    def test_histogram_percentile_clamps_out_of_range(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        # Callers computing p = 100*(1-1/n) can land a hair outside
+        # [0, 100] through float error; clamp instead of raising.
+        assert hist.percentile(101) == 3.0
+        assert hist.percentile(-5) == 1.0
+        assert hist.percentile(100.0000000001) == 3.0
         with pytest.raises(ModelError):
-            hist.percentile(101)
+            hist.percentile(float("nan"))
 
     def test_histogram_empty_and_singleton(self):
         hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(0) == 0.0
         assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 0.0
+        assert hist.summary()["count"] == 0
         hist.observe(7.0)
+        assert hist.percentile(0) == 7.0
         assert hist.percentile(50) == 7.0
+        assert hist.percentile(100) == 7.0
         assert hist.summary()["p99"] == 7.0
+
+    def test_histogram_p0_p100_exact_min_max(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (5.0, -2.0, 9.5, 3.0):
+            hist.observe(v)
+        assert hist.percentile(0) == -2.0 == hist.min
+        assert hist.percentile(100) == 9.5 == hist.max
+
+    def test_delta_since_and_merge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h").observe(1.0)
+        mark = reg.mark()
+        reg.counter("c").inc(2)
+        reg.counter("new").inc()
+        reg.gauge("g").set(7.5)
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h2").observe(9.0)
+        delta = reg.delta_since(mark)
+        assert delta["counters"] == {"c": 2, "new": 1}
+        assert delta["gauges"] == {"g": 7.5}
+        assert delta["histograms"] == {"h": [2.0], "h2": [9.0]}
+
+        parent = MetricsRegistry()
+        parent.counter("c").inc(10)
+        parent.merge_delta(delta)
+        snap = parent.snapshot()
+        assert snap["counters"]["c"] == 12
+        assert snap["counters"]["new"] == 1
+        assert snap["gauges"]["g"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h2"]["max"] == 9.0
+
+    def test_delta_is_json_serialisable(self):
+        import json
+
+        reg = MetricsRegistry()
+        mark = reg.mark()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.5)
+        delta = json.loads(json.dumps(reg.delta_since(mark)))
+        other = MetricsRegistry()
+        other.merge_delta(delta)
+        assert other.counter("c").value == 1
+
+    def test_empty_delta_merges_as_noop(self):
+        reg = MetricsRegistry()
+        delta = reg.delta_since(reg.mark())
+        assert delta == {"counters": {}, "gauges": {}, "histograms": {}}
+        reg.merge_delta(delta)
+        assert reg.is_empty()
 
     def test_time_block(self):
         hist = MetricsRegistry().histogram("t")
@@ -185,6 +251,84 @@ class TestExport:
         assert data["counters"]["c"] == 2
         assert data["histograms"]["h"]["count"] == 1
         assert data["wall_seconds"] == 0.5
+
+
+class TestChromeExport:
+    def test_complete_events_and_metadata(self, tmp_path):
+        import json
+
+        from repro.obs import tracer_to_chrome
+
+        tracer = Tracer()
+        with tracer.span("outer", system="s"):
+            tracer.event("checkpoint", junction="F1")
+            with tracer.span("inner", resource="cpu"):
+                pass
+        path = tmp_path / "trace.json"
+        payload = tracer_to_chrome(tracer, str(path))
+        # file and return value agree and are valid JSON
+        assert json.loads(path.read_text()) == payload
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        instant = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert [m["name"] for m in meta][:1] == ["process_name"]
+        assert any(m["name"] == "thread_name" for m in meta)
+        assert instant[0]["name"] == "checkpoint"
+        assert instant[0]["args"]["junction"] == "F1"
+        by_name = {e["name"]: e for e in complete}
+        outer, inner = by_name["outer"], by_name["inner"]
+        # microsecond timestamps, relative to the tracer origin
+        assert outer["ts"] >= 0.0
+        assert outer["dur"] >= inner["dur"] >= 0.0
+        assert inner["ts"] >= outer["ts"]
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        # same (single) thread row for both spans
+        assert outer["tid"] == inner["tid"] == 1
+        assert outer["pid"] == inner["pid"] == 1
+        assert outer["args"]["system"] == "s"
+
+    def test_unfinished_spans_are_skipped(self):
+        from repro.obs.export import spans_to_chrome
+
+        tracer = Tracer()
+        open_span = tracer.start("open")
+        with tracer.span("closed"):
+            pass
+        payload = spans_to_chrome(tracer.spans() + [open_span])
+        names = [e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"]
+        assert names == ["closed"]
+
+    def test_error_spans_are_flagged(self):
+        from repro.obs.export import spans_to_chrome
+
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("kaputt")
+        payload = spans_to_chrome(tracer.spans(), t0=tracer.t0)
+        event = [e for e in payload["traceEvents"]
+                 if e["ph"] == "X"][0]
+        assert "error" in event["cat"]
+        assert event["args"]["status"] == "error"
+        assert "kaputt" in event["args"]["error"]
+
+    def test_explained_run_exports_valid_chrome_trace(self, obs_on):
+        import json
+
+        from repro.obs import tracer_to_chrome
+
+        analyze_system(build_system("hem"))
+        payload = json.loads(json.dumps(
+            tracer_to_chrome(get_tracer())))
+        complete = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X"]
+        assert {e["name"] for e in complete} >= {
+            "global_iteration", "local_analysis"}
+        assert all(e["dur"] >= 0.0 for e in complete)
 
 
 class TestEngineIntegration:
@@ -261,23 +405,27 @@ class TestDisabledFastPath:
     def test_disabled_run_allocates_nothing_in_obs(self):
         """Regression guard for the near-zero-overhead promise: with the
         switch off, analyze_system on the rox08 example must not
-        allocate a single block inside repro/obs/*."""
+        allocate a single block inside repro/obs/* or repro/explain/* —
+        blame attribution and lineage recording are free when off."""
+        import repro.explain as explain_pkg
+
         configure(enabled=False, reset=True)
         system = build_system("hem")
         analyze_system(system)  # warm caches outside the snapshot window
-        obs_dir = str(Path(obs.__file__).parent)
+        guarded = (str(Path(obs.__file__).parent),
+                   str(Path(explain_pkg.__file__).parent))
         tracemalloc.start()
         try:
             analyze_system(build_system("hem"))
             snapshot = tracemalloc.take_snapshot()
         finally:
             tracemalloc.stop()
-        obs_blocks = [
+        blocks = [
             stat for stat in snapshot.statistics("filename")
-            if stat.traceback[0].filename.startswith(obs_dir)
+            if stat.traceback[0].filename.startswith(guarded)
         ]
-        assert obs_blocks == [], (
-            f"obs allocated while disabled: {obs_blocks}")
+        assert blocks == [], (
+            f"obs/explain allocated while disabled: {blocks}")
 
 
 class TestTraceCli:

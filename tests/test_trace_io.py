@@ -1,6 +1,8 @@
-"""Unit tests for trace CSV import/export."""
+"""Unit tests for trace I/O: CSV event traces and the span tracer's
+thread-safety / JSONL round-trip guarantees."""
 
 import io
+import threading
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.eventmodels import (
     periodic,
     trace_within_bounds,
 )
+from repro.obs import Tracer, read_jsonl, tracer_to_jsonl
 
 
 CSV_TEXT = """time,stream,extra
@@ -74,3 +77,93 @@ class TestDumpTraceCsv:
         observed = model_from_trace(traces["F1"])
         assert observed.delta_min(2) == 100.0
         assert trace_within_bounds(traces["F1"], periodic(100.0))
+
+
+class TestTracerThreadSafety:
+    """The tracer keeps one span stack per thread: concurrent nested
+    spans must neither interleave parents across threads nor lose
+    spans, and the result must survive a JSONL round-trip."""
+
+    THREADS = 8
+    DEPTH = 5
+    REPEATS = 20
+
+    def _worker(self, tracer, barrier, errors):
+        try:
+            barrier.wait()
+            for _ in range(self.REPEATS):
+                opened = []
+                for level in range(self.DEPTH):
+                    span = tracer.start(f"level{level}",
+                                        thread=threading.get_ident())
+                    # the parent must be this thread's previous span,
+                    # never another thread's
+                    expected = opened[-1].span_id if opened else None
+                    assert span.parent_id == expected
+                    opened.append(span)
+                for span in reversed(opened):
+                    assert tracer.current() is span
+                    span.finish()
+                assert tracer.current() is None
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def test_concurrent_nested_spans(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+        threads = [threading.Thread(target=self._worker,
+                                    args=(tracer, barrier, errors))
+                   for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        spans = tracer.spans()
+        assert len(spans) == self.THREADS * self.REPEATS * self.DEPTH
+        # span ids are unique despite concurrent allocation
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+        # every span's recorded parent lives on the same thread
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].thread_id == span.thread_id
+        # each thread contributed a full, correctly-shaped tree
+        by_thread = {}
+        for span in spans:
+            by_thread.setdefault(span.thread_id, []).append(span)
+        assert len(by_thread) == self.THREADS
+        for spans_of_thread in by_thread.values():
+            assert len(spans_of_thread) == self.REPEATS * self.DEPTH
+            roots = [s for s in spans_of_thread if s.parent_id is None]
+            assert len(roots) == self.REPEATS
+
+    def test_jsonl_round_trip_preserves_thread_identity(self, tmp_path):
+        tracer = Tracer()
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+        threads = [threading.Thread(target=self._worker,
+                                    args=(tracer, barrier, errors))
+                   for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        path = tmp_path / "threads.jsonl"
+        tracer_to_jsonl(tracer, str(path))
+        records = read_jsonl(str(path))
+        assert len(records) == len(tracer.spans())
+        by_id = {r["span_id"]: r for r in records}
+        for record in records:
+            assert record["thread_id"] == \
+                record["attributes"]["thread"]
+            if record["parent_id"] is not None:
+                parent = by_id[record["parent_id"]]
+                assert parent["thread_id"] == record["thread_id"]
+                assert parent["start"] <= record["start"]
+                assert parent["end"] >= record["end"]
