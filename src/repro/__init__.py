@@ -146,6 +146,15 @@ from .batch import (
     ResultStore,
     make_backend,
 )
+from . import resilience
+from .resilience import (
+    AnalysisOutcome,
+    DivergenceGuard,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    inject_faults,
+)
 
 __version__ = "1.0.0"
 
@@ -187,6 +196,9 @@ __all__ = [
     # batch engine
     "batch", "Job", "JobResult", "BatchRunner", "ResultStore",
     "DesignSpace", "make_backend",
+    # resilience (degraded analysis, guards, fault injection, retry)
+    "resilience", "AnalysisOutcome", "DivergenceGuard", "Fault",
+    "FaultPlan", "RetryPolicy", "inject_faults",
     # substrates
     "ComLayer", "Frame", "FrameType", "Signal",
     "CanBus", "CanBusTiming", "frame_bits_max", "frame_bits_min",

@@ -13,6 +13,10 @@ Modes:
 * ``python -m repro explain <example> [--task NAME] [--dot PATH]
   [--chrome PATH]`` — WCRT blame attribution and event-model lineage
   for a built-in example (see :mod:`repro.explain.cli`).
+* ``python -m repro resilience <example> [--faults N --seed S]
+  [--metamorphic] [--json PATH]`` — degraded analysis with health
+  reporting, seeded fault injection, and metamorphic conservativeness
+  checks (see :mod:`repro.resilience.cli`).
 """
 
 import sys
@@ -21,6 +25,7 @@ from .batch.cli import batch_main
 from .explain.cli import explain_main
 from .obs.cli import trace_main
 from .report import main
+from .resilience.cli import resilience_main
 
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
@@ -28,4 +33,6 @@ if len(sys.argv) > 1 and sys.argv[1] == "batch":
     sys.exit(batch_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "explain":
     sys.exit(explain_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "resilience":
+    sys.exit(resilience_main(sys.argv[2:]))
 sys.exit(main())

@@ -5,13 +5,31 @@ single base class.  Analysis failures (overload, divergence) are separated
 from modelling errors (invalid parameters) because they mean different
 things: the former is a *property of the analysed system*, the latter a bug
 in the caller's model construction.
+
+Every class carries a ``context`` dict of structured attribution
+(resource / task / port / junction names, iteration counts, offending
+values) so degraded-mode quarantine reports
+(:mod:`repro.resilience`) can say *which* node failed without parsing
+message strings.  ``context`` is always a plain JSON-compatible dict —
+empty when the raise site had nothing to attach.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes
+    ----------
+    context:
+        Structured attribution of the failure (node names, offending
+        values) as a plain dict; ``{}`` when nothing was attached.
+    """
+
+    def __init__(self, *args, context=None):
+        super().__init__(*args)
+        self.context = dict(context) if context else {}
 
 
 class ModelError(ReproError):
@@ -31,19 +49,56 @@ class NotSchedulableError(AnalysisError):
     ----------
     resource:
         Name of the overloaded resource, if known.
+    task:
+        Name of the task whose busy window failed to close, if known.
     utilization:
         The offending utilisation value, if computed.
     """
 
-    def __init__(self, message, resource=None, utilization=None):
-        super().__init__(message)
+    def __init__(self, message, resource=None, utilization=None,
+                 task=None, context=None):
+        merged = dict(context) if context else {}
+        if resource is not None:
+            merged.setdefault("resource", resource)
+        if task is not None:
+            merged.setdefault("task", task)
+        if utilization is not None:
+            merged.setdefault("utilization", utilization)
+        super().__init__(message, context=merged)
         self.resource = resource
+        self.task = task
         self.utilization = utilization
 
 
 class ConvergenceError(AnalysisError):
     """The global compositional fixed-point iteration did not converge
-    within the configured iteration limit."""
+    within the configured iteration limit, or a divergence guard
+    detected a hopeless residual trend before the limit.
+
+    Attributes
+    ----------
+    iterations:
+        Global iterations completed when the failure was declared.
+    verdict:
+        Divergence-guard verdict that triggered the early abort
+        (``"monotone_growth"``, ``"oscillation"``, ``"model_drift"``)
+        or ``None`` when the plain iteration limit was exhausted.
+    residuals:
+        Recent response-time residual history (one value per global
+        iteration, newest last), if the caller recorded it.
+    """
+
+    def __init__(self, message, iterations=None, verdict=None,
+                 residuals=None, context=None):
+        merged = dict(context) if context else {}
+        if iterations is not None:
+            merged.setdefault("iterations", iterations)
+        if verdict is not None:
+            merged.setdefault("verdict", verdict)
+        super().__init__(message, context=merged)
+        self.iterations = iterations
+        self.verdict = verdict
+        self.residuals = list(residuals) if residuals else []
 
 
 class UnboundedStreamError(AnalysisError):

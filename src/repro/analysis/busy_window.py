@@ -35,12 +35,17 @@ _WINDOW_BLOWUP = 1e12
 
 def fixed_point(workload: Callable[[float], float], start: float,
                 limit: float = _WINDOW_BLOWUP,
-                context: str = "busy window") -> float:
+                context: str = "busy window",
+                resource: str = None, task: str = None) -> float:
     """Least fixed point of a monotone workload function.
 
     Iterates ``w <- workload(w)`` from ``start`` until the value is stable
     (within :data:`~repro.timebase.EPS`) or exceeds *limit*, in which case
     the window never closes and :class:`NotSchedulableError` is raised.
+
+    ``resource`` / ``task`` attach structured attribution to any raised
+    :class:`NotSchedulableError` (used by degraded-mode quarantine
+    reports); ``context`` stays the human-readable prefix.
     """
     w = start
     for step in range(1, MAX_FIXED_POINT_ITER + 1):
@@ -51,7 +56,8 @@ def fixed_point(workload: Callable[[float], float], start: float,
             # the caller), not an analysis result.
             raise NotSchedulableError(
                 f"{context}: workload function not monotone "
-                f"({w_next} < {w})")
+                f"({w_next} < {w})", resource=resource, task=task,
+                context={"reason": "non_monotone_workload"})
         if time_eq(w_next, w):
             if _obs.enabled:
                 registry = _obs.metrics()
@@ -62,17 +68,22 @@ def fixed_point(workload: Callable[[float], float], start: float,
         if w_next > limit:
             raise NotSchedulableError(
                 f"{context}: busy window exceeds {limit}; resource "
-                f"overloaded")
+                f"overloaded", resource=resource, task=task,
+                context={"reason": "busy_window_blowup",
+                         "window": w_next, "limit": limit})
         w = w_next
     raise NotSchedulableError(
         f"{context}: no fixed point within {MAX_FIXED_POINT_ITER} "
-        f"iterations")
+        f"iterations", resource=resource, task=task,
+        context={"reason": "fixed_point_budget",
+                 "iterations": MAX_FIXED_POINT_ITER})
 
 
 def multi_activation_loop(
         event_model: EventModel,
         busy_time: Callable[[int], float],
         window_closes: Callable[[int, float], bool] = None,
+        resource: str = None, task: str = None,
 ) -> Tuple[float, List[float], int]:
     """Drive the q-activation loop of a busy-window analysis.
 
@@ -112,7 +123,9 @@ def multi_activation_loop(
         if q > MAX_ACTIVATIONS:
             raise NotSchedulableError(
                 f"busy window did not close within {MAX_ACTIVATIONS} "
-                f"activations")
+                f"activations", resource=resource, task=task,
+                context={"reason": "activation_budget",
+                         "activations": MAX_ACTIVATIONS})
     if _obs.enabled:
         registry = _obs.metrics()
         registry.counter("busy_window.windows").inc()

@@ -56,7 +56,8 @@ from .results import ResourceResult, TaskResult
 _DEADLINE_EPS = 1e-6
 
 
-def synchronous_busy_period(tasks: Sequence[TaskSpec]) -> float:
+def synchronous_busy_period(tasks: Sequence[TaskSpec],
+                            resource: str = None) -> float:
     """Length of the longest processor busy period after a synchronous
     release (all streams fire together at t = 0)."""
 
@@ -64,7 +65,8 @@ def synchronous_busy_period(tasks: Sequence[TaskSpec]) -> float:
         return sum(t.event_model.eta_plus(w) * t.c_max for t in tasks)
 
     start = sum(t.c_max for t in tasks)
-    return fixed_point(workload, start, context="EDF busy period")
+    return fixed_point(workload, start, context="EDF busy period",
+                       resource=resource)
 
 
 def edf_demand_schedulable(tasks: Sequence[TaskSpec]) -> bool:
@@ -122,7 +124,7 @@ class EDFScheduler(Scheduler):
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
         results = {}
-        horizon = synchronous_busy_period(tasks)
+        horizon = synchronous_busy_period(tasks, resource=resource_name)
         for task in tasks:
             results[task.name] = self._analyze_task(task, tasks,
                                                     resource_name,
@@ -172,13 +174,15 @@ class EDFScheduler(Scheduler):
 
                 return fixed_point(workload, q * task.c_max,
                                    context=f"{resource_name}/{task.name} "
-                                           f"EDF a={_a} q={q}")
+                                           f"EDF a={_a} q={q}",
+                                   resource=resource_name, task=task.name)
 
             def window_closes(q: int, bq: float, _a: float = a) -> bool:
                 return _a + em.delta_min(q + 1) >= bq - EPS
 
             r_a, busy_times, q_max = multi_activation_loop(
-                em, busy_time, window_closes)
+                em, busy_time, window_closes,
+                resource=resource_name, task=task.name)
             r_a -= a  # responses are measured from task i's arrival
             if r_a > best_r:
                 best_r = r_a

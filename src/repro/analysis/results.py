@@ -33,6 +33,11 @@ class TaskResult:
         WCRT decomposition at the critical activation
         (:class:`repro.explain.blame.Blame`); populated by the solvers
         only while ``repro.obs.enabled`` is on, ``None`` otherwise.
+    degraded:
+        True when this result was produced (or substituted) by the
+        degraded-analysis path of :mod:`repro.resilience` rather than a
+        clean local analysis; the bounds are then conservative
+        over-approximations, not tight CPA results.
     """
 
     name: str
@@ -42,6 +47,7 @@ class TaskResult:
     q_max: int = 0
     details: Dict[str, float] = field(default_factory=dict)
     blame: "Optional[Blame]" = None
+    degraded: bool = False
 
     @property
     def response_jitter(self) -> float:
@@ -51,11 +57,17 @@ class TaskResult:
 
 @dataclass
 class ResourceResult:
-    """Results of one local analysis run over a whole resource."""
+    """Results of one local analysis run over a whole resource.
+
+    ``health`` is ``"ok"`` for a clean analysis; the degraded-analysis
+    path of :mod:`repro.resilience` marks failed resources
+    ``"overloaded"``, ``"diverged"``, or ``"quarantined"`` instead.
+    """
 
     resource: str
     utilization: float
     task_results: Dict[str, TaskResult]
+    health: str = "ok"
 
     def __getitem__(self, task_name: str) -> TaskResult:
         return self.task_results[task_name]

@@ -76,10 +76,12 @@ class RoundRobinScheduler(Scheduler):
 
             return fixed_point(workload, q * task.c_max,
                                context=f"{resource_name}/{task.name} "
-                                       f"RR q={q}")
+                                       f"RR q={q}",
+                               resource=resource_name, task=task.name)
 
         r_max, busy_times, q_max = multi_activation_loop(
-            task.event_model, busy_time)
+            task.event_model, busy_time,
+            resource=resource_name, task=task.name)
         blame = None
         if _obs.enabled:
             blame = self._blame(task, others, resource_name, r_max,

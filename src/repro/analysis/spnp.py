@@ -142,11 +142,13 @@ class SPNPScheduler(Scheduler):
                 + sum(j.c_max for j in higher)
             w = fixed_point(queuing, start,
                             context=f"{resource_name}/{task.name} "
-                                    f"SPNP q={q}")
+                                    f"SPNP q={q}",
+                            resource=resource_name, task=task.name)
             return w + task.c_max
 
         r_max, busy_times, q_max = multi_activation_loop(
-            task.event_model, busy_time)
+            task.event_model, busy_time,
+            resource=resource_name, task=task.name)
         blame = None
         if _obs.enabled:
             blame = self._blame(task, higher, resource_name, blocking,

@@ -70,10 +70,12 @@ class SPPScheduler(Scheduler):
                 + sum(j.c_max for j in interferers)
             return fixed_point(workload, start,
                                context=f"{resource_name}/{task.name} "
-                                       f"SPP q={q}")
+                                       f"SPP q={q}",
+                               resource=resource_name, task=task.name)
 
         r_max, busy_times, q_max = multi_activation_loop(
-            task.event_model, busy_time)
+            task.event_model, busy_time,
+            resource=resource_name, task=task.name)
         blame = None
         if _obs.enabled:
             blame = self._blame(task, interferers, resource_name, r_max,

@@ -88,7 +88,8 @@ class TDMAScheduler(Scheduler):
             return tdma_supply_inverse(q * task.c_max, task.slot, cycle)
 
         r_max, busy_times, q_max = multi_activation_loop(
-            task.event_model, busy_time)
+            task.event_model, busy_time,
+            resource=resource_name, task=task.name)
         blame = None
         if _obs.enabled:
             blame = self._blame(task, cycle, resource_name, r_max,

@@ -36,6 +36,7 @@ from .._errors import ModelError
 from .jobs import (
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_POISONED,
     STATUS_TIMEOUT,
     Job,
     JobResult,
@@ -75,7 +76,17 @@ class SerialBackend:
 
     def run(self, jobs: Sequence[Job], on_result: OnResult) -> None:
         for job in jobs:
-            on_result(_enforce_budget(job, run_job(job)))
+            # Serial jobs record metrics live in the parent registry.
+            # A timed-out job's side effects must not survive — least
+            # of all on the post-hoc path (no SIGALRM available, e.g.
+            # off the main thread), where the job ran to completion
+            # unguarded before being declared over budget.
+            mark = _obs.metrics().mark() if _obs.enabled else None
+            result = run_job(job)
+            enforced = _enforce_budget(job, result)
+            if mark is not None and enforced.status == STATUS_TIMEOUT:
+                _obs.metrics().discard_since(mark)
+            on_result(enforced)
 
 
 class ProcessPoolBackend:
@@ -143,6 +154,7 @@ class BatchReport:
     cached: List[str] = field(default_factory=list)
     executed: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
+    poisoned: List[str] = field(default_factory=list)
     wall: float = 0.0
 
     def __getitem__(self, key: str) -> JobResult:
@@ -164,9 +176,12 @@ class BatchReport:
         return not self.failed
 
     def summary(self) -> str:
-        return (f"{self.total} jobs: {len(self.cached)} cached, "
+        text = (f"{self.total} jobs: {len(self.cached)} cached, "
                 f"{len(self.executed)} executed, {len(self.failed)} "
-                f"failed ({self.cache_hit_rate:.0%} cache hit rate, "
+                f"failed")
+        if self.poisoned:
+            text += f" ({len(self.poisoned)} poisoned)"
+        return (f"{text} ({self.cache_hit_rate:.0%} cache hit rate, "
                 f"{self.wall:.2f}s)")
 
 
@@ -179,12 +194,22 @@ class BatchRunner:
     before moving on.  Failed or timed-out points are recorded but stay
     retryable: a subsequent run (the *resume* path) re-executes exactly
     the failed/missing keys.
+
+    With a :class:`~repro.resilience.retry.RetryPolicy` attached, the
+    runner distinguishes *transient* failures (worker crashes, broken
+    pools, timeouts — retried in backoff rounds up to the attempt
+    budget) from *deterministic* ones (engine errors that would repeat
+    identically — poisoned on first sight).  Poisoned results land in
+    the store with their full attempt history and are served from cache
+    on later runs (pass ``retry_poisoned=True`` to re-execute them).
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
-                 backend=None):
+                 backend=None, retry=None, retry_poisoned: bool = False):
         self.store = store
         self.backend = backend or SerialBackend()
+        self.retry = retry
+        self.retry_poisoned = retry_poisoned
 
     def run(self, jobs: Sequence[Job],
             progress: Optional[OnResult] = None) -> BatchReport:
@@ -199,6 +224,14 @@ class BatchRunner:
             if cached is not None and cached.ok:
                 report.results[key] = cached
                 report.cached.append(key)
+            elif (cached is not None
+                    and cached.status == STATUS_POISONED
+                    and not self.retry_poisoned):
+                # A known mine: don't step on it again.
+                report.results[key] = cached
+                report.cached.append(key)
+                report.failed.append(key)
+                report.poisoned.append(key)
             else:
                 to_run.append(job)
 
@@ -210,13 +243,19 @@ class BatchRunner:
             registry.gauge("batch.workers").set(
                 getattr(self.backend, "workers", 1))
 
-        def on_result(result: JobResult) -> None:
+        attempts: "Dict[str, int]" = {}
+        histories: "Dict[str, List[dict]]" = {}
+        retry_queue: "List[Job]" = []
+
+        def record(result: JobResult) -> None:
             if self.store is not None:
                 self.store.put(result)
             report.results[result.key] = result
             report.executed.append(result.key)
             if not result.ok:
                 report.failed.append(result.key)
+                if result.status == STATUS_POISONED:
+                    report.poisoned.append(result.key)
             if _obs.enabled:
                 registry = _obs.metrics()
                 if result.ok:
@@ -226,6 +265,8 @@ class BatchRunner:
                     registry.counter("batch.jobs.failed").inc()
                 else:
                     registry.counter("batch.jobs.failed").inc()
+                if result.status == STATUS_POISONED:
+                    registry.counter("batch.poisoned").inc()
                 registry.histogram("batch.job_seconds").observe(
                     result.duration)
                 if result.obs and getattr(self.backend,
@@ -237,9 +278,48 @@ class BatchRunner:
             if progress is not None:
                 progress(result)
 
+        def on_result(result: JobResult) -> None:
+            key = result.key
+            attempts[key] = attempts.get(key, 0) + 1
+            result.attempts = attempts[key]
+            result.history = list(histories.get(key, ()))
+            if self.retry is None or result.ok:
+                record(result)
+                return
+            if self.retry.retryable(result, attempts[key]):
+                # Transient failure with budget left: queue for the
+                # next backoff round; nothing recorded yet.
+                histories.setdefault(key, []).append({
+                    "attempt": attempts[key],
+                    "status": result.status,
+                    "error": result.error,
+                })
+                retry_queue.append(unique[key])
+                if _obs.enabled:
+                    _obs.metrics().counter("batch.retries").inc()
+                return
+            # Deterministic failure, or a transient one that exhausted
+            # its attempts: quarantine as poisoned.
+            record(JobResult(
+                key, result.kind, result.label, STATUS_POISONED,
+                error=result.error, traceback=result.traceback,
+                duration=result.duration, attempts=attempts[key],
+                history=list(histories.get(key, ()))))
+
         t0 = time.perf_counter()
         try:
-            self.backend.run(to_run, on_result)
+            pending = to_run
+            while pending:
+                retry_queue.clear()
+                self.backend.run(pending, on_result)
+                pending = list(retry_queue)
+                if pending:
+                    # attempts[key] failures so far → this is retry
+                    # number attempts[key]; one sleep covers the round.
+                    delay = max(
+                        self.retry.delay(attempts[job.key], job.key)
+                        for job in pending)
+                    self.retry.sleep(delay)
         finally:
             report.wall = time.perf_counter() - t0
             if self.store is not None:

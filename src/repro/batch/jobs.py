@@ -43,10 +43,14 @@ from ..system.serialize import (
 
 #: Result statuses.  ``ok`` results are cache-eligible; ``failed`` and
 #: ``timeout`` results are recorded (so a resumed sweep knows the point
-#: was attempted) but retried on the next run.
+#: was attempted) but retried on the next run.  ``poisoned`` results are
+#: failures quarantined by the retry machinery (deterministic errors, or
+#: transients that survived the attempt budget); they are served from
+#: cache like ``ok`` results so later sweeps skip the known mine.
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
+STATUS_POISONED = "poisoned"
 
 
 @dataclass(frozen=True)
@@ -96,6 +100,12 @@ class JobResult:
     crosses the process boundary with the rest of the result; the
     :class:`~repro.batch.executor.BatchRunner` folds it into the parent
     registry for pool backends.
+
+    ``attempts``/``history`` are filled in by the retry machinery:
+    ``attempts`` counts executions of this job in the producing run, and
+    ``history`` records one ``{"attempt", "status", "error"}`` dict per
+    failed earlier attempt — a poisoned result documents the whole
+    trail that condemned it.
     """
 
     key: str
@@ -107,6 +117,8 @@ class JobResult:
     traceback: str = ""
     duration: float = 0.0
     obs: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 1
+    history: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -123,6 +135,8 @@ class JobResult:
             "traceback": self.traceback,
             "duration": self.duration,
             "obs": self.obs,
+            "attempts": self.attempts,
+            "history": self.history,
         }
 
     @classmethod
@@ -137,6 +151,8 @@ class JobResult:
             traceback=data.get("traceback", ""),
             duration=data.get("duration", 0.0),
             obs=dict(data.get("obs", {})),
+            attempts=data.get("attempts", 1),
+            history=list(data.get("history", [])),
         )
 
 
@@ -273,28 +289,40 @@ def taskspec_from_dict(data: Mapping[str, Any]) -> TaskSpec:
 def _run_analyze(payload: "Dict[str, Any]") -> "Dict[str, Any]":
     """Global compositional analysis of one serialised system.
 
-    Payload: ``system`` (system dict), optional ``max_iterations``.
+    Payload: ``system`` (system dict), optional ``max_iterations``,
+    optional ``on_failure`` (``"raise"`` default, or ``"degrade"`` to
+    quarantine failing resources and return health + certificates in
+    an ``"outcome"`` data key instead of failing the job).
     """
     from ..system.propagation import DEFAULT_MAX_ITERATIONS, analyze_system
 
     system = system_from_dict(payload["system"])
+    on_failure = payload.get("on_failure", "raise")
+    outcome = None
     result = analyze_system(
         system,
         max_iterations=payload.get("max_iterations",
-                                   DEFAULT_MAX_ITERATIONS))
+                                   DEFAULT_MAX_ITERATIONS),
+        on_failure=on_failure)
+    if on_failure == "degrade":
+        outcome = result
+        result = outcome.result
     wcrt = {}
     utilization = {}
     for rr in result.resource_results.values():
         utilization[rr.resource] = rr.utilization
         for name, tr in rr.task_results.items():
             wcrt[name] = tr.r_max
-    return {
+    data = {
         "converged": result.converged,
         "iterations": result.iterations,
         "wcrt": wcrt,
         "worst_wcrt": max(wcrt.values()) if wcrt else 0.0,
         "utilization": utilization,
     }
+    if outcome is not None:
+        data["outcome"] = outcome.to_dict()
+    return data
 
 
 @register_job_kind("wcet_scaling")

@@ -216,12 +216,14 @@ class MetricsRegistry:
             }
 
     def mark(self) -> Dict[str, Any]:
-        """Opaque baseline for :meth:`delta_since` (counter values and
-        histogram lengths at this instant)."""
+        """Opaque baseline for :meth:`delta_since` /
+        :meth:`discard_since` (counter and gauge values plus histogram
+        lengths at this instant)."""
         with self._lock:
             return {
                 "counters": {n: c.value
                              for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
                 "histograms": {n: len(h.values)
                                for n, h in self._histograms.items()},
             }
@@ -265,6 +267,33 @@ class MetricsRegistry:
             hist = self.histogram(name)
             for value in samples:
                 hist.observe(value)
+
+    def discard_since(self, mark: Dict[str, Any]) -> None:
+        """Roll every instrument back to its state at *mark*.
+
+        The inverse of :meth:`merge_delta` for work that must be
+        *unhappened*: a serially-executed batch job that blew its
+        post-hoc wall-time budget already wrote its metrics straight
+        into this registry — discarding the job's result without
+        discarding its metric side effects would leave the two out of
+        sync (and differ from the pre-emptive ``SIGALRM`` platforms,
+        where a killed job records nothing).
+
+        Counters return to their marked value (instruments created
+        after the mark return to zero), histograms are truncated to
+        their marked length, gauges are restored to their marked value
+        (``None`` — never written — included).
+        """
+        base_counters = mark.get("counters", {})
+        base_gauges = mark.get("gauges", {})
+        base_hists = mark.get("histograms", {})
+        with self._lock:
+            for n, c in self._counters.items():
+                c.value = base_counters.get(n, 0)
+            for n, g in self._gauges.items():
+                g.value = base_gauges.get(n, None)
+            for n, h in self._histograms.items():
+                del h.values[base_hists.get(n, 0):]
 
     def is_empty(self) -> bool:
         """True when no instrument has recorded anything."""

@@ -1,0 +1,71 @@
+"""Resilience subsystem: graceful degradation, divergence guards, fault
+injection, and retry policies.
+
+Entry points:
+
+* ``analyze_system(system, on_failure="degrade")`` — the degraded global
+  fixed point (:func:`repro.resilience.degrade.degraded_analyze`):
+  quarantines failed resources, widens their outputs conservatively, and
+  always returns an :class:`~repro.resilience.outcome.AnalysisOutcome`.
+* :class:`~repro.resilience.guards.DivergenceGuard` — residual-trend
+  detector aborting hopeless iterations early (strict mode) or
+  triggering widening (degraded mode).
+* :mod:`repro.resilience.faultinject` — seeded, deterministic fault
+  perturbations plus metamorphic conservativeness checks.
+* :class:`~repro.resilience.retry.RetryPolicy` — transient/deterministic
+  failure classification and capped exponential backoff for the batch
+  engine.
+
+Submodules are loaded lazily so importing :mod:`repro.resilience` from
+inside :mod:`repro.system.propagation` (which the degrade engine itself
+imports) can never create an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "AnalysisOutcome": ("outcome", "AnalysisOutcome"),
+    "ConservativenessCertificate": ("outcome",
+                                    "ConservativenessCertificate"),
+    "ResourceHealth": ("outcome", "ResourceHealth"),
+    "HEALTH_OK": ("outcome", "HEALTH_OK"),
+    "HEALTH_OVERLOADED": ("outcome", "HEALTH_OVERLOADED"),
+    "HEALTH_DIVERGED": ("outcome", "HEALTH_DIVERGED"),
+    "HEALTH_QUARANTINED": ("outcome", "HEALTH_QUARANTINED"),
+    "DivergenceGuard": ("guards", "DivergenceGuard"),
+    "GuardVerdict": ("guards", "GuardVerdict"),
+    "degraded_analyze": ("degrade", "degraded_analyze"),
+    "UnboundedEnvelope": ("degrade", "UnboundedEnvelope"),
+    "widen_overload": ("degrade", "widen_overload"),
+    "widen_diverged": ("degrade", "widen_diverged"),
+    "Fault": ("faultinject", "Fault"),
+    "FaultPlan": ("faultinject", "FaultPlan"),
+    "inject_faults": ("faultinject", "inject_faults"),
+    "clone_system": ("faultinject", "clone_system"),
+    "check_monotone_conservativeness": (
+        "faultinject", "check_monotone_conservativeness"),
+    "ChaosBackend": ("faultinject", "ChaosBackend"),
+    "register_chaos_job_kinds": ("faultinject",
+                                 "register_chaos_job_kinds"),
+    "RetryPolicy": ("retry", "RetryPolicy"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

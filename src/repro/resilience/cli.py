@@ -1,0 +1,148 @@
+"""``python -m repro resilience`` — degraded analysis and fault drills.
+
+Runs a built-in example through the degraded global fixed point and
+prints the health map, the conservativeness certificates, and the
+per-task WCRT bounds::
+
+    python -m repro resilience overloaded
+    python -m repro resilience rox08 --faults 3 --seed 42
+    python -m repro resilience oscillating --json outcome.json
+    python -m repro resilience rox08 --metamorphic --seed 7
+
+``--faults N`` injects a reproducible random fault plan (seeded by
+``--seed``) before analysing; ``--metamorphic`` additionally runs the
+monotone-conservativeness ladder (fault-free baseline plus every prefix
+of the plan) and exits non-zero on any violation — this is the CI
+chaos-smoke entry point.  ``--json PATH`` writes the full
+:class:`~repro.resilience.outcome.AnalysisOutcome` dict (plus the fault
+plan and violation list) as the machine-readable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from ..system.model import System
+
+#: Built-in example systems: name -> zero-arg System factory.
+EXAMPLES: Dict[str, Callable[[], System]] = {}
+
+
+def _register_examples() -> None:
+    if EXAMPLES:
+        return
+    from ..examples_lib import body_gateway, rox08, stress
+    EXAMPLES["rox08"] = lambda: rox08.build_system("hem")
+    EXAMPLES["rox08-flat"] = lambda: rox08.build_system("flat")
+    EXAMPLES["body_gateway"] = body_gateway.build
+    EXAMPLES["overloaded"] = stress.build_overloaded
+    EXAMPLES["oscillating"] = stress.build_oscillating
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    return f"{value:g}"
+
+
+def resilience_main(argv: Optional[Sequence[str]] = None) -> int:
+    _register_examples()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience",
+        description="Degraded analysis with health reporting, optional "
+                    "seeded fault injection, and metamorphic checks.")
+    parser.add_argument(
+        "example", choices=sorted(EXAMPLES),
+        help="built-in example system to analyse")
+    parser.add_argument(
+        "--faults", type=int, default=0, metavar="N",
+        help="inject a random plan of N faults before analysing")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the fault plan (default 0)")
+    parser.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="global iteration budget (default: engine default)")
+    parser.add_argument(
+        "--metamorphic", action="store_true",
+        help="run the monotone-conservativeness ladder over the fault "
+             "plan prefixes; exit 1 on violations")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the AnalysisOutcome (plus plan and violations) as "
+             "JSON to PATH")
+    args = parser.parse_args(argv)
+
+    from ..system.propagation import DEFAULT_MAX_ITERATIONS, analyze_system
+    from .faultinject import (
+        FaultPlan,
+        check_monotone_conservativeness,
+        inject_faults,
+    )
+
+    max_iterations = args.max_iterations or DEFAULT_MAX_ITERATIONS
+    system = EXAMPLES[args.example]()
+
+    plan = FaultPlan(seed=args.seed)
+    if args.faults > 0:
+        plan = FaultPlan.sample(system, args.seed, n_faults=args.faults)
+        print(plan.describe())
+        print()
+    target = inject_faults(system, plan) if plan.faults else system
+
+    outcome = analyze_system(target, max_iterations=max_iterations,
+                             on_failure="degrade")
+    print(f"=== {system.name} ===")
+    print(outcome.summary())
+
+    print("\ntask bounds:")
+    for name in sorted(system.tasks):
+        wcrt = outcome.wcrt(name)
+        tr = (outcome.result.task_result(name)
+              if outcome.result is not None else None)
+        flag = " [degraded]" if tr is not None and tr.degraded else ""
+        print(f"  {name:<12} r_max={_fmt(wcrt)}{flag}")
+
+    if outcome.certificates:
+        print("\nconservativeness certificates:")
+        for cert in outcome.certificates:
+            print(f"  {cert.port} ({cert.reason}): {cert.substitute}")
+            print(f"    argument: {cert.argument}")
+
+    violations = []
+    if args.metamorphic:
+        ladder = [FaultPlan(plan.faults[:i], seed=plan.seed)
+                  for i in range(len(plan.faults) + 1)]
+        violations = check_monotone_conservativeness(
+            system, ladder, max_iterations=max_iterations)
+        print(f"\nmetamorphic ladder ({len(ladder)} rungs): "
+              f"{len(violations)} violations")
+        for violation in violations:
+            print(f"  VIOLATION {violation['task']}: "
+                  f"{violation['wcrt_before']:g} -> "
+                  f"{violation['wcrt_after']:g} after adding "
+                  f"{violation['added_faults']}")
+
+    if args.json:
+        payload = outcome.to_dict()
+        payload["example"] = args.example
+        payload["fault_plan"] = {
+            "seed": plan.seed,
+            "faults": [{"kind": f.kind, "target": f.target,
+                        "magnitude": f.magnitude} for f in plan.faults],
+        }
+        payload["metamorphic_violations"] = violations
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\noutcome -> {args.json}")
+
+    if violations:
+        print("metamorphic check FAILED", file=sys.stderr)
+        return 1
+    return 0

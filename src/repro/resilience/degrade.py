@@ -1,0 +1,462 @@
+"""Graceful-degradation engine: the degraded global fixed point.
+
+Strict compositional analysis is all-or-nothing: one overloaded bus and
+:func:`~repro.system.propagation.analyze_system` raises, discarding every
+bound it had already computed for the healthy 95 % of the system.  The
+degraded engine (reached via ``analyze_system(..., on_failure="degrade")``)
+keeps going instead:
+
+1. A resource whose local analysis fails is **quarantined**: it is
+   excluded from further iterations and its health is recorded
+   (``overloaded`` for :class:`~repro._errors.NotSchedulableError`,
+   ``quarantined`` for model/cascade failures, ``diverged`` when the
+   :class:`~repro.resilience.guards.DivergenceGuard` aborted it).
+2. Every output port of a quarantined resource is replaced by a
+   **guaranteed-conservative widened event model**, and the substitution
+   is recorded as a :class:`ConservativenessCertificate`:
+
+   * *Overload / cascade widening* — the sporadic envelope
+     ``sporadic(c_min)``.  Completions of a single task are serialised
+     by its own execution, so any feasible output stream satisfies
+     δ⁻(2) >= c_min; by δ⁻ superadditivity (δ⁻(n) >= (n-1)·δ⁻(2)) the
+     sporadic model with period ``c_min`` lower-bounds every feasible
+     distance function and therefore upper-bounds η⁺ — conservative for
+     every downstream consumer.  When ``c_min == 0`` no serialisation
+     bound exists and the :class:`UnboundedEnvelope` (δ⁻ ≡ 0) is
+     installed; consumers then fail with
+     :class:`~repro._errors.UnboundedStreamError`, deliberately
+     cascading the quarantine downstream rather than certifying an
+     unsound bound.
+   * *Divergence widening* — the response interval is frozen to the
+     min/max observed across the iteration history and the output model
+     becomes Θ_τ(activation, frozen interval).  This over-approximates
+     every response the iteration actually visited; for a limit cycle
+     the observed range brackets the cycle, which is exactly the case
+     the oscillation guard detects.  (For monotone growth the observed
+     range is *not* a bound on the true supremum — the certificate says
+     so — but it is the tightest statement the run supports, and the
+     resource is flagged ``diverged`` so no one mistakes it for a clean
+     bound.)
+
+3. The remaining healthy resources iterate to a fixed point against the
+   widened inputs, so their bounds are valid (conservative) WCRTs of the
+   degraded system.
+
+The engine never raises for *analysis* failures; it always returns an
+:class:`~repro.resilience.outcome.AnalysisOutcome`.  Model-construction
+errors detected by :meth:`System.validate` (dangling ports, bad
+parameters) still raise — they are caller bugs, not properties of the
+analysed system, and no conservative substitution exists for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs as _obs
+from .._errors import (
+    AnalysisError,
+    ModelError,
+    NotSchedulableError,
+    UnboundedStreamError,
+)
+from ..analysis.interface import TaskSpec
+from ..analysis.results import ResourceResult, SystemResult, TaskResult
+from ..core.update import BusyWindowOutput, apply_operation
+from ..eventmodels import compile as _compile
+from ..eventmodels.base import EventModel
+from ..eventmodels.curves import CachedModel
+from ..eventmodels.standard import sporadic
+from ..system.model import System, Task
+from ..system.propagation import (
+    DEFAULT_MAX_ITERATIONS,
+    _changed_ports,
+    _models_stable,
+    _response_residuals,
+    _responses_stable,
+    _StreamResolver,
+)
+from ..timebase import EPS, INF
+from .guards import DivergenceGuard, GuardVerdict
+from .outcome import (
+    HEALTH_DIVERGED,
+    HEALTH_OK,
+    HEALTH_OVERLOADED,
+    HEALTH_QUARANTINED,
+    AnalysisOutcome,
+    ConservativenessCertificate,
+    ResourceHealth,
+)
+
+#: Exceptions the degraded engine converts into quarantines.  Anything
+#: else (KeyboardInterrupt, genuine bugs) still propagates.
+_QUARANTINE_ERRORS = (ModelError, UnboundedStreamError, AnalysisError)
+
+
+class UnboundedEnvelope(EventModel):
+    """δ⁻ ≡ 0: a stream with no rate limit whatsoever.
+
+    The only conservative output substitute for an overloaded task with
+    ``c_min == 0`` — nothing serialises its completions, so no finite
+    event bound is sound.  Any busy-window analysis consuming this model
+    fails with :class:`UnboundedStreamError`, which the degraded engine
+    turns into a cascade quarantine of the downstream resource.
+    """
+
+    def __init__(self, origin: str = ""):
+        self.origin = origin
+        self.name = f"unbounded({origin})" if origin else "unbounded"
+
+    def delta_min(self, n: int) -> float:
+        self._check_n(n)
+        return 0.0
+
+    def delta_plus(self, n: int) -> float:
+        self._check_n(n)
+        return 0.0 if n < 2 else INF
+
+    def eta_plus(self, dt: float) -> int:
+        if dt <= 0:
+            return 0
+        raise UnboundedStreamError(
+            f"stream {self.name} has no rate limit (source task was "
+            f"quarantined with c_min == 0)",
+            context={"origin": self.origin,
+                     "reason": "unbounded_envelope"})
+
+    def eta_min(self, dt: float) -> int:
+        return 0
+
+    def load(self, accuracy: int = 1000) -> float:
+        return INF
+
+    def __repr__(self) -> str:
+        return f"<UnboundedEnvelope {self.origin or '?'}>"
+
+
+class _DegradedResolver(_StreamResolver):
+    """Stream resolver that serves fixed substitute models for the
+    output ports of quarantined resources."""
+
+    def __init__(self, system: System, responses, initial,
+                 substitutes: "Dict[str, EventModel]"):
+        super().__init__(system, responses, initial)
+        self._substitutes = substitutes
+
+    def port(self, port: str) -> EventModel:
+        substitute = self._substitutes.get(port)
+        if substitute is not None:
+            return substitute
+        return super().port(port)
+
+
+# ----------------------------------------------------------------------
+# widenings
+# ----------------------------------------------------------------------
+def widen_overload(task: Task, reason: str) \
+        -> "Tuple[EventModel, ConservativenessCertificate]":
+    """Sporadic-envelope widening for a task on a failed resource."""
+    d2 = task.c_min
+    if d2 > EPS:
+        model = sporadic(d2, name=f"widened:{task.name}")
+        argument = (
+            f"completions of {task.name} are serialised by its own "
+            f"execution, so any feasible output stream has "
+            f"delta_min(2) >= c_min = {d2:g}; by superadditivity "
+            f"delta_min(n) >= (n-1)*{d2:g}, hence sporadic({d2:g}) "
+            f"lower-bounds every feasible distance function and "
+            f"upper-bounds eta_plus for all consumers")
+        cert = ConservativenessCertificate(
+            port=task.name, task=task.name, resource=task.resource,
+            reason=reason, substitute=repr(model), argument=argument,
+            d2=d2)
+    else:
+        model = UnboundedEnvelope(origin=task.name)
+        argument = (
+            f"{task.name} has c_min == 0: nothing serialises its "
+            f"completions, so no finite rate bound is sound; the "
+            f"unbounded envelope (delta_min == 0) is installed and "
+            f"downstream consumers are cascade-quarantined instead of "
+            f"receiving an unsound bound")
+        cert = ConservativenessCertificate(
+            port=task.name, task=task.name, resource=task.resource,
+            reason=reason, substitute=repr(model), argument=argument)
+    return model, cert
+
+
+def widen_diverged(task: Task, resolver: _StreamResolver,
+                   history: "List[Tuple[float, float]]") \
+        -> "Tuple[EventModel, ConservativenessCertificate, float, float]":
+    """Frozen-interval widening for a task on a diverged resource.
+
+    Freezes the response interval to the min/max observed over the
+    iteration history and derives the output through Θ_τ.  Falls back to
+    the overload widening when the activation stream itself cannot be
+    evaluated.
+    """
+    if history:
+        r_lo = min(r for r, _ in history)
+        r_hi = max(r for _, r in history)
+    else:
+        r_lo, r_hi = task.c_min, task.c_max
+    try:
+        activation = resolver.activation_model(task)
+        model = apply_operation(activation, BusyWindowOutput(r_lo, r_hi))
+    except _QUARANTINE_ERRORS:
+        model, cert = widen_overload(task, HEALTH_DIVERGED)
+        return model, cert, r_lo, r_hi
+    argument = (
+        f"response interval of {task.name} frozen to the observed "
+        f"range [{r_lo:g}, {r_hi:g}] over {len(history)} iterations; "
+        f"Theta_tau of the activating stream with that interval "
+        f"over-approximates every response the iteration visited "
+        f"(brackets the limit cycle for oscillating systems; for "
+        f"unbounded growth it is the tightest statement this run "
+        f"supports and the resource stays flagged 'diverged')")
+    cert = ConservativenessCertificate(
+        port=task.name, task=task.name, resource=task.resource,
+        reason=HEALTH_DIVERGED, substitute=repr(model),
+        argument=argument, frozen_interval=(r_lo, r_hi))
+    return model, cert, r_lo, r_hi
+
+
+# ----------------------------------------------------------------------
+# the degraded loop
+# ----------------------------------------------------------------------
+def degraded_analyze(system: System,
+                     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                     initial_outputs:
+                     "Optional[Dict[str, EventModel]]" = None,
+                     guard: "Optional[DivergenceGuard]" = None,
+                     ) -> AnalysisOutcome:
+    """Run the global fixed point with graceful degradation.
+
+    Parameters mirror :func:`~repro.system.propagation.analyze_system`;
+    ``guard=None`` installs a default :class:`DivergenceGuard`, pass
+    ``guard=False`` to disable trend detection (the iteration budget
+    then remains the only divergence backstop).
+
+    Returns an :class:`AnalysisOutcome` — never raises for analysis
+    failures (overload, divergence, unbounded streams).  Structural
+    model errors from :meth:`System.validate` still raise.
+    """
+    system.validate()
+    if guard is None:
+        guard = DivergenceGuard()
+
+    responses: "Dict[str, TaskResult]" = {}
+    prev_models: "Dict[str, EventModel]" = {}
+    cycle_seeds: "Dict[str, EventModel]" = dict(initial_outputs or {})
+    substitutes: "Dict[str, EventModel]" = {}
+    health: "Dict[str, ResourceHealth]" = {
+        name: ResourceHealth(name) for name in system.resources}
+    certificates: "List[ConservativenessCertificate]" = []
+    verdicts: "List[GuardVerdict]" = []
+    degraded_results: "Dict[str, ResourceResult]" = {}
+    history: "Dict[str, List[Tuple[float, float]]]" = {}
+    last_results: "Dict[str, ResourceResult]" = {}
+
+    # --- helpers bound to the loop state ------------------------------
+    def quarantine(resource_name: str, kind: str, exc: Exception,
+                   utilization: "Optional[float]" = None) -> None:
+        record = health[resource_name]
+        record.health = kind
+        record.error = str(exc)
+        record.error_type = type(exc).__name__
+        record.context = dict(getattr(exc, "context", None) or {})
+        if _obs.enabled:
+            _obs.metrics().counter("resilience.quarantines").inc()
+            _obs.get_tracer().event(
+                "resilience.quarantine", resource=resource_name,
+                health=kind, error_type=record.error_type)
+        task_results = {}
+        for t in system.tasks_on(resource_name):
+            model, cert = widen_overload(t, kind)
+            substitutes[t.name] = model
+            certificates.append(cert)
+            if _obs.enabled:
+                _obs.metrics().counter("resilience.widenings").inc()
+            task_results[t.name] = TaskResult(
+                name=t.name, r_min=t.c_min, r_max=INF, degraded=True)
+        if utilization is None:
+            utilization = getattr(exc, "utilization", None)
+        degraded_results[resource_name] = ResourceResult(
+            resource_name,
+            utilization if utilization is not None else float("nan"),
+            task_results, health=kind)
+
+    def quarantine_diverged(resource_name: str, verdict: GuardVerdict,
+                            resolver: _StreamResolver) -> None:
+        record = health[resource_name]
+        record.health = HEALTH_DIVERGED
+        record.error = f"divergence guard: {verdict.verdict}"
+        record.error_type = "ConvergenceError"
+        record.context = {"verdict": verdict.verdict,
+                          "iteration": verdict.iteration,
+                          "detail": verdict.detail}
+        if _obs.enabled:
+            _obs.metrics().counter("resilience.quarantines").inc()
+            _obs.get_tracer().event(
+                "resilience.quarantine", resource=resource_name,
+                health=HEALTH_DIVERGED, verdict=verdict.verdict)
+        prev_rr = last_results.get(resource_name)
+        task_results = {}
+        for t in system.tasks_on(resource_name):
+            model, cert, r_lo, r_hi = widen_diverged(
+                t, resolver, history.get(t.name, []))
+            substitutes[t.name] = model
+            certificates.append(cert)
+            if _obs.enabled:
+                _obs.metrics().counter("resilience.widenings").inc()
+            task_results[t.name] = TaskResult(
+                name=t.name, r_min=r_lo, r_max=r_hi, degraded=True,
+                details={"frozen": 1.0})
+        degraded_results[resource_name] = ResourceResult(
+            resource_name,
+            prev_rr.utilization if prev_rr is not None else float("nan"),
+            task_results, health=HEALTH_DIVERGED)
+
+    def culprit_resource(residual_info: dict,
+                         new_models: "Dict[str, EventModel]") \
+            -> "Optional[str]":
+        worst_task = residual_info.get("residual_argmax")
+        if worst_task is not None and worst_task in system.tasks:
+            return system.tasks[worst_task].resource
+        for port in _changed_ports(prev_models, new_models):
+            if port in system.tasks:
+                name = system.tasks[port].resource
+                if health[name].ok:
+                    return name
+        return None
+
+    # --- global iteration ---------------------------------------------
+    iterations_done = 0
+    converged = False
+    for iteration in range(1, max_iterations + 1):
+        iterations_done = iteration
+        iter_span = (_obs.get_tracer().start(
+            "global_iteration", system=system.name, iteration=iteration,
+            mode="degraded") if _obs.enabled else None)
+        try:
+            resolver = _DegradedResolver(system, responses, cycle_seeds,
+                                         substitutes)
+
+            new_resource_results: "Dict[str, ResourceResult]" = {}
+            for resource in system.resources.values():
+                tasks = system.tasks_on(resource.name)
+                if not tasks or not health[resource.name].ok:
+                    continue
+                try:
+                    specs = [
+                        TaskSpec(name=t.name, c_min=t.c_min,
+                                 c_max=t.c_max,
+                                 event_model=resolver.activation_model(t),
+                                 priority=t.priority, slot=t.slot,
+                                 deadline=t.deadline,
+                                 blocking=t.blocking)
+                        for t in tasks
+                    ]
+                    rr = resource.scheduler.analyze(specs, resource.name)
+                except NotSchedulableError as exc:
+                    quarantine(resource.name, HEALTH_OVERLOADED, exc)
+                    continue
+                except _QUARANTINE_ERRORS as exc:
+                    quarantine(resource.name, HEALTH_QUARANTINED, exc)
+                    continue
+                new_resource_results[resource.name] = rr
+
+            new_responses: "Dict[str, TaskResult]" = {}
+            for rr in new_resource_results.values():
+                new_responses.update(rr.task_results)
+            for name, tr in new_responses.items():
+                history.setdefault(name, []).append((tr.r_min, tr.r_max))
+
+            stable = _responses_stable(responses, new_responses)
+            residual_info = _response_residuals(responses, new_responses)
+            if iter_span is not None:
+                iter_span.set(**residual_info)
+            responses = new_responses
+            last_results = new_resource_results
+
+            # Propagate with the same (possibly shrunken) health map.
+            resolver = _DegradedResolver(system, responses, cycle_seeds,
+                                         substitutes)
+            new_models: "Dict[str, EventModel]" = {}
+            for task_name in system.tasks:
+                try:
+                    out = resolver.port(task_name)
+                except _QUARANTINE_ERRORS as exc:
+                    owner = system.tasks[task_name].resource
+                    if health[owner].ok:
+                        quarantine(owner, HEALTH_QUARANTINED, exc)
+                    out = substitutes.get(task_name)
+                if out is not None and not _compile.enabled \
+                        and task_name not in substitutes:
+                    out = CachedModel(out, name=f"{task_name}.out")
+                if out is not None:
+                    new_models[task_name] = out
+                    cycle_seeds[task_name] = out
+
+            models_stable = _models_stable(prev_models, new_models)
+            converged = stable and models_stable
+            if iter_span is not None:
+                iter_span.set(responses_stable=stable,
+                              models_stable=models_stable,
+                              converged=converged,
+                              quarantined=len(
+                                  [h for h in health.values()
+                                   if not h.ok]),
+                              widened_ports=sorted(substitutes))
+                _obs.metrics().counter("propagation.iterations").inc()
+            if converged:
+                break
+
+            if guard:
+                verdict = guard.observe(
+                    iteration, residual_info["residual_r_max"], stable,
+                    models_stable)
+                if verdict is not None:
+                    verdicts.append(verdict)
+                    if _obs.enabled:
+                        _obs.metrics().counter(
+                            "propagation.divergence_detected").inc()
+                        _obs.get_tracer().event(
+                            "divergence_detected",
+                            verdict=verdict.verdict,
+                            iteration=iteration, detail=verdict.detail,
+                            mode="degraded")
+                    culprit = culprit_resource(residual_info, new_models)
+                    if culprit is not None:
+                        quarantine_diverged(culprit, verdict, resolver)
+                        guard.reset()
+            prev_models = new_models
+        finally:
+            if iter_span is not None:
+                iter_span.finish()
+
+    # --- assemble the outcome -----------------------------------------
+    resource_results: "Dict[str, ResourceResult]" = {}
+    for name in system.resources:
+        if not system.tasks_on(name):
+            continue
+        if health[name].ok:
+            rr = last_results.get(name)
+            if rr is not None:
+                resource_results[name] = rr
+        else:
+            resource_results[name] = degraded_results[name]
+
+    result = SystemResult(iterations=iterations_done,
+                          converged=converged,
+                          resource_results=resource_results)
+    outcome = AnalysisOutcome(result=result, resources=health,
+                              certificates=certificates,
+                              verdicts=verdicts,
+                              iterations=iterations_done,
+                              converged=converged)
+    if _obs.enabled:
+        _obs.metrics().gauge("resilience.failed_resources").set(
+            len(outcome.failed_resources()))
+        if not converged:
+            _obs.metrics().counter("propagation.divergences").inc()
+    return outcome

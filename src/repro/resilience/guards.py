@@ -1,0 +1,181 @@
+"""Divergence guards for the global fixed-point iteration.
+
+The compositional loop of :func:`repro.system.propagation.analyze_system`
+normally runs until responses and propagated event models stop moving, or
+until ``max_iterations`` is exhausted.  For genuinely divergent systems —
+jitter feedback loops whose response times grow without bound, or limit
+cycles that bounce between two states forever — waiting for the iteration
+budget wastes most of the run and yields an unspecific "did not converge"
+error.  The :class:`DivergenceGuard` watches the per-iteration residual
+trend instead and declares a *verdict* as soon as the trend is hopeless:
+
+``monotone_growth``
+    The largest response-time movement has been strictly non-decreasing
+    (and overall growing) for a full sliding window.  A contracting
+    iteration has shrinking residuals; sustained growth means the
+    feedback gain is >= 1 and the fixed point is unreachable.
+
+``oscillation``
+    The residual sequence repeats with period two (including the
+    degenerate constant case) while staying bounded away from zero: the
+    iteration is stuck in a limit cycle between two (or more) states.
+
+``model_drift``
+    Response times have settled but the propagated event models keep
+    changing every iteration of the window — e.g. hierarchical inner
+    streams accumulating timing shifts that never feed back into any
+    response time.  Responses alone looking stable would otherwise hide
+    this until the iteration budget runs out.
+
+The guard is deliberately conservative: it never speaks before
+``min_iterations`` global iterations and needs a full ``window`` of
+matching evidence, so slowly-but-soundly converging systems (shrinking
+residuals) can never trigger it.  Strict mode turns a verdict into an
+early :class:`~repro._errors.ConvergenceError`; degraded mode
+(:mod:`repro.resilience.degrade`) turns it into a widening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Residuals at or below this are treated as "not moving".
+DEFAULT_RESIDUAL_TOL = 1e-9
+
+#: Relative tolerance for comparing residuals across iterations.
+DEFAULT_REL_TOL = 1e-6
+
+VERDICT_MONOTONE_GROWTH = "monotone_growth"
+VERDICT_OSCILLATION = "oscillation"
+VERDICT_MODEL_DRIFT = "model_drift"
+
+
+@dataclass
+class GuardVerdict:
+    """A divergence diagnosis emitted by :class:`DivergenceGuard`."""
+
+    verdict: str
+    iteration: int
+    residuals: List[float] = field(default_factory=list)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"verdict": self.verdict, "iteration": self.iteration,
+                "residuals": list(self.residuals), "detail": self.detail}
+
+
+class DivergenceGuard:
+    """Sliding-window residual-trend detector.
+
+    Parameters
+    ----------
+    window:
+        Number of consecutive iterations a trend must persist before a
+        verdict is declared (>= 4).
+    min_iterations:
+        Earliest global iteration at which the guard may speak; gives
+        legitimately slow starts (cycle seeds settling, hierarchy
+        updates rippling through) room before trend analysis begins.
+    residual_tol:
+        Absolute residual below which responses count as stable.
+    rel_tol:
+        Relative tolerance when comparing residual magnitudes.
+    """
+
+    def __init__(self, window: int = 8, min_iterations: int = 12,
+                 residual_tol: float = DEFAULT_RESIDUAL_TOL,
+                 rel_tol: float = DEFAULT_REL_TOL):
+        if window < 4:
+            raise ValueError(f"guard window must be >= 4, got {window}")
+        if min_iterations < window:
+            raise ValueError(
+                f"min_iterations ({min_iterations}) must cover at least "
+                f"one full window ({window})")
+        self.window = window
+        self.min_iterations = min_iterations
+        self.residual_tol = residual_tol
+        self.rel_tol = rel_tol
+        self._residuals: List[float] = []
+        self._responses_stable: List[bool] = []
+        self._models_stable: List[bool] = []
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all observations (call after a widening action: the
+        iteration dynamics change and the old trend no longer applies)."""
+        self._residuals.clear()
+        self._responses_stable.clear()
+        self._models_stable.clear()
+
+    def observe(self, iteration: int, residual: float,
+                responses_stable: bool,
+                models_stable: bool) -> Optional[GuardVerdict]:
+        """Feed one global iteration; returns a verdict or ``None``.
+
+        ``residual`` is the largest absolute response-time movement of
+        the iteration (``residual_r_max`` of the propagation loop).
+        """
+        self._residuals.append(residual)
+        self._responses_stable.append(responses_stable)
+        self._models_stable.append(models_stable)
+        if iteration < self.min_iterations:
+            return None
+        if len(self._residuals) < self.window:
+            return None
+        recent = self._residuals[-self.window:]
+
+        verdict = self._check_growth(iteration, recent)
+        if verdict is None:
+            verdict = self._check_oscillation(iteration, recent)
+        if verdict is None:
+            verdict = self._check_model_drift(iteration, recent)
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _check_growth(self, iteration: int,
+                      recent: List[float]) -> Optional[GuardVerdict]:
+        if not all(r > self.residual_tol for r in recent):
+            return None
+        non_decreasing = all(
+            b >= a * (1.0 - self.rel_tol)
+            for a, b in zip(recent, recent[1:]))
+        growing = recent[-1] > recent[0] * (1.0 + self.rel_tol)
+        if non_decreasing and growing:
+            return GuardVerdict(
+                VERDICT_MONOTONE_GROWTH, iteration, list(recent),
+                detail=f"residual grew from {recent[0]:.6g} to "
+                       f"{recent[-1]:.6g} over {self.window} iterations")
+        return None
+
+    def _check_oscillation(self, iteration: int,
+                           recent: List[float]) -> Optional[GuardVerdict]:
+        if not all(r > self.residual_tol for r in recent):
+            return None
+        period2 = all(
+            abs(recent[i] - recent[i - 2])
+            <= self.rel_tol * max(recent[i], recent[i - 2])
+            for i in range(2, len(recent)))
+        if period2:
+            constant = all(
+                abs(recent[i] - recent[i - 1])
+                <= self.rel_tol * max(recent[i], recent[i - 1])
+                for i in range(1, len(recent)))
+            kind = ("constant residual (stuck)" if constant
+                    else "period-2 residual cycle")
+            return GuardVerdict(
+                VERDICT_OSCILLATION, iteration, list(recent),
+                detail=f"{kind}: residual pinned near {recent[-1]:.6g} "
+                       f"for {self.window} iterations")
+        return None
+
+    def _check_model_drift(self, iteration: int,
+                           recent: List[float]) -> Optional[GuardVerdict]:
+        window_stable = self._responses_stable[-self.window:]
+        window_models = self._models_stable[-self.window:]
+        if all(window_stable) and not any(window_models):
+            return GuardVerdict(
+                VERDICT_MODEL_DRIFT, iteration, list(recent),
+                detail=f"responses stable but propagated models moved in "
+                       f"every one of the last {self.window} iterations")
+        return None

@@ -1,0 +1,211 @@
+"""Outcome containers for degraded analysis.
+
+A strict :func:`~repro.system.propagation.analyze_system` run either
+returns a :class:`~repro.analysis.results.SystemResult` or raises.  The
+degraded path (:mod:`repro.resilience.degrade`) instead *always* returns
+an :class:`AnalysisOutcome`: the best achievable system result plus a
+per-resource health map, the divergence verdicts encountered, and one
+:class:`ConservativenessCertificate` per event-model substitution so a
+reviewer can audit why each widened bound is still an over-approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.results import SystemResult
+from .guards import GuardVerdict
+
+#: Per-resource health states of a degraded analysis.
+HEALTH_OK = "ok"
+HEALTH_OVERLOADED = "overloaded"
+HEALTH_DIVERGED = "diverged"
+HEALTH_QUARANTINED = "quarantined"
+
+HEALTH_STATES = (HEALTH_OK, HEALTH_OVERLOADED, HEALTH_DIVERGED,
+                 HEALTH_QUARANTINED)
+
+
+def _json_num(value):
+    """JSON-portable float: ``inf``/``nan`` become strings."""
+    if value is None:
+        return None
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+@dataclass
+class ConservativenessCertificate:
+    """Audit record for one event-model substitution.
+
+    Attributes
+    ----------
+    port:
+        Output port whose model was replaced (== the task name).
+    task / resource:
+        The producing task and its (failed) resource.
+    reason:
+        Health state that triggered the substitution (``overloaded``,
+        ``diverged``, or ``quarantined`` for cascade failures).
+    substitute:
+        ``repr`` of the widened event model installed at the port.
+    argument:
+        The soundness argument: why the substitute over-approximates
+        every stream the failed component could actually emit.
+    d2:
+        δ⁻(2) of a sporadic-envelope substitution, if that widening was
+        used (``None`` otherwise).
+    frozen_interval:
+        ``(r_min, r_max)`` of a frozen-response widening, if that
+        widening was used (``None`` otherwise).
+    """
+
+    port: str
+    task: str
+    resource: str
+    reason: str
+    substitute: str
+    argument: str
+    d2: Optional[float] = None
+    frozen_interval: Optional[Tuple[float, float]] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "port": self.port,
+            "task": self.task,
+            "resource": self.resource,
+            "reason": self.reason,
+            "substitute": self.substitute,
+            "argument": self.argument,
+            "d2": _json_num(self.d2),
+            "frozen_interval": (
+                [_json_num(v) for v in self.frozen_interval]
+                if self.frozen_interval is not None else None),
+        }
+
+
+@dataclass
+class ResourceHealth:
+    """Health record of one resource after a degraded analysis."""
+
+    resource: str
+    health: str = HEALTH_OK
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    context: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.health == HEALTH_OK
+
+    def to_dict(self) -> dict:
+        return {"resource": self.resource, "health": self.health,
+                "error": self.error, "error_type": self.error_type,
+                "context": {k: _json_num(v)
+                            for k, v in self.context.items()}}
+
+
+@dataclass
+class AnalysisOutcome:
+    """Everything a degraded analysis produced — never raised, always
+    returned.
+
+    Attributes
+    ----------
+    result:
+        The (possibly partially degraded) :class:`SystemResult`.  Task
+        results on failed resources carry ``degraded=True`` and
+        conservative bounds (``inf`` for quarantined tasks whose
+        response is unknowable).
+    resources:
+        Per-resource :class:`ResourceHealth`, including healthy ones.
+    certificates:
+        One :class:`ConservativenessCertificate` per substituted output
+        port.
+    verdicts:
+        Divergence-guard verdicts encountered during the run.
+    """
+
+    result: Optional[SystemResult]
+    resources: Dict[str, ResourceHealth] = field(default_factory=dict)
+    certificates: List[ConservativenessCertificate] = field(
+        default_factory=list)
+    verdicts: List[GuardVerdict] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> Dict[str, str]:
+        """Resource name -> health state."""
+        return {name: rh.health for name, rh in self.resources.items()}
+
+    @property
+    def degraded(self) -> bool:
+        """True when any resource failed (the result is not a clean
+        CPA fixed point)."""
+        return any(not rh.ok for rh in self.resources.values())
+
+    def ok(self) -> bool:
+        """True for a fully healthy, converged analysis."""
+        return self.converged and not self.degraded
+
+    def failed_resources(self) -> List[str]:
+        return sorted(name for name, rh in self.resources.items()
+                      if not rh.ok)
+
+    def wcrt(self, task_name: str) -> Optional[float]:
+        """Worst-case response bound for a task (``inf`` when the task
+        sits on a quarantined resource), ``None`` if unknown."""
+        if self.result is None:
+            return None
+        return self.result.wcrt(task_name)
+
+    def certificate_for(self, port: str) \
+            -> Optional[ConservativenessCertificate]:
+        for cert in self.certificates:
+            if cert.port == port:
+                return cert
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-portable summary (the CI chaos-smoke artifact format)."""
+        tasks = {}
+        if self.result is not None:
+            for rr in self.result.resource_results.values():
+                for tr in rr.task_results.values():
+                    tasks[tr.name] = {
+                        "r_min": _json_num(tr.r_min),
+                        "r_max": _json_num(tr.r_max),
+                        "degraded": tr.degraded,
+                        "resource": rr.resource,
+                    }
+        return {
+            "converged": self.converged,
+            "degraded": self.degraded,
+            "iterations": self.iterations,
+            "health": self.health,
+            "resources": {name: rh.to_dict()
+                          for name, rh in self.resources.items()},
+            "certificates": [c.to_dict() for c in self.certificates],
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "tasks": tasks,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        state = "converged" if self.converged else "NOT converged"
+        lines = [f"degraded analysis: {state} after {self.iterations} "
+                 f"iterations, {len(self.certificates)} widened ports"]
+        for name in sorted(self.resources):
+            rh = self.resources[name]
+            note = f" ({rh.error_type}: {rh.error})" if rh.error else ""
+            lines.append(f"  {name}: {rh.health}{note}")
+        for verdict in self.verdicts:
+            lines.append(f"  guard: {verdict.verdict} at iteration "
+                         f"{verdict.iteration} — {verdict.detail}")
+        return "\n".join(lines)

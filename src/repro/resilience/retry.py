@@ -1,0 +1,101 @@
+"""Retry policy for the batch engine: transient vs deterministic
+failures, capped exponential backoff, poison quarantine.
+
+A failed job is worth re-running only when the failure could plausibly
+not repeat.  Analysis errors raised by the engine itself —
+:class:`~repro._errors.ModelError`, ``NotSchedulableError``,
+``ConvergenceError``, ``UnboundedStreamError`` — are *deterministic*:
+the same system produces the same error on every attempt, so retrying
+burns a worker slot for nothing.  Everything else (worker crashes,
+broken pools, timeouts, injected chaos) is treated as *transient* and
+retried with capped exponential backoff.
+
+Jobs whose failures persist past the attempt budget — and deterministic
+failures immediately — are **poisoned**: recorded in the result store
+with status ``"poisoned"`` and their full attempt history, so later
+runs skip them instead of re-tripping on the same mine.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet
+
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+
+#: Exception names (the prefix of ``JobResult.error``) whose failures
+#: are deterministic: a retry re-runs the identical pure computation
+#: and fails identically.
+DETERMINISTIC_ERRORS: FrozenSet[str] = frozenset({
+    "ModelError",
+    "NotSchedulableError",
+    "ConvergenceError",
+    "UnboundedStreamError",
+    "AnalysisError",
+})
+
+
+@dataclass
+class RetryPolicy:
+    """Classification and backoff schedule for failed batch jobs.
+
+    ``delay(attempt, key)`` is capped exponential backoff with
+    deterministic jitter: ``min(base_delay * 2**(attempt-1),
+    max_delay)`` scaled by a factor drawn from
+    ``[1 - jitter, 1 + jitter]`` seeded by ``(seed, key, attempt)`` —
+    reproducible across runs, decorrelated across jobs so retry storms
+    don't re-synchronise.
+
+    ``sleep`` is injectable so tests (and the CI chaos-smoke job) can
+    run retry schedules without wall-clock delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep,
+                                           repr=False)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def classify(self, result) -> str:
+        """``TRANSIENT`` or ``DETERMINISTIC`` for a failed JobResult.
+
+        Timeouts are transient (the machine may have been loaded);
+        engine errors and malformed jobs are deterministic.
+        """
+        from ..batch.jobs import STATUS_TIMEOUT
+
+        if result.status == STATUS_TIMEOUT:
+            return TRANSIENT
+        error = result.error or ""
+        name = error.split(":", 1)[0].strip()
+        if name in DETERMINISTIC_ERRORS:
+            return DETERMINISTIC
+        if error.startswith("unknown job kind"):
+            return DETERMINISTIC
+        return TRANSIENT
+
+    def retryable(self, result, attempts: int) -> bool:
+        """Whether a failed result should be attempted again."""
+        if attempts >= self.max_attempts:
+            return False
+        return self.classify(result) == TRANSIENT
+
+    def delay(self, attempt: int, key: str) -> float:
+        """Backoff before retry number *attempt* (1 = first retry)."""
+        base = min(self.base_delay * (2.0 ** (attempt - 1)),
+                   self.max_delay)
+        if not self.jitter:
+            return base
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)

@@ -52,7 +52,8 @@ class Source:
     def __post_init__(self):
         if not isinstance(self.model, EventModel):
             raise ModelError(f"source {self.name}: model must be an "
-                             f"EventModel")
+                             f"EventModel",
+                             context={"source": self.name})
 
 
 @dataclass
@@ -92,10 +93,16 @@ class Task:
     def __post_init__(self):
         if self.c_min < 0 or self.c_max < self.c_min:
             raise ModelError(
-                f"task {self.name}: need 0 <= c_min <= c_max")
+                f"task {self.name} on resource {self.resource!r}: need "
+                f"0 <= c_min <= c_max (got [{self.c_min}, {self.c_max}])",
+                context={"task": self.name, "resource": self.resource,
+                         "c_min": self.c_min, "c_max": self.c_max})
         if self.activation not in ("or", "and"):
             raise ModelError(
-                f"task {self.name}: activation must be 'or' or 'and'")
+                f"task {self.name}: activation must be 'or' or 'and' "
+                f"(got {self.activation!r})",
+                context={"task": self.name, "resource": self.resource,
+                         "activation": self.activation})
 
 
 @dataclass
@@ -117,16 +124,23 @@ class Junction:
 
     def __post_init__(self):
         if not self.inputs:
-            raise ModelError(f"junction {self.name}: needs inputs")
+            raise ModelError(f"junction {self.name}: needs inputs",
+                             context={"junction": self.name,
+                                      "kind": self.kind.value})
         if self.kind is JunctionKind.PACK:
             missing = [i for i in self.inputs if i not in self.properties]
             if missing:
                 raise ModelError(
                     f"pack junction {self.name}: missing transfer "
-                    f"properties for {missing}")
+                    f"properties for {missing}",
+                    context={"junction": self.name,
+                             "missing_properties": list(missing)})
         if self.kind is JunctionKind.UNPACK and len(self.inputs) != 1:
             raise ModelError(
-                f"unpack junction {self.name}: exactly one input required")
+                f"unpack junction {self.name}: exactly one input "
+                f"required (got {self.inputs})",
+                context={"junction": self.name,
+                         "inputs": list(self.inputs)})
 
 
 @dataclass
@@ -163,7 +177,8 @@ class System:
 
     def add_resource(self, name: str, scheduler: Scheduler) -> Resource:
         if name in self.resources:
-            raise ModelError(f"duplicate resource name {name!r}")
+            raise ModelError(f"duplicate resource name {name!r}",
+                             context={"resource": name})
         res = Resource(name, scheduler)
         self.resources[name] = res
         return res
@@ -176,7 +191,10 @@ class System:
                  blocking: float = 0.0) -> Task:
         self._check_new_name(name)
         if resource not in self.resources:
-            raise ModelError(f"task {name}: unknown resource {resource!r}")
+            raise ModelError(
+                f"task {name}: unknown resource {resource!r} (known: "
+                f"{sorted(self.resources) or '(none)'})",
+                context={"task": name, "resource": resource})
         task = Task(name, resource, c[0], c[1], list(inputs), priority,
                     slot, deadline, activation, blocking)
         self.tasks[name] = task
@@ -203,7 +221,11 @@ class System:
     def _check_new_name(self, name: str) -> None:
         if name in self.sources or name in self.tasks \
                 or name in self.junctions:
-            raise ModelError(f"duplicate node name {name!r}")
+            kind = ("source" if name in self.sources
+                    else "task" if name in self.tasks else "junction")
+            raise ModelError(
+                f"duplicate node name {name!r} (already a {kind})",
+                context={"node": name, "existing_kind": kind})
 
     # ------------------------------------------------------------------
     # graph queries
@@ -230,23 +252,45 @@ class System:
             node = port.split(".", 1)[0]
             if node in self.junctions:
                 return node
-        raise ModelError(f"unknown stream producer {port!r}")
+        raise ModelError(f"unknown stream producer {port!r}",
+                         context={"port": port})
 
     def validate(self) -> None:
         """Check referential integrity of the whole graph."""
         for task in self.tasks.values():
             if not task.inputs:
-                raise ModelError(f"task {task.name}: no activating input")
+                raise ModelError(
+                    f"task {task.name} on resource {task.resource!r}: "
+                    f"no activating input",
+                    context={"task": task.name,
+                             "resource": task.resource})
             for port in task.inputs:
-                self.producer_of(port)
+                try:
+                    self.producer_of(port)
+                except ModelError as exc:
+                    raise ModelError(
+                        f"task {task.name}: input port {port!r} has no "
+                        f"producer",
+                        context={"task": task.name,
+                                 "resource": task.resource,
+                                 "port": port}) from exc
         for junction in self.junctions.values():
             for port in junction.inputs:
-                self.producer_of(port)
+                try:
+                    self.producer_of(port)
+                except ModelError as exc:
+                    raise ModelError(
+                        f"junction {junction.name}: input port {port!r} "
+                        f"has no producer",
+                        context={"junction": junction.name,
+                                 "port": port}) from exc
             if junction.timer is not None:
                 if junction.timer not in self.sources:
                     raise ModelError(
                         f"junction {junction.name}: timer "
-                        f"{junction.timer!r} must be a source")
+                        f"{junction.timer!r} must be a source",
+                        context={"junction": junction.name,
+                                 "timer": junction.timer})
 
     def describe(self) -> str:
         """Human-readable dump of the whole graph (sources, resources

@@ -98,7 +98,10 @@ class _StreamResolver:
         key = f"junction:{junction.name}"
         if key in self._visiting:
             raise ModelError(
-                f"dependency cycle through junction {junction.name!r}")
+                f"dependency cycle through junction {junction.name!r} "
+                f"while resolving port {port!r}",
+                context={"junction": junction.name, "port": port,
+                         "reason": "dependency_cycle"})
         self._visiting.add(key)
         try:
             if _obs.enabled:
@@ -113,7 +116,10 @@ class _StreamResolver:
                 if not is_hierarchical(upstream):
                     raise ModelError(
                         f"unpack junction {junction.name}: input stream "
-                        f"is flat")
+                        f"{junction.inputs[0]!r} is flat",
+                        context={"junction": junction.name, "port": port,
+                                 "input": junction.inputs[0],
+                                 "reason": "unpack_flat_stream"})
                 if port == junction.name:
                     # the unadorned port exposes the outer stream
                     if _obs.enabled:
@@ -169,7 +175,10 @@ class _StreamResolver:
                 return joined
             raise ModelError(
                 f"junction {junction.name}: unsupported kind "
-                f"{junction.kind}")
+                f"{junction.kind}",
+                context={"junction": junction.name, "port": port,
+                         "kind": str(junction.kind),
+                         "reason": "unsupported_junction_kind"})
         finally:
             self._visiting.discard(key)
 
@@ -182,8 +191,12 @@ class _StreamResolver:
             fallback = self._initial.get(task.name)
             if fallback is None:
                 raise ModelError(
-                    f"dependency cycle through task {task.name!r}; "
-                    f"provide an initial output model to cut it")
+                    f"dependency cycle through task {task.name!r} on "
+                    f"resource {task.resource!r}; provide an initial "
+                    f"output model to cut it",
+                    context={"task": task.name,
+                             "resource": task.resource,
+                             "reason": "dependency_cycle"})
             return fallback
         self._visiting.add(key)
         try:
@@ -238,7 +251,9 @@ class _StreamResolver:
 def analyze_system(system: System,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
                    initial_outputs: "Optional[Dict[str, EventModel]]" = None,
-                   ) -> SystemResult:
+                   on_failure: str = "raise",
+                   guard=None,
+                   ):
     """Run the global compositional fixed-point analysis.
 
     Parameters
@@ -254,11 +269,43 @@ def analyze_system(system: System,
         Seed *every* task of a cycle — which member the resolver revisits
         first depends on its traversal entry point.  After the first
         iteration all task outputs serve as their own seeds.
+    on_failure:
+        ``"raise"`` (default): analysis failures propagate as
+        exceptions.  ``"degrade"``: delegate to
+        :func:`repro.resilience.degrade.degraded_analyze` — failed
+        resources are quarantined, their outputs conservatively widened,
+        and an :class:`~repro.resilience.outcome.AnalysisOutcome` is
+        returned instead of raising.
+    guard:
+        Divergence guard
+        (:class:`~repro.resilience.guards.DivergenceGuard`).  ``None``
+        installs the default guard, ``False`` disables trend detection.
+        In strict mode a guard verdict raises
+        :class:`~repro._errors.ConvergenceError` early (fail fast); in
+        degraded mode it triggers widening of the diverging resource.
 
     Returns
     -------
-    :class:`~repro.analysis.results.SystemResult`
+    :class:`~repro.analysis.results.SystemResult` in strict mode, an
+    :class:`~repro.resilience.outcome.AnalysisOutcome` in degraded mode.
     """
+    if on_failure not in ("raise", "degrade"):
+        raise ModelError(
+            f"on_failure must be 'raise' or 'degrade', got "
+            f"{on_failure!r}")
+    if on_failure == "degrade":
+        # Lazy import: repro.resilience.degrade imports this module at
+        # its top level, so the dependency must stay one-directional at
+        # import time.
+        from ..resilience.degrade import degraded_analyze
+
+        return degraded_analyze(system, max_iterations=max_iterations,
+                                initial_outputs=initial_outputs,
+                                guard=guard)
+    if guard is None:
+        from ..resilience.guards import DivergenceGuard
+
+        guard = DivergenceGuard()
     system.validate()
     responses: "Dict[str, TaskResult]" = {}
     prev_models: "Dict[str, EventModel]" = {}
@@ -307,9 +354,12 @@ def analyze_system(system: System,
                 new_responses.update(rr.task_results)
 
             stable = _responses_stable(responses, new_responses)
-            if iter_span is not None:
-                iter_span.set(**_response_residuals(responses,
-                                                    new_responses))
+            residual_info = None
+            if iter_span is not None or guard:
+                residual_info = _response_residuals(responses,
+                                                    new_responses)
+                if iter_span is not None:
+                    iter_span.set(**residual_info)
             responses = new_responses
             resource_results = new_resource_results
 
@@ -344,6 +394,26 @@ def analyze_system(system: System,
                             iteration)
                 return SystemResult(iterations=iteration, converged=True,
                                     resource_results=resource_results)
+            if guard:
+                verdict = guard.observe(
+                    iteration, residual_info["residual_r_max"], stable,
+                    models_stable)
+                if verdict is not None:
+                    if _obs.enabled:
+                        _obs.metrics().counter(
+                            "propagation.divergence_detected").inc()
+                        _obs.metrics().counter(
+                            "propagation.divergences").inc()
+                        _obs.get_tracer().event(
+                            "divergence_detected",
+                            verdict=verdict.verdict,
+                            iteration=iteration, detail=verdict.detail)
+                    raise ConvergenceError(
+                        f"divergence guard aborted the global analysis "
+                        f"after {iteration} iterations: "
+                        f"{verdict.verdict} ({verdict.detail})",
+                        iterations=iteration, verdict=verdict.verdict,
+                        residuals=verdict.residuals)
             prev_models = new_models
         finally:
             if iter_span is not None:
@@ -353,7 +423,8 @@ def analyze_system(system: System,
         _obs.metrics().counter("propagation.divergences").inc()
     raise ConvergenceError(
         f"global analysis did not converge within {max_iterations} "
-        f"iterations")
+        f"iterations", iterations=max_iterations,
+        context={"system": system.name})
 
 
 def _responses_stable(old: "Dict[str, TaskResult]",

@@ -33,7 +33,7 @@ from ..analysis.resource_model import (
     PeriodicResource,
 )
 from ..analysis.round_robin import RoundRobinScheduler
-from ..analysis.spnp import SPNPScheduler
+from ..analysis.spnp import CanErrorModel, SPNPScheduler
 from ..analysis.spp import SPPScheduler
 from ..analysis.tdma import TDMAScheduler
 from ..core.constructors import TransferProperty
@@ -99,8 +99,16 @@ def scheduler_to_dict(scheduler: Scheduler) -> "Dict[str, Any]":
         return {"policy": "spp",
                 "utilization_limit": scheduler.utilization_limit}
     if isinstance(scheduler, SPNPScheduler):
-        return {"policy": "spnp",
+        data = {"policy": "spnp",
                 "utilization_limit": scheduler.utilization_limit}
+        # Optional key: only emitted when present, so hashes of systems
+        # without an error model are unchanged.
+        if scheduler.error_model is not None:
+            em = scheduler.error_model
+            data["error_model"] = {"burst_errors": em.burst_errors,
+                                   "error_rate": em.error_rate,
+                                   "recovery_time": em.recovery_time}
+        return data
     if isinstance(scheduler, RoundRobinScheduler):
         return {"policy": "round_robin",
                 "utilization_limit": scheduler.utilization_limit}
@@ -118,7 +126,15 @@ def scheduler_from_dict(data: "Dict[str, Any]") -> Scheduler:
     if policy == "spp":
         return SPPScheduler(data.get("utilization_limit", 1.0))
     if policy == "spnp":
-        return SPNPScheduler(data.get("utilization_limit", 1.0))
+        error_model = None
+        if data.get("error_model"):
+            em = data["error_model"]
+            error_model = CanErrorModel(
+                burst_errors=em.get("burst_errors", 0),
+                error_rate=em.get("error_rate", 0.0),
+                recovery_time=em.get("recovery_time", 0.0))
+        return SPNPScheduler(data.get("utilization_limit", 1.0),
+                             error_model=error_model)
     if policy == "round_robin":
         return RoundRobinScheduler(data.get("utilization_limit", 1.0))
     if policy == "tdma":

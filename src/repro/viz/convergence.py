@@ -21,6 +21,16 @@ from .tables import render_table
 #: Span name the propagation loop uses for one global iteration.
 ITERATION_SPAN = "global_iteration"
 
+#: Resilience and batch counters surfaced in the report footer when any
+#: of them fired (see :mod:`repro.resilience` and :mod:`repro.batch`).
+RESILIENCE_COUNTERS = (
+    "resilience.quarantines",
+    "resilience.widenings",
+    "propagation.divergence_detected",
+    "batch.retries",
+    "batch.poisoned",
+)
+
 
 class ConvergenceReport:
     """Per-iteration convergence history of one (or more) analysis runs.
@@ -29,17 +39,30 @@ class ConvergenceReport:
     dict records of an exported JSONL trace (:meth:`from_records`).
     """
 
-    def __init__(self, rows: List[Dict[str, Any]]):
+    def __init__(self, rows: List[Dict[str, Any]],
+                 counters: Optional[Dict[str, float]] = None):
         #: One dict per global iteration, in iteration order.
         self.rows = rows
+        #: Resilience/batch counter values captured at build time
+        #: (counter name -> value; only nonzero ones are rendered).
+        self.counters = dict(counters or {})
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_tracer(cls, tracer) -> "ConvergenceReport":
+    def from_tracer(cls, tracer, registry=None) -> "ConvergenceReport":
+        """Build from a tracer; pass a
+        :class:`repro.obs.metrics.MetricsRegistry` as *registry* to also
+        capture the resilience/batch counters into the report footer."""
         rows = []
         for span in tracer.spans(ITERATION_SPAN):
             rows.append({**span.attributes, "duration": span.duration})
-        return cls(rows)
+        counters = {}
+        if registry is not None:
+            snapshot = registry.snapshot().get("counters", {})
+            counters = {name: snapshot[name]
+                        for name in RESILIENCE_COUNTERS
+                        if snapshot.get(name)}
+        return cls(rows, counters)
 
     @classmethod
     def from_records(cls,
@@ -96,8 +119,14 @@ class ConvergenceReport:
         verdict = ("converged" if self.converged
                    else "NOT converged" if self.converged is not None
                    else "unknown")
-        return (f"Convergence of the global fixed-point iteration "
-                f"({self.iterations} iterations, {verdict}):\n{table}")
+        report = (f"Convergence of the global fixed-point iteration "
+                  f"({self.iterations} iterations, {verdict}):\n{table}")
+        active = {n: v for n, v in self.counters.items() if v}
+        if active:
+            pairs = ", ".join(f"{n}={v:g}" for n, v in sorted(
+                active.items()))
+            report += f"\nresilience: {pairs}"
+        return report
 
 
 def _fmt_residual(value) -> str:

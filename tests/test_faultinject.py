@@ -1,0 +1,155 @@
+"""Seeded fault injection: determinism, per-kind semantics, and the
+metamorphic monotone-conservativeness suite."""
+
+import pytest
+
+from repro import Fault, FaultPlan, analyze_system, inject_faults
+from repro._errors import ModelError
+from repro.examples_lib.rox08 import build_system
+from repro.examples_lib.stress import build_oscillating
+from repro.resilience import (
+    check_monotone_conservativeness,
+    clone_system,
+)
+from repro.system import system_hash
+from repro.timebase import EPS
+
+
+@pytest.fixture
+def rox():
+    return build_system("hem")
+
+
+class TestCloneSystem:
+    def test_clone_is_analysis_identical(self, rox):
+        assert system_hash(clone_system(rox)) == system_hash(rox)
+
+    def test_clone_is_independent(self, rox):
+        clone = clone_system(rox)
+        next(iter(clone.tasks.values())).c_max *= 10.0
+        assert system_hash(clone) != system_hash(rox)
+        assert system_hash(clone_system(rox)) == system_hash(rox)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            Fault("gamma_ray", "T1", 1.0)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ModelError):
+            Fault("wcet_inflation", "T1", -0.5)
+
+    def test_unknown_target_rejected(self, rox):
+        with pytest.raises(ModelError):
+            inject_faults(rox, FaultPlan(
+                (Fault("wcet_inflation", "nope", 0.1),)))
+
+
+class TestFaultKinds:
+    def test_wcet_inflation(self, rox):
+        injected = inject_faults(rox, FaultPlan(
+            (Fault("wcet_inflation", "T1", 0.5),)))
+        assert injected.tasks["T1"].c_max == \
+            pytest.approx(rox.tasks["T1"].c_max * 1.5)
+        assert injected.tasks["T1"].c_min == rox.tasks["T1"].c_min
+
+    def test_jitter_inflation(self, rox):
+        source = next(iter(rox.sources))
+        injected = inject_faults(rox, FaultPlan(
+            (Fault("jitter_inflation", source, 0.25),)))
+        before = rox.sources[source].model
+        after = injected.sources[source].model
+        assert after.jitter == pytest.approx(
+            before.jitter + 0.25 * before.period)
+
+    def test_frame_drop_inflates_bus_tasks(self, rox):
+        injected = inject_faults(rox, FaultPlan(
+            (Fault("frame_drop", "CAN", 1.0),)))
+        for task in rox.tasks_on("CAN"):
+            assert injected.tasks[task.name].c_max == \
+                pytest.approx(task.c_max * 2.0)
+
+    def test_can_error_burst_attaches_model(self, rox):
+        injected = inject_faults(rox, FaultPlan(
+            (Fault("can_error_burst", "CAN", 2),)))
+        error_model = injected.resources["CAN"].scheduler.error_model
+        assert error_model is not None
+        assert error_model.burst_errors == 2
+        assert error_model.recovery_time > 0
+
+    def test_can_error_bursts_accumulate(self, rox):
+        plan = FaultPlan((Fault("can_error_burst", "CAN", 2),
+                          Fault("can_error_burst", "CAN", 1)))
+        injected = inject_faults(rox, plan)
+        assert injected.resources["CAN"].scheduler \
+            .error_model.burst_errors == 3
+
+    def test_can_error_burst_needs_spnp(self, rox):
+        with pytest.raises(ModelError):
+            inject_faults(rox, FaultPlan(
+                (Fault("can_error_burst", "CPU1", 1),)))
+
+    def test_original_untouched(self, rox):
+        digest = system_hash(rox)
+        inject_faults(rox, FaultPlan(
+            (Fault("wcet_inflation", None, 0.5),
+             Fault("can_error_burst", "CAN", 3))))
+        assert system_hash(rox) == digest
+
+
+class TestDeterminism:
+    def test_sampled_plans_reproducible(self, rox):
+        assert FaultPlan.sample(rox, seed=11) == \
+            FaultPlan.sample(rox, seed=11)
+        assert FaultPlan.sample(rox, seed=11) != \
+            FaultPlan.sample(rox, seed=12)
+
+    def test_injection_is_pure(self, rox):
+        plan = FaultPlan.sample(rox, seed=5, n_faults=4)
+        assert system_hash(inject_faults(rox, plan)) == \
+            system_hash(inject_faults(rox, plan))
+
+
+class TestMetamorphic:
+    """More faults never decrease any cleanly-analysed WCRT.
+
+    Three fault kinds, several pinned seeds — the acceptance gate of
+    the resilience PR and the pinned half of the CI chaos-smoke job.
+    """
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_sampled_ladders_hold(self, rox, seed):
+        plan = FaultPlan.sample(rox, seed, n_faults=4)
+        ladder = [FaultPlan(plan.faults[:i], seed=seed)
+                  for i in range(len(plan.faults) + 1)]
+        assert check_monotone_conservativeness(rox, ladder) == []
+
+    @pytest.mark.parametrize("fault", [
+        Fault("wcet_inflation", None, 0.3),
+        Fault("jitter_inflation", None, 0.4),
+        Fault("frame_drop", "CAN", 1.0),
+        Fault("can_error_burst", "CAN", 2),
+    ], ids=lambda f: f.kind)
+    def test_each_kind_is_conservative(self, rox, fault):
+        base = FaultPlan()
+        assert check_monotone_conservativeness(
+            rox, [base, base.extend(fault)]) == []
+
+    def test_single_fault_strictly_increases_some_wcrt(self, rox):
+        baseline = analyze_system(rox)
+        injected = inject_faults(rox, FaultPlan(
+            (Fault("wcet_inflation", "T1", 0.5),)))
+        result = analyze_system(injected)
+        assert result.wcrt("T1") > baseline.wcrt("T1") + EPS
+
+    def test_ladder_into_degradation_still_sound(self):
+        # Pushing the oscillating control case over the edge must not
+        # produce a violation: degraded tasks are excluded, healthy
+        # ones keep monotone bounds.
+        system = build_oscillating(gain_c=30.0)
+        ladder = [FaultPlan(),
+                  FaultPlan((Fault("wcet_inflation", "T_c", 0.2),)),
+                  FaultPlan((Fault("wcet_inflation", "T_c", 0.2),
+                             Fault("wcet_inflation", "T_c", 0.4)))]
+        assert check_monotone_conservativeness(system, ladder) == []

@@ -1,0 +1,108 @@
+"""DivergenceGuard trend detection in isolation and in the engine."""
+
+import pytest
+
+from repro.resilience import DivergenceGuard, GuardVerdict
+from repro.resilience.guards import (
+    VERDICT_MODEL_DRIFT,
+    VERDICT_MONOTONE_GROWTH,
+    VERDICT_OSCILLATION,
+)
+
+
+def feed(guard, residuals, responses_stable=False, models_stable=True):
+    verdict = None
+    for i, residual in enumerate(residuals, start=1):
+        verdict = guard.observe(i, residual, responses_stable,
+                                models_stable)
+        if verdict is not None:
+            return verdict
+    return verdict
+
+
+class TestGuardUnit:
+    def test_silent_before_min_iterations(self):
+        guard = DivergenceGuard(window=4, min_iterations=10)
+        assert feed(guard, [float(i) for i in range(1, 10)]) is None
+
+    def test_monotone_growth_detected(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        verdict = feed(guard, [2.0 ** i for i in range(1, 16)])
+        assert isinstance(verdict, GuardVerdict)
+        assert verdict.verdict == VERDICT_MONOTONE_GROWTH
+        assert len(verdict.residuals) == 4
+
+    def test_shrinking_residuals_never_fire(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        assert feed(guard, [100.0 / i for i in range(1, 40)]) is None
+
+    def test_converged_residuals_never_fire(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        assert feed(guard, [0.0] * 40) is None
+
+    def test_period_two_oscillation_detected(self):
+        guard = DivergenceGuard(window=6, min_iterations=6)
+        verdict = feed(guard, [5.0, 9.0] * 10)
+        assert verdict is not None
+        assert verdict.verdict == VERDICT_OSCILLATION
+
+    def test_model_drift_detected(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        verdict = feed(guard, [0.0] * 20, responses_stable=True,
+                       models_stable=False)
+        assert verdict is not None
+        assert verdict.verdict == VERDICT_MODEL_DRIFT
+
+    def test_reset_clears_history(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        assert feed(guard, [2.0 ** i for i in range(1, 12)]) is not None
+        guard.reset()
+        assert feed(guard, [1.0 / i for i in range(1, 12)]) is None
+
+    def test_verdict_serialises(self):
+        guard = DivergenceGuard(window=4, min_iterations=6)
+        verdict = feed(guard, [2.0 ** i for i in range(1, 16)])
+        payload = verdict.to_dict()
+        assert payload["verdict"] == VERDICT_MONOTONE_GROWTH
+        assert payload["iteration"] == verdict.iteration
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DivergenceGuard(window=1)
+
+
+class TestGuardInEngine:
+    def test_custom_guard_instance_used(self):
+        from repro import analyze_system
+        from repro._errors import ConvergenceError
+        from repro.examples_lib.stress import build_oscillating
+
+        eager = DivergenceGuard(window=4, min_iterations=6)
+        with pytest.raises(ConvergenceError) as err:
+            analyze_system(build_oscillating(), guard=eager)
+        lazy_iters = None
+        with pytest.raises(ConvergenceError) as err2:
+            analyze_system(build_oscillating())
+        lazy_iters = err2.value.iterations
+        assert err.value.iterations < lazy_iters
+
+    def test_guard_emits_metric(self):
+        from repro import analyze_system, obs
+        from repro._errors import ConvergenceError
+        from repro.examples_lib.stress import build_oscillating
+
+        obs.configure(enabled=True, reset=True)
+        try:
+            with pytest.raises(ConvergenceError):
+                analyze_system(build_oscillating())
+            counters = obs.metrics().snapshot()["counters"]
+            assert counters.get("propagation.divergence_detected") == 1
+        finally:
+            obs.disable(reset=True)
+
+    def test_healthy_examples_unaffected_by_default_guard(self):
+        from repro import analyze_system
+        from repro.examples_lib.rox08 import build_system
+
+        result = analyze_system(build_system("hem"))
+        assert result.converged
