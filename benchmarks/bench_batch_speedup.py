@@ -20,6 +20,7 @@ import json
 import os
 import time
 
+from bench_history import envelope
 from conftest import BENCH_OUT_DIR, emit
 from repro import obs
 from repro.batch import BatchRunner, ProcessPoolBackend, ResultStore, SerialBackend
@@ -106,8 +107,8 @@ def test_batch_speedup_and_warm_cache(tmp_path):
     }
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
     (BENCH_OUT_DIR / "BENCH_batch.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+        json.dumps(envelope(payload, "batch"), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")
 
     assert warm_report.ok
     assert len(warm_report.executed) == 0

@@ -33,7 +33,9 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_history import envelope  # noqa: E402
 from repro import obs  # noqa: E402
 from repro.eventmodels import compile as emc  # noqa: E402
 from repro.eventmodels.curves import CachedModel  # noqa: E402
@@ -182,7 +184,8 @@ def main(argv=None) -> int:
     report["failures"] = failures
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
     out = BENCH_OUT_DIR / "BENCH_compile.json"
-    out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    out.write_text(json.dumps(envelope(report, "compile"),
+                              indent=2, sort_keys=True))
     print(f"wrote {out}")
 
     if failures:

@@ -32,6 +32,7 @@ from pathlib import Path
 
 import pytest
 
+from bench_history import envelope, unwrap
 from repro import obs
 
 BENCH_OUT_DIR = Path(os.environ.get(
@@ -53,12 +54,14 @@ def _cache_hit_rate(counters: dict) -> float:
 
 def _load_suite(path: Path) -> dict:
     """Current contents of the suite map (tolerates a missing or
-    corrupt file — benchmarks must not fail on a bad artefact)."""
+    corrupt file — benchmarks must not fail on a bad artefact).
+    Unwraps the provenance envelope; legacy flat maps pass through."""
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         return {}
-    return data if isinstance(data, dict) else {}
+    suite, _ = unwrap(data)
+    return suite if isinstance(suite, dict) else {}
 
 
 @pytest.fixture(autouse=True)
@@ -88,5 +91,6 @@ def bench_metrics(request):
     suite = _load_suite(out)
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
     suite[safe] = payload
-    out.write_text(json.dumps(suite, indent=2, sort_keys=True) + "\n",
-                   encoding="utf-8")
+    out.write_text(
+        json.dumps(envelope(suite, "suite"), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")

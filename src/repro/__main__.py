@@ -17,6 +17,10 @@ Modes:
   [--metamorphic] [--json PATH]`` — degraded analysis with health
   reporting, seeded fault injection, and metamorphic conservativeness
   checks (see :mod:`repro.resilience.cli`).
+* ``python -m repro top <space> [--workers N | --follow] [--once]`` —
+  live sweep monitor fed by the streaming telemetry bus; ``--follow``
+  tails the result store of a sweep owned by another process (see
+  :mod:`repro.obs.top`).
 """
 
 import sys
@@ -24,11 +28,14 @@ import sys
 from .batch.cli import batch_main
 from .explain.cli import explain_main
 from .obs.cli import trace_main
+from .obs.top import top_main
 from .report import main
 from .resilience.cli import resilience_main
 
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "top":
+    sys.exit(top_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "batch":
     sys.exit(batch_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "explain":

@@ -19,14 +19,67 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from .. import obs as _obs
+from ..obs.aggregate import LiveAggregator
 from .executor import BatchRunner, make_backend
 from .spaces import NAMED_SPACES
 from .store import ResultStore
 
 DEFAULT_CACHE_ROOT = ".repro-batch"
+
+#: Seconds between summary lines on the non-TTY fallback path.
+FALLBACK_INTERVAL = 2.0
+
+
+class ProgressLine:
+    """Single rewriting status line driven by a :class:`LiveAggregator`.
+
+    On a TTY the line is redrawn in place (``\\r``) after every
+    finished point, so a 4-worker sweep no longer interleaves one
+    write per point; elsewhere (CI logs, pipes) it degrades to a
+    summary line every couple of seconds.  ``quiet`` suppresses
+    everything.
+    """
+
+    def __init__(self, aggregator: LiveAggregator, quiet: bool = False,
+                 stream=None, interval: float = FALLBACK_INTERVAL):
+        self.aggregator = aggregator
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stdout
+        self.interval = interval
+        self.is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_emit: Optional[float] = None
+        self._last_width = 0
+
+    def update(self, _result=None) -> None:
+        if self.quiet:
+            return
+        line = self.aggregator.render_line()
+        if self.is_tty:
+            pad = " " * max(0, self._last_width - len(line))
+            self.stream.write(f"\r{line}{pad}")
+            self.stream.flush()
+            self._last_width = len(line)
+            return
+        now = time.monotonic()
+        if self._last_emit is None or now - self._last_emit >= self.interval:
+            self._last_emit = now
+            print(line, file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Terminate the rewriting line (or emit the final summary)."""
+        if self.quiet:
+            return
+        line = self.aggregator.render_line()
+        if self.is_tty:
+            pad = " " * max(0, self._last_width - len(line))
+            self.stream.write(f"\r{line}{pad}\n")
+            self.stream.flush()
+        else:
+            print(line, file=self.stream, flush=True)
 
 
 def batch_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -76,16 +129,17 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     runner = BatchRunner(store=store,
                          backend=make_backend(args.workers))
 
-    def progress(result) -> None:
-        if not args.quiet:
-            marker = "." if result.ok else "!"
-            print(f"  [{marker}] {result.label or result.key[:12]} "
-                  f"({result.status}, {result.duration:.3f}s)")
+    aggregator = LiveAggregator(total=len(points))
+    aggregator.label = space.name
+    line = ProgressLine(aggregator, quiet=args.quiet)
 
     _obs.configure(enabled=True, reset=True)
+    _obs.get_bus().subscribe(aggregator)
     try:
-        sweep = space.run(runner, points=points, progress=progress)
+        sweep = space.run(runner, points=points, progress=line.update)
+        line.finish()
     finally:
+        _obs.get_bus().unsubscribe(aggregator)
         _obs.configure(enabled=False)
 
     print(f"\n=== {space.name}: {len(points)} points, "

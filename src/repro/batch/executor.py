@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import obs as _obs
 from .._errors import ModelError
+from ..obs.bus import BUS as _BUS
 from .jobs import (
     STATUS_FAILED,
     STATUS_OK,
@@ -46,6 +47,37 @@ from .store import ResultStore
 
 #: Signature of the per-result callback backends invoke as jobs finish.
 OnResult = Callable[[JobResult], None]
+
+
+def _obs_summary(result: JobResult) -> Optional[Dict[str, int]]:
+    """Condense a result's worker-side ``obs`` delta for the ``job``
+    bus event (engine effort the live aggregator folds into totals)."""
+    if not result.obs:
+        return None
+    counters = result.obs.get("metrics", {}).get("counters", {})
+    return {
+        "iterations": counters.get("propagation.iterations", 0),
+        "model_cache_hits": counters.get("eventmodels.cache.hits", 0),
+        "model_cache_misses": counters.get(
+            "eventmodels.cache.misses", 0),
+        "spans": result.obs.get("spans", 0),
+    }
+
+
+def _publish_job(result: JobResult, cached: bool) -> None:
+    """One ``job`` lifecycle event per unique point, cached or not."""
+    event = {
+        "type": "job", "key": result.key, "kind": result.kind,
+        "label": result.label, "status": result.status,
+        "cached": cached, "duration": result.duration,
+        "attempts": result.attempts,
+    }
+    if result.error:
+        event["error"] = result.error
+    summary = _obs_summary(result)
+    if summary is not None:
+        event["obs"] = summary
+    _BUS.publish(event)
 
 
 def _enforce_budget(job: Job, result: JobResult) -> JobResult:
@@ -242,6 +274,20 @@ class BatchRunner:
             registry.counter("batch.jobs.submitted").inc(len(to_run))
             registry.gauge("batch.workers").set(
                 getattr(self.backend, "workers", 1))
+            if _BUS.active:
+                _BUS.publish({
+                    "type": "sweep", "phase": "start",
+                    "total": len(unique), "cached": len(report.cached),
+                    "to_run": len(to_run),
+                    "workers": getattr(self.backend, "workers", 1),
+                    "backend": getattr(self.backend, "name", "?"),
+                })
+                # Cache hits never reach the backend, so their
+                # lifecycle events are published up front.
+                for key in report.order:
+                    cached_result = report.results.get(key)
+                    if cached_result is not None:
+                        _publish_job(cached_result, cached=True)
 
         attempts: "Dict[str, int]" = {}
         histories: "Dict[str, List[dict]]" = {}
@@ -275,6 +321,17 @@ class BatchRunner:
                     spans = result.obs.get("spans", 0)
                     if spans:
                         registry.counter("batch.worker.spans").inc(spans)
+                    records = result.obs.get("span_records")
+                    if records:
+                        # Adopt worker spans onto a per-worker lane so
+                        # Chrome/Perfetto exports keep worker activity
+                        # distinct from the parent's threads.
+                        tracer = _obs.get_tracer()
+                        worker = str(result.obs.get("pid", "?"))
+                        for record in records:
+                            tracer.adopt(record, worker=worker)
+                if _BUS.active:
+                    _publish_job(result, cached=False)
             if progress is not None:
                 progress(result)
 
@@ -297,6 +354,14 @@ class BatchRunner:
                 retry_queue.append(unique[key])
                 if _obs.enabled:
                     _obs.metrics().counter("batch.retries").inc()
+                    if _BUS.active:
+                        _BUS.publish({
+                            "type": "job_retry", "key": key,
+                            "label": result.label,
+                            "attempt": attempts[key],
+                            "status": result.status,
+                            "error": result.error,
+                        })
                 return
             # Deterministic failure, or a transient one that exhausted
             # its attempts: quarantine as poisoned.
@@ -324,4 +389,13 @@ class BatchRunner:
             report.wall = time.perf_counter() - t0
             if self.store is not None:
                 self.store.close()
+            if _obs.enabled and _BUS.active:
+                _BUS.publish({
+                    "type": "sweep", "phase": "end",
+                    "total": report.total, "wall": report.wall,
+                    "cached": len(report.cached),
+                    "executed": len(report.executed),
+                    "failed": len(report.failed),
+                    "poisoned": len(report.poisoned),
+                })
         return report

@@ -25,6 +25,7 @@ point cannot sink a thousand-point sweep.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -190,18 +191,36 @@ def run_job(job: Job) -> JobResult:
     t0 = time.perf_counter()
     mark = None
     spans_before = 0
+    dropped_before = 0
     if _obs.enabled:
         registry = _obs.metrics()
         mark = registry.mark()
-        spans_before = len(_obs.get_tracer())
+        tracer = _obs.get_tracer()
+        spans_before = len(tracer)
+        dropped_before = tracer.dropped
         registry.counter(f"analysis.jobs.{job.kind}").inc()
 
     def finish(result: JobResult) -> JobResult:
         if mark is not None and _obs.enabled:
+            tracer = _obs.get_tracer()
             result.obs = {
                 "metrics": _obs.metrics().delta_since(mark),
-                "spans": len(_obs.get_tracer()) - spans_before,
+                "spans": len(tracer) - spans_before,
+                "pid": os.getpid(),
             }
+            if _obs.ship_worker_spans:
+                # Serialise the spans this job finished (absolute
+                # perf_counter times — comparable across processes on
+                # one host) so the parent can adopt them onto a
+                # per-worker lane.  Ring-buffer evictions since the
+                # job started shift the slice start accordingly.
+                from ..obs.export import span_to_dict
+
+                evicted = tracer.dropped - dropped_before
+                start = max(0, spans_before - evicted)
+                spans = list(tracer.finished)[start:]
+                result.obs["span_records"] = [
+                    span_to_dict(span) for span in spans]
         return result
 
     if fn is None:

@@ -1,14 +1,22 @@
 """repro.obs — instrumentation for the compositional analysis engine.
 
-Three pieces:
+The pieces:
 
 * :mod:`repro.obs.trace` — span-based tracer (context-manager API,
-  thread-local span stack) used by the global fixed-point loop to emit
-  per-iteration convergence spans.
+  thread-local span stack, ring-buffered retention) used by the global
+  fixed-point loop to emit per-iteration convergence spans.
 * :mod:`repro.obs.metrics` — counters, gauges, and histograms behind a
   create-on-first-use registry (cache hit rates, fixed-point iteration
   counts, simulator throughput).
-* :mod:`repro.obs.export` — JSONL trace and JSON metrics exporters.
+* :mod:`repro.obs.export` — JSONL trace and JSON metrics exporters,
+  plus the Chrome/Perfetto trace-event converter.
+* :mod:`repro.obs.bus` — process-global streaming event bus that span,
+  metric, batch-lifecycle, convergence-residual, and guard-verdict
+  events publish through *while a run is in flight*.
+* :mod:`repro.obs.sinks` / :mod:`repro.obs.aggregate` — pluggable bus
+  subscribers: live JSONL/Chrome exporters and the
+  :class:`LiveAggregator` behind the batch progress line and the
+  ``python -m repro top`` monitor (:mod:`repro.obs.top`).
 
 Observability is **off by default** and the disabled fast path is a
 single module-attribute check — instrumented call sites are written as::
@@ -37,9 +45,12 @@ from __future__ import annotations
 import sys
 from typing import Optional
 
+from .aggregate import LiveAggregator
+from .bus import BUS, EventBus
 from .export import (
     metrics_to_json,
     read_jsonl,
+    records_to_chrome,
     span_to_dict,
     spans_to_chrome,
     spans_to_jsonl,
@@ -47,6 +58,7 @@ from .export import (
     tracer_to_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import ChromeTraceSink, JsonlEventSink, Sink
 from .trace import Span, Tracer
 
 #: Master switch.  Instrumented call sites check this module attribute
@@ -55,11 +67,19 @@ from .trace import Span, Tracer
 #: imports (which would freeze the value at import time).
 enabled = False
 
+#: When true, pool-worker jobs attach their finished span records to
+#: ``JobResult.obs`` so the parent tracer can adopt them onto per-worker
+#: lanes.  Off by default — shipping thousands of span dicts per job is
+#: only worth it when someone is going to look at the merged trace.
+ship_worker_spans = False
+
 _tracer = Tracer()
 _metrics = MetricsRegistry()
 
 
-def configure(*, enabled: bool = True, reset: bool = False) -> None:
+def configure(*, enabled: bool = True, reset: bool = False,
+              max_spans: Optional[int] = None,
+              ship_worker_spans: Optional[bool] = None) -> None:
     """Turn observability on or off for the whole process.
 
     Parameters
@@ -68,9 +88,20 @@ def configure(*, enabled: bool = True, reset: bool = False) -> None:
         New state of the master switch.
     reset:
         Also drop all previously collected spans and zero every metric.
+    max_spans:
+        When given, new cap on the tracer's finished-span ring buffer
+        (see :class:`~repro.obs.trace.Tracer`); ``0``/negative means
+        "keep everything".
+    ship_worker_spans:
+        When given, toggles relaying worker-side span records through
+        the ``JobResult.obs`` channel for parent-side adoption.
     """
     module = sys.modules[__name__]
     module.enabled = enabled
+    if max_spans is not None:
+        _tracer.max_finished = max_spans if max_spans > 0 else None
+    if ship_worker_spans is not None:
+        module.ship_worker_spans = ship_worker_spans
     if reset:
         _tracer.reset()
         _metrics.reset()
@@ -97,15 +128,27 @@ def metrics() -> MetricsRegistry:
     return _metrics
 
 
+def get_bus() -> EventBus:
+    """The process-global telemetry event bus."""
+    return BUS
+
+
 __all__ = [
     "enabled",
+    "ship_worker_spans",
     "configure",
     "disable",
     "is_enabled",
     "get_tracer",
+    "get_bus",
     "metrics",
     "Tracer",
     "Span",
+    "EventBus",
+    "Sink",
+    "JsonlEventSink",
+    "ChromeTraceSink",
+    "LiveAggregator",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -115,6 +158,7 @@ __all__ = [
     "tracer_to_jsonl",
     "spans_to_chrome",
     "tracer_to_chrome",
+    "records_to_chrome",
     "read_jsonl",
     "metrics_to_json",
 ]

@@ -1,0 +1,147 @@
+"""Process-global event bus: the streaming side of ``repro.obs``.
+
+Spans, metrics, batch-job lifecycles, per-iteration convergence
+residuals, and divergence-guard verdicts all *publish* plain-dict
+events through one :class:`EventBus`; pluggable *sinks* subscribe and
+fold or forward them (see :mod:`repro.obs.sinks`).  Where the tracer
+and metrics registry answer "what happened" after a run, the bus
+answers "what is happening" while it runs — it is the seam a live
+monitor (:mod:`repro.obs.top`), a progress line
+(:mod:`repro.batch.cli`), or a future analysis daemon's HTTP progress
+stream plugs into.
+
+Events are JSON-compatible dicts with a ``"type"`` field; consumers
+must skip unknown types so the vocabulary can grow.  The core types:
+
+``span`` / ``span_start`` / ``span_point``
+    Finished spans (same shape as
+    :func:`repro.obs.export.span_to_dict`), span openings, and
+    point-in-time span events from the tracer.
+``metric``
+    One instrument update (``kind``/``name`` plus ``inc`` or
+    ``value``).  Only published while some sink declares interest in
+    metrics — counters fire millions of times per sweep, so the
+    default cost must stay one attribute load and branch.
+``sweep`` / ``job`` / ``job_retry``
+    Batch lifecycle from :class:`repro.batch.executor.BatchRunner`:
+    sweep start/end envelopes, one ``job`` event per unique point
+    (cached or executed, any status), one ``job_retry`` per transient
+    failure sent back to the queue.
+``iteration``
+    One global fixed-point iteration of
+    :func:`repro.system.propagation.analyze_system` with its
+    convergence residuals.
+``guard``
+    A :class:`repro.resilience.guards.DivergenceGuard` verdict.
+
+Publishing is allocation-free when nothing is subscribed: call sites
+check :attr:`EventBus.active` (or :attr:`EventBus.metric_interest`)
+before building the event dict.  Sink exceptions are counted and
+swallowed — a broken monitor must never sink an analysis run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Sinks may be plain callables or objects with a ``handle`` method.
+SinkLike = Callable[[Dict[str, Any]], None]
+
+
+class EventBus:
+    """Thread-safe publish/subscribe hub for telemetry events.
+
+    Subscribers declare optional *interests* — a collection of event
+    types — and only receive matching events; ``None`` means
+    everything.  The bus keeps two cheap flags, :attr:`active` (any
+    sink at all) and :attr:`metric_interest` (some sink wants
+    ``"metric"`` events), so hot call sites can skip event
+    construction entirely with one attribute read.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: list of (handler, interests frozenset or None, token)
+        self._sinks: List[Tuple[SinkLike, Optional[frozenset], Any]] = []
+        self.active = False
+        self.metric_interest = False
+        #: Exceptions swallowed while dispatching to sinks.
+        self.sink_errors = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, sink: Any,
+                  interests: Optional[Any] = None) -> Any:
+        """Attach *sink*; returns *sink* itself (the unsubscribe token).
+
+        *sink* is either a callable taking one event dict or an object
+        with a ``handle(event)`` method; when *interests* is ``None``
+        the sink's own ``interests`` attribute (if any) is used.
+        """
+        handler = getattr(sink, "handle", None)
+        if handler is None:
+            handler = sink
+        if interests is None:
+            interests = getattr(sink, "interests", None)
+        wanted = None if interests is None else frozenset(interests)
+        with self._lock:
+            self._sinks.append((handler, wanted, sink))
+            self._refresh_flags()
+        return sink
+
+    def unsubscribe(self, sink: Any) -> bool:
+        """Detach *sink*; returns whether it was subscribed."""
+        with self._lock:
+            before = len(self._sinks)
+            self._sinks = [entry for entry in self._sinks
+                           if entry[2] is not sink]
+            self._refresh_flags()
+            return len(self._sinks) < before
+
+    def _refresh_flags(self) -> None:
+        self.active = bool(self._sinks)
+        self.metric_interest = any(
+            wanted is None or "metric" in wanted
+            for _, wanted, _ in self._sinks)
+
+    def clear(self) -> None:
+        """Drop every sink (test isolation; sinks are not closed)."""
+        with self._lock:
+            self._sinks = []
+            self._refresh_flags()
+        self.sink_errors = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Dispatch *event* to every interested sink.
+
+        The event dict gains a ``"t"`` wall-clock-free timestamp
+        (:func:`time.perf_counter` seconds) unless the publisher
+        already stamped one.  Dispatch happens outside the lock on a
+        snapshot of the sink list, so sinks may (un)subscribe from
+        inside a handler.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+        if not sinks:
+            return
+        if "t" not in event:
+            event["t"] = time.perf_counter()
+        kind = event.get("type")
+        for handler, wanted, _ in sinks:
+            if wanted is not None and kind not in wanted:
+                continue
+            try:
+                handler(event)
+            except Exception:
+                self.sink_errors += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sinks)
+
+
+#: The process-global bus every instrumented call site publishes to.
+#: Access it through :func:`repro.obs.get_bus` from user code.
+BUS = EventBus()

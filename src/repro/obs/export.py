@@ -29,6 +29,8 @@ def span_to_dict(span: Span, t0: float = 0.0) -> Dict[str, Any]:
         "status": span.status,
         "attributes": _jsonable(span.attributes),
     }
+    if span.worker is not None:
+        record["worker"] = span.worker
     if span.error is not None:
         record["error"] = span.error
     if span.events:
@@ -64,44 +66,55 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
     return records
 
 
-def spans_to_chrome(spans: Sequence[Span],
-                    t0: float = 0.0) -> Dict[str, Any]:
-    """Convert finished spans to the Chrome trace-event format.
+def records_to_chrome(records: Sequence[Dict[str, Any]],
+                      t0: float = 0.0) -> Dict[str, Any]:
+    """Convert span *records* (``span_to_dict`` shape, or ``"span"``
+    events streamed off the bus) to the Chrome trace-event format.
 
     The returned object loads directly into Perfetto
     (https://ui.perfetto.dev) or ``chrome://tracing``: one ``"X"``
     (complete) event per span with microsecond timestamps relative to
     *t0*, one ``"i"`` (instant) event per span event, plus metadata
-    naming the process and one row per traced thread.  Unfinished spans
-    are skipped — the format has no open-ended complete events.
+    naming the process and one row per traced lane.  Unfinished spans
+    (``end`` missing) are skipped — the format has no open-ended
+    complete events.
+
+    Lanes are ``(worker, thread_id)`` pairs: spans adopted from pool
+    workers carry a ``"worker"`` tag and get their own synthetic tids
+    (named ``worker-<tag>`` in the metadata) even when — as under
+    ``fork`` — their raw thread idents coincide with the parent's, so
+    worker activity shows up as distinct Perfetto rows rather than
+    collapsing onto the parent thread.
     """
-    # Perfetto renders tids as small integers; map thread idents to a
-    # compact, deterministic numbering in first-seen (span-id) order.
-    tid_map: Dict[int, int] = {}
+    # Perfetto renders tids as small integers; map lanes to a compact,
+    # deterministic numbering in first-seen (span-id) order.
+    tid_map: Dict[Any, int] = {}
     events: List[Dict[str, Any]] = []
-    for span in sorted(spans, key=lambda s: s.span_id):
-        if span.end is None:
+    for record in sorted(records, key=lambda r: r.get("span_id", 0)):
+        if record.get("end") is None:
             continue
-        tid = tid_map.setdefault(span.thread_id, len(tid_map) + 1)
-        args = _jsonable(span.attributes)
-        args["span_id"] = span.span_id
-        if span.parent_id is not None:
-            args["parent_id"] = span.parent_id
-        if span.status != "ok":
-            args["status"] = span.status
-            if span.error is not None:
-                args["error"] = span.error
+        lane = (record.get("worker"), record.get("thread_id"))
+        tid = tid_map.setdefault(lane, len(tid_map) + 1)
+        args = _jsonable(record.get("attributes", {}))
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        status = record.get("status", "ok")
+        if status != "ok":
+            args["status"] = status
+            if record.get("error") is not None:
+                args["error"] = record["error"]
         events.append({
-            "name": span.name,
-            "cat": "repro" if span.status == "ok" else "repro,error",
+            "name": record.get("name", "?"),
+            "cat": "repro" if status == "ok" else "repro,error",
             "ph": "X",
-            "ts": (span.start - t0) * 1e6,
-            "dur": (span.end - span.start) * 1e6,
+            "ts": (record["start"] - t0) * 1e6,
+            "dur": (record["end"] - record["start"]) * 1e6,
             "pid": 1,
             "tid": tid,
             "args": args,
         })
-        for ev in span.events:
+        for ev in record.get("events", ()):
             extra = {k: v for k, v in ev.items()
                      if k not in ("name", "time")}
             events.append({
@@ -118,12 +131,22 @@ def spans_to_chrome(spans: Sequence[Span],
         "name": "process_name", "ph": "M", "pid": 1,
         "args": {"name": "repro analysis"},
     }]
-    for ident, tid in tid_map.items():
+    for (worker, ident), tid in tid_map.items():
+        name = (f"thread-{ident}" if worker is None
+                else f"worker-{worker} thread-{ident}")
         meta.append({
             "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
-            "args": {"name": f"thread-{ident}"},
+            "args": {"name": name},
         })
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def spans_to_chrome(spans: Sequence[Span],
+                    t0: float = 0.0) -> Dict[str, Any]:
+    """Convert finished :class:`Span` objects to Chrome trace-event
+    format (see :func:`records_to_chrome` for the lane semantics)."""
+    records = [span_to_dict(span) for span in spans]
+    return records_to_chrome(records, t0=t0)
 
 
 def tracer_to_chrome(tracer: Tracer,

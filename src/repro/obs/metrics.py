@@ -21,6 +21,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from .._errors import ModelError
+from .bus import BUS
 
 
 class Counter:
@@ -34,6 +35,10 @@ class Counter:
 
     def inc(self, n: int = 1) -> None:
         self.value += n
+        if BUS.metric_interest:
+            BUS.publish({"type": "metric", "kind": "counter",
+                         "name": self.name, "inc": n,
+                         "value": self.value})
 
     def reset(self) -> None:
         self.value = 0
@@ -53,6 +58,9 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = value
+        if BUS.metric_interest:
+            BUS.publish({"type": "metric", "kind": "gauge",
+                         "name": self.name, "value": value})
 
     def reset(self) -> None:
         self.value = None
@@ -94,6 +102,9 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         self.values.append(value)
+        if BUS.metric_interest:
+            BUS.publish({"type": "metric", "kind": "histogram",
+                         "name": self.name, "value": value})
 
     def time_block(self) -> _TimeBlock:
         """``with hist.time_block(): ...`` observes the block's seconds."""

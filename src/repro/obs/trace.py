@@ -15,7 +15,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from .bus import BUS
+
+#: Default cap on retained finished spans.  Long sweeps (and the future
+#: analysis daemon) emit spans indefinitely; beyond the cap the oldest
+#: spans are dropped and counted rather than leaking memory.
+DEFAULT_MAX_FINISHED = 100_000
 
 
 class Span:
@@ -32,7 +40,8 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "events", "span_id", "parent_id",
-                 "thread_id", "start", "end", "status", "error", "_tracer")
+                 "thread_id", "worker", "start", "end", "status", "error",
+                 "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: Optional[int],
@@ -42,6 +51,9 @@ class Span:
         self.span_id = span_id
         self.parent_id = parent_id
         self.thread_id = threading.get_ident()
+        #: Worker lane for spans adopted from pool workers (``None`` for
+        #: spans recorded in this process); see :meth:`Tracer.adopt`.
+        self.worker: Optional[str] = None
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.events: List[Dict[str, Any]] = []
         self.start = time.perf_counter()
@@ -92,16 +104,22 @@ class Tracer:
 
     ``span()``/``start()`` push onto the calling thread's stack so
     nested spans automatically pick up their parent.  Finished spans are
-    appended to a shared list guarded by a lock (the analysis engine is
-    single-threaded today, but simulators and future sharded backends
-    may not be).
+    appended to a shared ring buffer guarded by a lock (the analysis
+    engine is single-threaded today, but simulators and future sharded
+    backends may not be); once ``max_finished`` spans are retained the
+    oldest are dropped and counted in :attr:`dropped` (mirrored to the
+    ``trace.spans_dropped`` counter), so unbounded sweeps cannot leak
+    memory through the tracer.
     """
 
-    def __init__(self):
+    def __init__(self, max_finished: int = DEFAULT_MAX_FINISHED):
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 0
-        self.finished: List[Span] = []
+        self.max_finished = max_finished
+        self.finished: "Deque[Span]" = deque()
+        #: Spans evicted from the ring buffer since the last reset.
+        self.dropped = 0
         #: perf_counter origin for relative timestamps in exports.
         self.t0 = time.perf_counter()
 
@@ -128,6 +146,12 @@ class Tracer:
                     parent.span_id if parent is not None else None,
                     attributes)
         self._stack().append(span)
+        if BUS.active:
+            BUS.publish({"type": "span_start", "name": span.name,
+                         "span_id": span.span_id,
+                         "parent_id": span.parent_id,
+                         "thread_id": span.thread_id,
+                         "t": span.start})
         return span
 
     def span(self, name: str, **attributes: Any) -> Span:
@@ -140,6 +164,11 @@ class Tracer:
         current = self.current()
         if current is not None:
             current.event(name, **attributes)
+            if BUS.active:
+                BUS.publish({"type": "span_point", "name": name,
+                             "span_id": current.span_id,
+                             "span_name": current.name,
+                             "attributes": dict(attributes)})
 
     def _finish(self, span: Span) -> None:
         if span.end is not None:
@@ -152,8 +181,68 @@ class Tracer:
             popped = stack.pop()
             if popped is span:
                 break
+        self._retain(span)
+        if BUS.active:
+            # Same record shape as span_to_dict (absolute times) plus
+            # the envelope type, so a streamed JSONL trace is readable
+            # by the existing read_jsonl/ConvergenceReport machinery.
+            event: Dict[str, Any] = {
+                "type": "span", "name": span.name,
+                "span_id": span.span_id, "parent_id": span.parent_id,
+                "thread_id": span.thread_id, "start": span.start,
+                "end": span.end, "duration": span.duration,
+                "status": span.status,
+                "attributes": dict(span.attributes),
+            }
+            if span.error is not None:
+                event["error"] = span.error
+            BUS.publish(event)
+
+    def _retain(self, span: Span) -> None:
+        """Append to the finished ring buffer, evicting beyond the cap."""
+        dropped = 0
         with self._lock:
             self.finished.append(span)
+            while (self.max_finished is not None
+                    and len(self.finished) > self.max_finished):
+                self.finished.popleft()
+                self.dropped += 1
+                dropped += 1
+        if dropped:
+            # Lazy import: repro.obs imports this module at its top
+            # level, so reach the registry through the package only
+            # when an eviction actually happens.
+            import repro.obs as _obs
+            _obs.metrics().counter("trace.spans_dropped").inc(dropped)
+
+    def adopt(self, record: "Mapping[str, Any]",
+              worker: Optional[str] = None) -> Span:
+        """Fold a serialised span record from another process into this
+        tracer's finished buffer.
+
+        Pool workers ship their finished spans back through the
+        ``JobResult.obs`` channel as plain dicts (absolute
+        ``perf_counter`` times — comparable across processes on the
+        same host, where the clock is system-wide monotonic).  The
+        *worker* lane tag keeps their thread idents from colliding
+        with the parent's in Chrome/Perfetto exports — under ``fork``
+        every worker's main thread usually reports the *same* ident as
+        the parent's.
+        """
+        span = Span(self, record.get("name", "?"),
+                    record.get("span_id", -1), record.get("parent_id"),
+                    record.get("attributes"))
+        span.thread_id = record.get("thread_id", 0)
+        span.worker = worker if worker is not None \
+            else record.get("worker")
+        span.start = record.get("start", 0.0)
+        span.end = record.get("end", span.start)
+        span.status = record.get("status", "ok")
+        span.error = record.get("error")
+        for ev in record.get("events", ()):
+            span.events.append(dict(ev))
+        self._retain(span)
+        return span
 
     # ------------------------------------------------------------------
     def spans(self, name: Optional[str] = None) -> List[Span]:
@@ -169,6 +258,7 @@ class Tracer:
         with self._lock:
             self.finished.clear()
             self._next_id = 0
+            self.dropped = 0
         self._local = threading.local()
         self.t0 = time.perf_counter()
 

@@ -54,6 +54,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs as _obs
+from ..obs.bus import BUS as _BUS
 from .._errors import (
     AnalysisError,
     ModelError,
@@ -408,6 +409,13 @@ def degraded_analyze(system: System,
                                    if not h.ok]),
                               widened_ports=sorted(substitutes))
                 _obs.metrics().counter("propagation.iterations").inc()
+                if _BUS.active:
+                    _BUS.publish({
+                        "type": "iteration", "system": system.name,
+                        "iteration": iteration, "converged": converged,
+                        "mode": "degraded",
+                        **residual_info,
+                    })
             if converged:
                 break
 
@@ -425,6 +433,15 @@ def degraded_analyze(system: System,
                             verdict=verdict.verdict,
                             iteration=iteration, detail=verdict.detail,
                             mode="degraded")
+                        if _BUS.active:
+                            _BUS.publish({
+                                "type": "guard",
+                                "system": system.name,
+                                "verdict": verdict.verdict,
+                                "iteration": iteration,
+                                "detail": verdict.detail,
+                                "mode": "degraded",
+                            })
                     culprit = culprit_resource(residual_info, new_models)
                     if culprit is not None:
                         quarantine_diverged(culprit, verdict, resolver)

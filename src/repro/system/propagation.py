@@ -23,6 +23,7 @@ from typing import Dict, Optional, Set
 
 from .. import obs as _obs
 from .._errors import ConvergenceError, ModelError
+from ..obs.bus import BUS as _BUS
 from ..analysis.interface import TaskSpec
 from ..analysis.results import ResourceResult, SystemResult, TaskResult
 from ..core.constructors import hsc_and, hsc_or, hsc_pack
@@ -387,6 +388,13 @@ def analyze_system(system: System,
                               changed_ports=changed,
                               converged=converged)
                 _obs.metrics().counter("propagation.iterations").inc()
+                if _BUS.active and residual_info is not None:
+                    _BUS.publish({
+                        "type": "iteration", "system": system.name,
+                        "iteration": iteration, "converged": converged,
+                        "unstable_models": len(changed),
+                        **residual_info,
+                    })
             if converged:
                 if _obs.enabled:
                     _obs.metrics().gauge(
@@ -408,6 +416,14 @@ def analyze_system(system: System,
                             "divergence_detected",
                             verdict=verdict.verdict,
                             iteration=iteration, detail=verdict.detail)
+                        if _BUS.active:
+                            _BUS.publish({
+                                "type": "guard",
+                                "system": system.name,
+                                "verdict": verdict.verdict,
+                                "iteration": iteration,
+                                "detail": verdict.detail,
+                            })
                     raise ConvergenceError(
                         f"divergence guard aborted the global analysis "
                         f"after {iteration} iterations: "

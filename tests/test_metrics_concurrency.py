@@ -1,0 +1,180 @@
+"""MetricsRegistry mark/delta/merge/discard under concurrent mutation.
+
+The batch runner takes deltas while pool callbacks merge worker deltas
+back, and the serial backend discards marks while the engine is still
+incrementing counters on other threads (simulators, future sharded
+backends).  These tests drive the registry from several writer threads
+while the snapshot machinery runs concurrently and assert the
+*conservation* property: nothing recorded is lost or double counted
+once the dust settles.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+WRITERS = 4
+INCS_PER_WRITER = 2_000
+
+
+def hammer(registry, writer_id, stop=None):
+    """One writer thread's workload: counters + histogram samples."""
+    counter = registry.counter("work.items")
+    mine = registry.counter(f"work.writer{writer_id}")
+    hist = registry.histogram("work.seconds")
+    for i in range(INCS_PER_WRITER):
+        counter.inc()
+        mine.inc()
+        hist.observe(float(i % 7))
+
+
+def advance(mark, delta):
+    """The mark implied by ``mark`` plus everything in ``delta``.
+
+    Re-calling ``registry.mark()`` after taking a delta would lose any
+    increments that landed between the two calls; advancing the old
+    mark by the delta's own contents closes that window exactly."""
+    counters = dict(mark.get("counters", {}))
+    for name, inc in delta.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + inc
+    histograms = dict(mark.get("histograms", {}))
+    for name, samples in delta.get("histograms", {}).items():
+        histograms[name] = histograms.get(name, 0) + len(samples)
+    gauges = dict(mark.get("gauges", {}))
+    gauges.update(delta.get("gauges", {}))
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+class TestConcurrentDeltas:
+    def test_conservation_across_concurrent_deltas(self):
+        """Deltas taken mid-flight, merged into a second registry,
+        account for every recorded increment exactly once."""
+        registry = MetricsRegistry()
+        folded = MetricsRegistry()
+        mark = registry.mark()  # before any work exists
+        writers = [threading.Thread(target=hammer,
+                                    args=(registry, w))
+                   for w in range(WRITERS)]
+        for t in writers:
+            t.start()
+
+        while any(t.is_alive() for t in writers):
+            delta = registry.delta_since(mark)
+            folded.merge_delta(delta)
+            mark = advance(mark, delta)
+        for t in writers:
+            t.join()
+        # final catch-up delta after every writer has finished
+        folded.merge_delta(registry.delta_since(mark))
+
+        total = WRITERS * INCS_PER_WRITER
+        source = registry.snapshot()
+        merged = folded.snapshot()
+        assert source["counters"]["work.items"] == total
+        assert merged["counters"]["work.items"] == total
+        for w in range(WRITERS):
+            assert merged["counters"][f"work.writer{w}"] == \
+                INCS_PER_WRITER
+        assert merged["histograms"]["work.seconds"]["count"] == total
+        assert merged["histograms"]["work.seconds"]["total"] == \
+            pytest.approx(source["histograms"]["work.seconds"]["total"])
+
+    def test_in_flight_deltas_are_valid_payloads(self):
+        """Every delta taken mid-mutation is internally consistent:
+        non-negative counter increments, histogram samples lists."""
+        registry = MetricsRegistry()
+        writers = [threading.Thread(target=hammer, args=(registry, w))
+                   for w in range(2)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(50):
+                delta = registry.delta_since(registry.mark())
+                for name, inc in delta["counters"].items():
+                    assert inc >= 0, name
+                for name, samples in delta["histograms"].items():
+                    assert isinstance(samples, list)
+        finally:
+            for t in writers:
+                t.join()
+
+    def test_observers_see_monotone_counts(self):
+        """Snapshots taken while writers run never go backwards."""
+        registry = MetricsRegistry()
+        writers = [threading.Thread(target=hammer, args=(registry, w))
+                   for w in range(2)]
+        seen = []
+        for t in writers:
+            t.start()
+        while any(t.is_alive() for t in writers):
+            snap = registry.snapshot()
+            seen.append(snap["counters"].get("work.items", 0))
+        for t in writers:
+            t.join()
+        assert seen == sorted(seen)
+        assert registry.snapshot()["counters"]["work.items"] == \
+            2 * INCS_PER_WRITER
+
+
+class TestDiscardSince:
+    def test_discard_rolls_back_to_mark(self):
+        registry = MetricsRegistry()
+        registry.counter("keep").inc(5)
+        registry.gauge("level").set(1.0)
+        registry.histogram("h").observe(0.5)
+        mark = registry.mark()
+        registry.counter("keep").inc(10)
+        registry.counter("new").inc(3)
+        registry.gauge("level").set(9.0)
+        registry.gauge("fresh").set(2.0)
+        registry.histogram("h").observe(1.5)
+        registry.discard_since(mark)
+        snap = registry.snapshot()
+        assert snap["counters"]["keep"] == 5
+        assert snap["counters"]["new"] == 0  # created after the mark
+        assert snap["gauges"]["level"] == 1.0
+        assert snap["gauges"]["fresh"] is None
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_discard_off_main_thread(self):
+        """The serial batch path discards from whatever thread runs the
+        sweep (e.g. the ``repro top`` worker thread)."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        mark = registry.mark()
+        registry.counter("c").inc(100)
+        errors = []
+
+        def discard():
+            try:
+                registry.discard_since(mark)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=discard)
+        t.start()
+        t.join()
+        assert not errors
+        assert registry.snapshot()["counters"]["c"] == 2
+
+    def test_mark_then_merge_then_discard_cycle(self):
+        """A full runner-style cycle keeps both registries coherent."""
+        parent = MetricsRegistry()
+        parent.counter("batch.jobs").inc(1)
+        mark = parent.mark()
+        # simulate a worker delta arriving while a doomed serial job
+        # also wrote into the parent
+        parent.counter("doomed.iterations").inc(40)
+        parent.discard_since(mark)  # job timed out: unhappen it
+        parent.merge_delta({"counters": {"propagation.iterations": 12},
+                            "gauges": {"depth": 2.0},
+                            "histograms": {"seconds": [0.1, 0.2]}})
+        snap = parent.snapshot()
+        assert snap["counters"]["batch.jobs"] == 1
+        assert snap["counters"]["doomed.iterations"] == 0
+        assert snap["counters"]["propagation.iterations"] == 12
+        assert snap["gauges"]["depth"] == 2.0
+        assert snap["histograms"]["seconds"]["count"] == 2

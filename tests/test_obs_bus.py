@@ -1,0 +1,321 @@
+"""Event bus, sinks, tracer ring buffer, and worker trace lanes."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.bus import EventBus
+from repro.obs.export import records_to_chrome
+from repro.obs.sinks import ChromeTraceSink, JsonlEventSink
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with a quiet bus and disabled obs."""
+    obs.get_bus().clear()
+    obs.configure(enabled=False, reset=True)
+    yield
+    obs.get_bus().clear()
+    obs.configure(enabled=False, reset=True,
+                  max_spans=obs.trace.DEFAULT_MAX_FINISHED,
+                  ship_worker_spans=False)
+
+
+class Collector:
+    """Minimal sink: remembers every event it was handed."""
+
+    def __init__(self, interests=None):
+        if interests is not None:
+            self.interests = frozenset(interests)
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(dict(event))
+
+
+class TestEventBus:
+    def test_subscribe_publish_unsubscribe(self):
+        bus = EventBus()
+        sink = Collector()
+        assert not bus.active
+        bus.subscribe(sink)
+        assert bus.active and len(bus) == 1
+        bus.publish({"type": "job", "key": "k"})
+        assert len(sink.events) == 1
+        assert sink.events[0]["type"] == "job"
+        assert "t" in sink.events[0]  # bus stamps a timestamp
+        assert bus.unsubscribe(sink)
+        assert not bus.active
+        bus.publish({"type": "job", "key": "k2"})
+        assert len(sink.events) == 1
+        assert not bus.unsubscribe(sink)  # already gone
+
+    def test_plain_callable_sink(self):
+        bus = EventBus()
+        seen = []
+        handler = seen.append
+        bus.subscribe(handler)
+        bus.publish({"type": "anything"})
+        assert len(seen) == 1
+        assert bus.unsubscribe(handler)
+        assert not bus.active
+
+    def test_interest_filtering(self):
+        bus = EventBus()
+        only_jobs = Collector(interests={"job"})
+        everything = Collector()
+        bus.subscribe(only_jobs)
+        bus.subscribe(everything)
+        bus.publish({"type": "job"})
+        bus.publish({"type": "iteration"})
+        assert [e["type"] for e in only_jobs.events] == ["job"]
+        assert [e["type"] for e in everything.events] == [
+            "job", "iteration"]
+
+    def test_metric_interest_flag(self):
+        bus = EventBus()
+        aggregatorish = Collector(interests={"job"})
+        bus.subscribe(aggregatorish)
+        assert bus.active
+        assert not bus.metric_interest  # no metric subscriber
+        wants_all = Collector()
+        bus.subscribe(wants_all)
+        assert bus.metric_interest  # None interests = everything
+        bus.unsubscribe(wants_all)
+        assert not bus.metric_interest
+
+    def test_metric_publishing_gated_on_interest(self):
+        metric_sink = Collector(interests={"metric"})
+        obs.get_bus().subscribe(metric_sink)
+        obs.metrics().counter("test.bus.counter").inc(3)
+        obs.metrics().gauge("test.bus.gauge").set(1.5)
+        obs.metrics().histogram("test.bus.hist").observe(0.25)
+        kinds = [(e["kind"], e["name"]) for e in metric_sink.events]
+        assert ("counter", "test.bus.counter") in kinds
+        assert ("gauge", "test.bus.gauge") in kinds
+        assert ("histogram", "test.bus.hist") in kinds
+
+        obs.get_bus().clear()
+        job_sink = Collector(interests={"job"})
+        obs.get_bus().subscribe(job_sink)
+        obs.metrics().counter("test.bus.counter").inc()
+        assert job_sink.events == []  # not even constructed/dispatched
+
+    def test_sink_exception_isolated_and_counted(self):
+        bus = EventBus()
+
+        def broken(_event):
+            raise RuntimeError("boom")
+
+        healthy = Collector()
+        bus.subscribe(broken)
+        bus.subscribe(healthy)
+        bus.publish({"type": "job"})
+        bus.publish({"type": "job"})
+        assert len(healthy.events) == 2
+        assert bus.sink_errors == 2
+
+    def test_sink_may_unsubscribe_from_handler(self):
+        bus = EventBus()
+
+        class OneShot(Collector):
+            def handle(self, event):
+                super().handle(event)
+                bus.unsubscribe(self)
+
+        sink = OneShot()
+        bus.subscribe(sink)
+        bus.publish({"type": "a"})
+        bus.publish({"type": "b"})
+        assert [e["type"] for e in sink.events] == ["a"]
+
+    def test_publish_threadsafe(self):
+        bus = EventBus()
+        sink = Collector()
+        bus.subscribe(sink)
+
+        def spam(n):
+            for i in range(200):
+                bus.publish({"type": "job", "n": n, "i": i})
+
+        threads = [threading.Thread(target=spam, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(sink.events) == 800
+
+
+class TestTracerRingBuffer:
+    def test_cap_evicts_oldest_and_counts(self):
+        tracer = Tracer(max_finished=5)
+        for i in range(8):
+            tracer.start(f"s{i}").finish()
+        assert len(tracer) == 5
+        assert tracer.dropped == 3
+        assert [s.name for s in tracer.spans()] == [
+            "s3", "s4", "s5", "s6", "s7"]
+
+    def test_unbounded_when_none(self):
+        tracer = Tracer(max_finished=None)
+        for i in range(50):
+            tracer.start(f"s{i}").finish()
+        assert len(tracer) == 50 and tracer.dropped == 0
+
+    def test_reset_zeroes_dropped(self):
+        tracer = Tracer(max_finished=1)
+        tracer.start("a").finish()
+        tracer.start("b").finish()
+        assert tracer.dropped == 1
+        tracer.reset()
+        assert tracer.dropped == 0 and len(tracer) == 0
+
+    def test_global_tracer_eviction_bumps_counter(self):
+        obs.configure(enabled=True, reset=True, max_spans=3)
+        tracer = obs.get_tracer()
+        for i in range(7):
+            tracer.start(f"s{i}").finish()
+        assert tracer.dropped == 4
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters["trace.spans_dropped"] == 4
+
+    def test_configure_zero_means_unbounded(self):
+        obs.configure(enabled=True, reset=True, max_spans=0)
+        assert obs.get_tracer().max_finished is None
+
+
+class TestTracerBusEvents:
+    def test_span_lifecycle_published(self):
+        sink = Collector()
+        obs.get_bus().subscribe(sink)
+        tracer = Tracer()
+        with tracer.span("outer", resource="cpu") as span:
+            tracer.event("tick", n=1)
+            span.set(tasks=2)
+        kinds = [e["type"] for e in sink.events]
+        assert kinds == ["span_start", "span_point", "span"]
+        finished = sink.events[-1]
+        assert finished["name"] == "outer"
+        assert finished["status"] == "ok"
+        assert finished["attributes"] == {"resource": "cpu", "tasks": 2}
+        assert finished["end"] >= finished["start"]
+
+    def test_error_span_carries_error(self):
+        sink = Collector(interests={"span"})
+        obs.get_bus().subscribe(sink)
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("nope")
+        assert sink.events[-1]["status"] == "error"
+        assert "nope" in sink.events[-1]["error"]
+
+
+class TestAdoptAndChromeLanes:
+    def test_adopted_workers_get_distinct_lanes(self):
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        parent.finish()
+        ident = parent.thread_id  # fork: workers report the same ident
+        for worker in ("101", "102"):
+            tracer.adopt({"name": "job", "span_id": 0,
+                          "parent_id": None, "thread_id": ident,
+                          "start": 1.0, "end": 2.0, "status": "ok",
+                          "attributes": {}}, worker=worker)
+        payload = obs.spans_to_chrome(tracer.spans())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len({e["tid"] for e in complete}) == 3
+        names = {e["args"]["name"]
+                 for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert f"thread-{ident}" in names
+        assert f"worker-101 thread-{ident}" in names
+        assert f"worker-102 thread-{ident}" in names
+
+    def test_adopt_preserves_record_fields(self):
+        tracer = Tracer()
+        span = tracer.adopt({
+            "name": "local_analysis", "span_id": 7, "parent_id": 3,
+            "thread_id": 42, "start": 5.0, "end": 6.5,
+            "status": "error", "error": "ValueError('x')",
+            "attributes": {"resource": "bus"},
+            "events": [{"name": "tick", "time": 5.5}],
+        }, worker="77")
+        assert span.worker == "77"
+        assert span.duration == pytest.approx(1.5)
+        record = obs.span_to_dict(span)
+        assert record["worker"] == "77"
+        assert record["error"] == "ValueError('x')"
+        assert record["events"][0]["name"] == "tick"
+
+    def test_records_to_chrome_skips_unfinished(self):
+        payload = records_to_chrome([
+            {"name": "open", "span_id": 1, "thread_id": 1,
+             "start": 0.0, "end": None},
+            {"name": "done", "span_id": 2, "thread_id": 1,
+             "start": 0.0, "end": 1.0},
+        ])
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["done"]
+
+
+class TestSinks:
+    def test_jsonl_sink_streams_and_flushes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(str(path))
+        obs.get_bus().subscribe(sink)
+        tracer = Tracer()
+        tracer.start("one").finish()
+        # flushed per event: readable before close
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # span_start + span
+        sink.close()
+        assert sink.written == 2
+
+    def test_jsonl_span_only_matches_posthoc_exporter(self, tmp_path):
+        live = tmp_path / "live.jsonl"
+        sink = JsonlEventSink(str(live), span_only=True)
+        obs.get_bus().subscribe(sink)
+        tracer = Tracer()
+        sink._t0 = tracer.t0
+        with tracer.span("outer"):
+            tracer.start("inner").finish()
+        sink.close()
+        posthoc = tmp_path / "posthoc.jsonl"
+        obs.tracer_to_jsonl(tracer, str(posthoc))
+        live_records = obs.read_jsonl(str(live))
+        post_records = obs.read_jsonl(str(posthoc))
+        assert len(live_records) == len(post_records) == 2
+        for lr, pr in zip(
+                sorted(live_records, key=lambda r: r["span_id"]),
+                sorted(post_records, key=lambda r: r["span_id"])):
+            assert lr["name"] == pr["name"]
+            assert lr["span_id"] == pr["span_id"]
+            assert lr["parent_id"] == pr["parent_id"]
+            assert lr["start"] == pytest.approx(pr["start"])
+            assert lr["end"] == pytest.approx(pr["end"])
+
+    def test_chrome_sink_payload(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        obs.get_bus().subscribe(sink)
+        tracer = Tracer()
+        tracer.start("a").finish()
+        tracer.start("b").finish()
+        assert sink.count == 2
+        sink.close()
+        payload = json.loads(path.read_text())
+        complete = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X"]
+        assert sorted(e["name"] for e in complete) == ["a", "b"]
+
+    def test_closed_sinks_ignore_events(self, tmp_path):
+        sink = JsonlEventSink(str(tmp_path / "x.jsonl"))
+        sink.close()
+        sink.handle({"type": "span"})  # no error, nothing written
+        assert sink.written == 0
+        sink.close()  # idempotent
