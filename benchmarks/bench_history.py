@@ -35,6 +35,7 @@ below that baseline.  All tracked metrics are higher-is-better:
                                  across the ``BENCH_compile.json`` cases
 * ``batch.throughput``         — points / pool wall seconds
 * ``batch.warm_cache_hit_rate``— warm-rerun store hit rate
+* ``serve.throughput``         — daemon sustained warm requests / second
 
 With no history yet (first run on a branch) ``check`` passes with a
 note unless ``--require-baseline`` is given — so the gate can be wired
@@ -64,6 +65,7 @@ ARTIFACTS = {
     "compile": "BENCH_compile.json",
     "batch": "BENCH_batch.json",
     "suite": "BENCH_suite.json",
+    "serve": "BENCH_serve.json",
 }
 
 DEFAULT_WINDOW = 5
@@ -178,12 +180,20 @@ def _metric_warm_hit_rate(payload: Dict[str, Any]) -> Optional[float]:
     return float(rate) if isinstance(rate, (int, float)) else None
 
 
+def _metric_serve_throughput(payload: Dict[str, Any]) -> Optional[float]:
+    rps = payload.get("sustained_rps")
+    if isinstance(rps, (int, float)) and rps > 0:
+        return float(rps)
+    return None
+
+
 #: name -> (bench artefact it reads, extractor).  All higher-is-better.
 TRACKED_METRICS: Dict[str, Tuple[str, Callable[[Dict[str, Any]],
                                                Optional[float]]]] = {
     "compile.min_speedup": ("compile", _metric_compile_min_speedup),
     "batch.throughput": ("batch", _metric_batch_throughput),
     "batch.warm_cache_hit_rate": ("batch", _metric_warm_hit_rate),
+    "serve.throughput": ("serve", _metric_serve_throughput),
 }
 
 

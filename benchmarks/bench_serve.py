@@ -1,0 +1,177 @@
+"""End-to-end benchmark of the ``repro.serve`` daemon.
+
+Starts a real daemon (background thread, ephemeral port, temp cache
+dir) and measures the served-analysis path over actual HTTP:
+
+* **cold latency** — N distinct analyze requests that each miss the
+  result store (p50/p99),
+* **warm latency** — the identical requests again, all answered from
+  the shared content-addressed store (p50/p99),
+* **sustained throughput** — several client threads hammering
+  warm-cache requests for a fixed window (requests / second).
+
+The warm numbers are the daemon's value proposition: they bound the
+fixed serving overhead (HTTP parse, queue, dispatch, store lookup) a
+client pays on a cache hit.  The gate asserts warm p50 stays under a
+generous ceiling and the warm path is no slower than the cold one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+
+Emits ``BENCH_serve.json`` into the repository root (override with
+``BENCH_OUT_DIR``) in the ``repro-bench/1`` envelope;
+``benchmarks/bench_history.py`` tracks ``serve.throughput`` from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_history import envelope  # noqa: E402
+from repro.serve import ServeClient, daemon_in_thread  # noqa: E402
+
+BENCH_OUT_DIR = Path(os.environ.get(
+    "BENCH_OUT_DIR", Path(__file__).resolve().parent.parent))
+
+#: Warm-hit p50 ceiling (seconds).  A served cache hit is one HTTP
+#: round-trip + queue + store lookup; 50ms is an order of magnitude of
+#: slack over what a healthy host delivers.
+MAX_WARM_P50 = 0.050
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _timed_requests(client, count, max_iterations_base):
+    """One analyze request per distinct ``max_iterations`` value (a
+    distinct content-addressed key each); returns per-request wall."""
+    latencies = []
+    for i in range(count):
+        t0 = time.perf_counter()
+        resp = client.analyze(example="rox08",
+                              max_iterations=max_iterations_base + i)
+        latencies.append(time.perf_counter() - t0)
+        assert resp.ok, resp.error
+    return latencies
+
+
+def _throughput(client_factory, threads, duration):
+    """Total warm requests completed by *threads* clients in
+    *duration* seconds."""
+    stop = time.monotonic() + duration
+    counts = [0] * threads
+    errors = []
+
+    def worker(slot):
+        client = client_factory()
+        while time.monotonic() < stop:
+            try:
+                resp = client.analyze(example="rox08")
+                assert resp.ok
+                counts[slot] += 1
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    pool = [threading.Thread(target=worker, args=(i,))
+            for i in range(threads)]
+    t0 = time.perf_counter()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return sum(counts), elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer samples, shorter window")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    requests = 12 if args.quick else 40
+    threads = 2 if args.quick else 4
+    window = 1.0 if args.quick else 3.0
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        handle = daemon_in_thread(cache_dir=tmp, workers=args.workers)
+        try:
+            client = ServeClient(port=handle.port)
+            client.wait_healthy()
+
+            cold = _timed_requests(client, requests, 64)
+            warm = _timed_requests(client, requests, 64)
+            total, elapsed = _throughput(
+                lambda: ServeClient(port=handle.port), threads, window)
+            health = client.health()
+        finally:
+            handle.stop()
+
+    rps = total / elapsed if elapsed else 0.0
+    payload = {
+        "requests": requests,
+        "workers": args.workers,
+        "throughput_threads": threads,
+        "cold_p50_seconds": _percentile(cold, 0.50),
+        "cold_p99_seconds": _percentile(cold, 0.99),
+        "warm_p50_seconds": _percentile(warm, 0.50),
+        "warm_p99_seconds": _percentile(warm, 0.99),
+        "warm_mean_seconds": statistics.fmean(warm),
+        "sustained_requests": total,
+        "sustained_window_seconds": elapsed,
+        "sustained_rps": rps,
+        "cache_hit_rate": health["requests"]["cache_hit_rate"],
+        "quick": args.quick,
+    }
+
+    print(f"serve bench ({requests} requests, {args.workers} workers)")
+    print(f"  cold  p50 {payload['cold_p50_seconds'] * 1e3:8.2f} ms   "
+          f"p99 {payload['cold_p99_seconds'] * 1e3:8.2f} ms")
+    print(f"  warm  p50 {payload['warm_p50_seconds'] * 1e3:8.2f} ms   "
+          f"p99 {payload['warm_p99_seconds'] * 1e3:8.2f} ms")
+    print(f"  sustained {total} requests in {elapsed:.2f}s "
+          f"({rps:.0f} req/s, {threads} client threads)")
+    print(f"  daemon cache hit rate "
+          f"{payload['cache_hit_rate']:.2%}")
+
+    BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
+    out = BENCH_OUT_DIR / "BENCH_serve.json"
+    out.write_text(json.dumps(envelope(payload, "serve"), indent=2,
+                              sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    failures = []
+    if payload["warm_p50_seconds"] > MAX_WARM_P50:
+        failures.append(
+            f"warm p50 {payload['warm_p50_seconds'] * 1e3:.1f}ms exceeds "
+            f"{MAX_WARM_P50 * 1e3:.0f}ms ceiling")
+    if payload["warm_p50_seconds"] > payload["cold_p50_seconds"] * 1.5:
+        failures.append("warm p50 slower than 1.5x cold p50 — the "
+                        "store is not serving hits")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,12 @@ Modes:
   live sweep monitor fed by the streaming telemetry bus; ``--follow``
   tails the result store of a sweep owned by another process (see
   :mod:`repro.obs.top`).
+* ``python -m repro serve [--port N --workers K]`` — run the
+  analysis-as-a-service daemon: an async HTTP+JSON API over the batch
+  engine with shared result/curve caches (see :mod:`repro.serve`).
+* ``python -m repro submit <example-or-space>`` — send an analyze /
+  explain / streaming-sweep request to a running daemon (see
+  :mod:`repro.serve.cli`).
 """
 
 import sys
@@ -31,9 +37,14 @@ from .obs.cli import trace_main
 from .obs.top import top_main
 from .report import main
 from .resilience.cli import resilience_main
+from .serve.cli import serve_main, submit_main
 
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "serve":
+    sys.exit(serve_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "submit":
+    sys.exit(submit_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "top":
     sys.exit(top_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "batch":

@@ -1,0 +1,200 @@
+"""``python -m repro serve`` / ``python -m repro submit`` CLIs.
+
+Serve — run the analysis daemon::
+
+    python -m repro serve --port 8787 --workers 4
+    python -m repro serve --port 0 --queue-size 128 --cache-dir /tmp/srv
+
+Submit — talk to a running daemon::
+
+    python -m repro submit rox08                      # analyze example
+    python -m repro submit quickstart --sample 4      # streaming sweep
+    python -m repro submit rox08 --explain            # blame summary
+    python -m repro submit oscillating --json         # raw JSON body
+
+``submit`` auto-detects the request kind: a design-space name runs a
+streaming sweep, an example name an analyze; ``--explain``/``--sweep``
+/``--analyze`` force it.  Exit status 0 when the daemon answered ok,
+1 when the request failed or was rejected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .client import RequestRejected, ServeClient, ServeError
+from .handlers import example_names, space_names
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_QUEUE_SIZE,
+    DEFAULT_WORKERS,
+    ServeDaemon,
+)
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the analysis-as-a-service daemon: an async "
+                    "HTTP+JSON API over the batch engine with shared "
+                    "result/curve caches.")
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=f"listen port, 0 for ephemeral (default {DEFAULT_PORT})")
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS, metavar="K",
+        help=f"dispatcher worker threads (default {DEFAULT_WORKERS})")
+    parser.add_argument(
+        "--queue-size", type=int, default=DEFAULT_QUEUE_SIZE,
+        metavar="N",
+        help=f"request queue capacity before 429 backpressure "
+             f"(default {DEFAULT_QUEUE_SIZE})")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result-store root (default .repro-serve)")
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request queue-wait deadline")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress lifecycle log lines")
+    args = parser.parse_args(argv)
+
+    daemon = ServeDaemon(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_size=args.queue_size, cache_dir=args.cache_dir,
+        default_deadline=args.deadline, quiet=args.quiet)
+    return daemon.run()
+
+
+def submit_main(argv: Optional[Sequence[str]] = None) -> int:
+    examples = example_names()
+    spaces = space_names()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit work to a running repro.serve daemon.",
+        epilog=f"examples: {', '.join(examples)}; "
+               f"spaces: {', '.join(spaces)}")
+    parser.add_argument(
+        "target",
+        help="built-in example (analyze/explain) or design space "
+             "(sweep); also accepts 'health'")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--analyze", action="store_true",
+                      help="force an analyze request")
+    mode.add_argument("--explain", action="store_true",
+                      help="force an explain request")
+    mode.add_argument("--sweep", action="store_true",
+                      help="force a streaming sweep request")
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="sweep: random-sample N points instead of the grid")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep: sampling seed")
+    parser.add_argument(
+        "--priority", type=int, default=None,
+        help="queue priority (lower runs sooner)")
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="max seconds the request may wait in the daemon queue")
+    parser.add_argument(
+        "--max-iterations", type=int, default=None, metavar="N",
+        help="analyze/explain: global fixed-point iteration budget")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw JSON response body")
+    args = parser.parse_args(argv)
+
+    client = ServeClient(args.host, args.port)
+    try:
+        return _dispatch(client, args, examples, spaces)
+    except RequestRejected as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after {exc.retry_after:g}s", file=sys.stderr)
+        if exc.job_key:
+            print(f"resumable job key: {exc.job_key}", file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"is the daemon running? start one with: "
+              f"python -m repro serve --port {args.port}",
+              file=sys.stderr)
+        return 1
+
+
+def _dispatch(client: ServeClient, args, examples, spaces) -> int:
+    if args.target == "health" and not (args.analyze or args.explain
+                                        or args.sweep):
+        health = client.health()
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0 if health.get("state") == "serving" else 1
+
+    want_sweep = args.sweep or (args.target in spaces
+                                and not (args.analyze or args.explain))
+    if want_sweep:
+        return _submit_sweep(client, args)
+    if args.target not in examples:
+        print(f"error: unknown target {args.target!r} "
+              f"(examples: {', '.join(examples)}; "
+              f"spaces: {', '.join(spaces)})", file=sys.stderr)
+        return 2
+
+    if args.explain:
+        resp = client.explain(example=args.target,
+                              max_iterations=args.max_iterations,
+                              priority=args.priority,
+                              deadline=args.deadline)
+    else:
+        resp = client.analyze(example=args.target,
+                              max_iterations=args.max_iterations,
+                              priority=args.priority,
+                              deadline=args.deadline)
+    if args.json:
+        print(json.dumps(resp.data, indent=2, sort_keys=True))
+        return 0 if resp.ok else 1
+    cached = " (cached)" if resp.cached else ""
+    print(f"{resp.kind} {args.target}: {resp.status}{cached} "
+          f"[key {resp.key[:12]}, {resp.duration:.3f}s]")
+    if not resp.ok:
+        print(f"error: {resp.error}", file=sys.stderr)
+        return 1
+    if args.explain:
+        wcrt = resp.data.get("wcrt", {})
+        for task in sorted(wcrt):
+            print(f"  {task}: wcrt {wcrt[task]:g}")
+    else:
+        data = resp.data
+        print(f"  converged={data.get('converged')} "
+              f"iterations={data.get('iterations')} "
+              f"worst_wcrt={data.get('worst_wcrt'):g}")
+        outcome = data.get("outcome")
+        if outcome and outcome.get("degraded"):
+            print(f"  DEGRADED: health={outcome.get('health')}")
+    return 0
+
+
+def _submit_sweep(client: ServeClient, args) -> int:
+    def on_event(event) -> None:
+        if args.json:
+            print(json.dumps(event, sort_keys=True))
+        elif event.get("type") == "job":
+            status = event.get("status", "?")
+            tag = "cached" if event.get("cached") else f"{status:>7}"
+            print(f"  [{tag}] {event.get('label') or event.get('key', '')[:12]}")
+
+    final = client.sweep(args.target, sample=args.sample,
+                         seed=args.seed, priority=args.priority,
+                         on_event=on_event)
+    if args.json:
+        print(json.dumps(final, sort_keys=True))
+    else:
+        print(final.get("table", ""))
+        print(final.get("summary", ""))
+    return 0 if not final.get("failed") else 1

@@ -1,0 +1,276 @@
+"""Typed client for the ``repro.serve`` daemon (stdlib ``http.client``).
+
+Synchronous on purpose: the daemon is the async side; callers of the
+client are tests, the ``python -m repro submit`` CLI, benchmarks, and
+scripts — all of which want a plain blocking call.  One connection per
+request matches the server's ``Connection: close`` discipline.
+
+::
+
+    client = ServeClient(port=8787)
+    client.wait_healthy()
+    resp = client.analyze(example="rox08")
+    resp.data["worst_wcrt"]
+
+    final = client.sweep("quickstart", sample=4,
+                         on_event=lambda e: print(e["type"]))
+
+Failures surface as :class:`ServeError` (transport / malformed
+response) or :class:`RequestRejected` (a 4xx/5xx JSON answer — carries
+the parsed body, the HTTP status, and ``retry_after`` when the daemon
+asked for backoff).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..system.model import System
+from ..system.serialize import system_to_dict
+
+DEFAULT_TIMEOUT = 120.0
+
+
+class ServeError(Exception):
+    """Transport-level failure talking to the daemon."""
+
+
+class RequestRejected(ServeError):
+    """The daemon answered with a non-200 JSON body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        detail = body.get("detail") or body.get("error") or "rejected"
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.body = body
+        self.retry_after: Optional[float] = body.get("retry_after")
+        self.job_key: str = body.get("job_key", "")
+
+
+@dataclass
+class ServeResponse:
+    """A unary response: job status + content-addressed identity."""
+
+    key: str
+    kind: str
+    status: str
+    cached: bool
+    data: Dict[str, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    attempts: int = 1
+    error: str = ""
+    http_status: int = 200
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any],
+                  http_status: int = 200) -> "ServeResponse":
+        return cls(
+            key=body.get("key", ""), kind=body.get("kind", ""),
+            status=body.get("status", ""),
+            cached=bool(body.get("cached")),
+            data=dict(body.get("data", {})),
+            duration=body.get("duration", 0.0),
+            attempts=body.get("attempts", 1),
+            error=body.get("error", ""), http_status=http_status)
+
+
+class ServeClient:
+    """Blocking JSON client for one daemon instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = (json.dumps(payload).encode("utf-8")
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"{method} {path} on {self.host}:{self.port} "
+                    f"failed: {exc}") from exc
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except ValueError as exc:
+                raise ServeError(
+                    f"non-JSON response ({response.status}): "
+                    f"{raw[:200]!r}") from exc
+            if response.status != 200:
+                raise RequestRejected(response.status, parsed)
+            return parsed
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def wait_healthy(self, timeout: float = 30.0,
+                     interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the daemon reports SERVING."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.health()
+                if health.get("state") == "serving":
+                    return health
+            except ServeError as exc:
+                last = exc
+            time.sleep(interval)
+        raise ServeError(
+            f"daemon on {self.host}:{self.port} not healthy after "
+            f"{timeout}s" + (f" (last error: {last})" if last else ""))
+
+    def _payload(self, system: Optional[System],
+                 example: Optional[str],
+                 **extra: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if system is not None:
+            payload["system"] = system_to_dict(system)
+        if example is not None:
+            payload["example"] = example
+        payload.update({k: v for k, v in extra.items() if v is not None})
+        return payload
+
+    def analyze(self, system: Optional[System] = None, *,
+                example: Optional[str] = None,
+                max_iterations: Optional[int] = None,
+                on_failure: Optional[str] = None,
+                priority: Optional[int] = None,
+                deadline: Optional[float] = None) -> ServeResponse:
+        body = self._request("POST", "/v1/analyze", self._payload(
+            system, example, max_iterations=max_iterations,
+            on_failure=on_failure, priority=priority, deadline=deadline))
+        return ServeResponse.from_body(body)
+
+    def explain(self, system: Optional[System] = None, *,
+                example: Optional[str] = None,
+                max_iterations: Optional[int] = None,
+                priority: Optional[int] = None,
+                deadline: Optional[float] = None) -> ServeResponse:
+        body = self._request("POST", "/v1/explain", self._payload(
+            system, example, max_iterations=max_iterations,
+            priority=priority, deadline=deadline))
+        return ServeResponse.from_body(body)
+
+    def job(self, kind: str, payload: Dict[str, Any], *,
+            label: str = "", timeout: Optional[float] = None,
+            priority: Optional[int] = None,
+            deadline: Optional[float] = None) -> ServeResponse:
+        request: Dict[str, Any] = {"kind": kind, "payload": payload,
+                                   "label": label}
+        for name, value in (("timeout", timeout),
+                            ("priority", priority),
+                            ("deadline", deadline)):
+            if value is not None:
+                request[name] = value
+        body = self._request("POST", "/v1/job", request)
+        return ServeResponse.from_body(body)
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def sweep_events(self, space: str, *,
+                     sample: Optional[int] = None, seed: int = 0,
+                     timeout: Optional[float] = None,
+                     priority: Optional[int] = None
+                     ) -> Iterator[Dict[str, Any]]:
+        """Stream a sweep's NDJSON events, final ``result`` line last.
+
+        The connection stays open for the duration of the sweep; events
+        are yielded as parsed dicts.  A non-200 upfront rejection
+        (backpressure, draining) raises :class:`RequestRejected`.
+        """
+        payload: Dict[str, Any] = {"space": space, "seed": seed}
+        if sample is not None:
+            payload["sample"] = sample
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if priority is not None:
+            payload["priority"] = priority
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            try:
+                conn.request("POST", "/v1/sweep",
+                             body=json.dumps(payload).encode("utf-8"),
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(f"sweep submit failed: {exc}") from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    body = json.loads(raw)
+                except ValueError:
+                    body = {"error": raw.decode("utf-8", "replace")}
+                raise RequestRejected(response.status, body)
+            for raw_line in response:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue  # torn line on abrupt daemon death
+        finally:
+            conn.close()
+
+    def sweep(self, space: str, *,
+              sample: Optional[int] = None, seed: int = 0,
+              timeout: Optional[float] = None,
+              priority: Optional[int] = None,
+              on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+              ) -> Dict[str, Any]:
+        """Run a sweep, forwarding progress events to *on_event*;
+        returns the final ``result`` line.  Raises :class:`ServeError`
+        if the stream ends without one, :class:`RequestRejected` if the
+        daemon answered the sweep with an error line."""
+        final: Optional[Dict[str, Any]] = None
+        for event in self.sweep_events(space, sample=sample, seed=seed,
+                                       timeout=timeout,
+                                       priority=priority):
+            if event.get("type") in ("result", "error"):
+                final = event
+                continue
+            if on_event is not None:
+                on_event(event)
+        if final is None:
+            raise ServeError("sweep stream ended without a result line")
+        if final.get("type") == "error":
+            raise RequestRejected(final.get("http_status", 500), final)
+        return final
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "RequestRejected",
+    "ServeClient",
+    "ServeError",
+    "ServeResponse",
+]

@@ -1,0 +1,202 @@
+"""Unit tests: serve request queue, state machine, request ledger."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro._errors import ModelError
+from repro.serve.queue import (
+    DEFAULT_PRIORITY,
+    QueueClosed,
+    QueueFull,
+    RequestQueue,
+)
+from repro.serve.state import (
+    DRAINING,
+    SERVING,
+    STARTING,
+    STOPPED,
+    ServeStats,
+    ServiceStateMachine,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestQueue:
+    def test_priority_order_lower_first(self):
+        async def scenario():
+            q = RequestQueue(capacity=8)
+            q.submit("analyze", {"n": 1}, priority=5)
+            q.submit("analyze", {"n": 2}, priority=1)
+            q.submit("analyze", {"n": 3}, priority=9)
+            order = [(await q.pop()).payload["n"] for _ in range(3)]
+            return order
+
+        assert run(scenario()) == [2, 1, 3]
+
+    def test_fifo_within_priority(self):
+        async def scenario():
+            q = RequestQueue(capacity=8)
+            for n in range(4):
+                q.submit("analyze", {"n": n})
+            return [(await q.pop()).payload["n"] for _ in range(4)]
+
+        assert run(scenario()) == [0, 1, 2, 3]
+
+    def test_default_priority(self):
+        async def scenario():
+            q = RequestQueue(capacity=2)
+            item = q.submit("analyze", {})
+            return item.priority
+
+        assert run(scenario()) == DEFAULT_PRIORITY
+
+    def test_full_queue_raises_with_retry_after(self):
+        async def scenario():
+            q = RequestQueue(capacity=2)
+            q.submit("analyze", {"n": 1})
+            q.submit("analyze", {"n": 2})
+            with pytest.raises(QueueFull) as excinfo:
+                q.submit("analyze", {"n": 3})
+            return excinfo.value
+
+        exc = run(scenario())
+        assert exc.depth == 2
+        assert exc.retry_after >= 1.0
+
+    def test_closed_queue_rejects(self):
+        async def scenario():
+            q = RequestQueue(capacity=2)
+            q.close()
+            with pytest.raises(QueueClosed):
+                q.submit("analyze", {})
+
+        run(scenario())
+
+    def test_pop_returns_none_once_closed_and_empty(self):
+        async def scenario():
+            q = RequestQueue(capacity=2)
+            q.submit("analyze", {"n": 1})
+            q.close()
+            first = await q.pop()
+            second = await q.pop()
+            return first.payload["n"], second
+
+        assert run(scenario()) == (1, None)
+
+    def test_close_wakes_blocked_popper(self):
+        async def scenario():
+            q = RequestQueue(capacity=2)
+            popper = asyncio.ensure_future(q.pop())
+            await asyncio.sleep(0)  # let the popper block
+            q.close()
+            return await asyncio.wait_for(popper, timeout=5)
+
+        assert run(scenario()) is None
+
+    def test_drain_flushes_in_priority_order(self):
+        async def scenario():
+            q = RequestQueue(capacity=8)
+            q.submit("analyze", {"n": 1}, priority=7, job_key="k1")
+            q.submit("analyze", {"n": 2}, priority=3, job_key="k2")
+            flushed = q.drain()
+            return ([i.job_key for i in flushed], q.depth, q.closed)
+
+        keys, depth, closed = run(scenario())
+        assert keys == ["k2", "k1"]
+        assert depth == 0
+        assert closed
+
+    def test_deadline_expiry(self):
+        async def scenario():
+            q = RequestQueue(capacity=4)
+            expired = q.submit("analyze", {}, deadline=0.0)
+            fresh = q.submit("analyze", {}, deadline=60.0)
+            forever = q.submit("analyze", {})
+            await asyncio.sleep(0.01)
+            return (expired.expired(), fresh.expired(),
+                    forever.expired())
+
+        assert run(scenario()) == (True, False, False)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ModelError):
+            RequestQueue(capacity=0)
+
+    def test_retry_after_scales_with_backlog(self):
+        async def scenario():
+            q = RequestQueue(capacity=64)
+            q.configure_estimate(workers=1)
+            for _ in range(40):
+                q.observe_service_time(2.0)
+            for n in range(20):
+                q.submit("analyze", {"n": n})
+            return q.retry_after()
+
+        # ~20 queued jobs x ~2s each on one worker: way above the floor.
+        assert run(scenario()) > 10.0
+
+
+class TestServiceStateMachine:
+    def test_happy_path(self):
+        machine = ServiceStateMachine()
+        assert machine.state == STARTING
+        machine.to(SERVING)
+        assert machine.accepting
+        machine.to(DRAINING)
+        assert not machine.accepting
+        machine.to(STOPPED)
+        assert machine.state == STOPPED
+
+    def test_illegal_transitions_raise(self):
+        machine = ServiceStateMachine()
+        with pytest.raises(ModelError):
+            machine.to(DRAINING)  # STARTING -> DRAINING is illegal
+        machine.to(SERVING)
+        machine.to(DRAINING)
+        with pytest.raises(ModelError):
+            machine.to(SERVING)  # can never un-drain
+
+    def test_idempotent_on_current_state(self):
+        machine = ServiceStateMachine()
+        machine.to(SERVING)
+        machine.to(SERVING)  # signal handler firing twice: no-op
+        assert machine.state == SERVING
+        assert len(machine.history()) == 2
+
+    def test_history_and_listeners(self):
+        seen = []
+        machine = ServiceStateMachine()
+        machine.add_listener(lambda old, new: seen.append((old, new)))
+        machine.to(SERVING)
+        machine.to(DRAINING)
+        assert seen == [(STARTING, SERVING), (SERVING, DRAINING)]
+        states = [entry["state"] for entry in machine.history()]
+        assert states == [STARTING, SERVING, DRAINING]
+
+
+class TestServeStats:
+    def test_dispositions_and_cache(self):
+        stats = ServeStats()
+        stats.request()
+        stats.dispose("ok", latency=0.25)
+        stats.request()
+        stats.dispose("rejected")
+        stats.cache(hits=2, misses=1)
+        snap = stats.to_dict()
+        assert snap["requests"] == 2
+        assert snap["ok"] == 1
+        assert snap["rejected"] == 1
+        assert snap["cache_hits"] == 2
+        assert snap["cache_misses"] == 1
+        assert snap["cache_hit_rate"] == pytest.approx(2 / 3)
+        assert snap["latency_sum"] == pytest.approx(0.25)
+
+    def test_unknown_disposition_raises(self):
+        with pytest.raises(ModelError):
+            ServeStats().dispose("wat")
