@@ -36,6 +36,9 @@ below that baseline.  All tracked metrics are higher-is-better:
 * ``batch.throughput``         — points / pool wall seconds
 * ``batch.warm_cache_hit_rate``— warm-rerun store hit rate
 * ``serve.throughput``         — daemon sustained warm requests / second
+* ``kernels.speedup``          — best whole-resource vectorized speedup
+                                 from ``BENCH_kernels.json``
+* ``incremental.reuse_rate``   — dirty-set sweep task reuse rate
 
 With no history yet (first run on a branch) ``check`` passes with a
 note unless ``--require-baseline`` is given — so the gate can be wired
@@ -66,6 +69,7 @@ ARTIFACTS = {
     "batch": "BENCH_batch.json",
     "suite": "BENCH_suite.json",
     "serve": "BENCH_serve.json",
+    "kernels": "BENCH_kernels.json",
 }
 
 DEFAULT_WINDOW = 5
@@ -187,6 +191,22 @@ def _metric_serve_throughput(payload: Dict[str, Any]) -> Optional[float]:
     return None
 
 
+def _metric_kernels_speedup(payload: Dict[str, Any]) -> Optional[float]:
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        return None
+    best = summary.get("best_local_speedup")
+    return float(best) if isinstance(best, (int, float)) else None
+
+
+def _metric_incremental_reuse(payload: Dict[str, Any]) -> Optional[float]:
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        return None
+    rate = summary.get("incremental_reuse_rate")
+    return float(rate) if isinstance(rate, (int, float)) else None
+
+
 #: name -> (bench artefact it reads, extractor).  All higher-is-better.
 TRACKED_METRICS: Dict[str, Tuple[str, Callable[[Dict[str, Any]],
                                                Optional[float]]]] = {
@@ -194,6 +214,8 @@ TRACKED_METRICS: Dict[str, Tuple[str, Callable[[Dict[str, Any]],
     "batch.throughput": ("batch", _metric_batch_throughput),
     "batch.warm_cache_hit_rate": ("batch", _metric_warm_hit_rate),
     "serve.throughput": ("serve", _metric_serve_throughput),
+    "kernels.speedup": ("kernels", _metric_kernels_speedup),
+    "incremental.reuse_rate": ("kernels", _metric_incremental_reuse),
 }
 
 

@@ -36,21 +36,44 @@ _WINDOW_BLOWUP = 1e12
 def fixed_point(workload: Callable[[float], float], start: float,
                 limit: float = _WINDOW_BLOWUP,
                 context: str = "busy window",
-                resource: str = None, task: str = None) -> float:
+                resource: str = None, task: str = None,
+                hint: float = None) -> float:
     """Least fixed point of a monotone workload function.
 
     Iterates ``w <- workload(w)`` from ``start`` until the value is stable
     (within :data:`~repro.timebase.EPS`) or exceeds *limit*, in which case
     the window never closes and :class:`NotSchedulableError` is raised.
 
+    ``hint`` warm-starts the iteration from ``max(start, hint)``: a
+    caller holding a known lower bound on the least fixed point (e.g.
+    the converged (q-1)-event window, since the workload is pointwise
+    non-decreasing in q) skips the climb back up.  The hint is *guarded*:
+    if the first evaluation decreases, the hint overshot (it was stale,
+    not a lower bound) and the iteration restarts from the cold *start*
+    — so a bad hint costs one evaluation instead of soundness.  Because
+    the iterates then climb the same monotone staircase the cold start
+    would, the returned fixed point is identical whenever workload
+    plateau steps exceed :data:`~repro.timebase.EPS` (always true for
+    real task sets: steps are multiples of some C⁺ ≫ 1e-9).
+
     ``resource`` / ``task`` attach structured attribution to any raised
     :class:`NotSchedulableError` (used by degraded-mode quarantine
     reports); ``context`` stays the human-readable prefix.
     """
     w = start
+    guarded = False
+    if hint is not None and hint > start:
+        w = hint
+        guarded = True
     for step in range(1, MAX_FIXED_POINT_ITER + 1):
         w_next = workload(w)
         if w_next < w - EPS:
+            if guarded:
+                # Stale warm-start hint overshot the fixed point:
+                # restart from the cold start.
+                w = start
+                guarded = False
+                continue
             # A monotone workload never shrinks along the iteration; a
             # decrease signals a non-monotone workload function (bug in
             # the caller), not an analysis result.
@@ -58,6 +81,7 @@ def fixed_point(workload: Callable[[float], float], start: float,
                 f"{context}: workload function not monotone "
                 f"({w_next} < {w})", resource=resource, task=task,
                 context={"reason": "non_monotone_workload"})
+        guarded = False
         if time_eq(w_next, w):
             if _obs.enabled:
                 registry = _obs.metrics()

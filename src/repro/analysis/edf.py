@@ -36,7 +36,7 @@ Two entry points:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
@@ -48,6 +48,7 @@ from ..explain.blame import (
     critical_activation,
 )
 from ..timebase import EPS
+from . import kernels
 from .busy_window import MAX_ACTIVATIONS, fixed_point, \
     multi_activation_loop
 from .interface import Scheduler, TaskSpec
@@ -111,7 +112,8 @@ class EDFScheduler(Scheduler):
         self.utilization_limit = utilization_limit
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: Optional[dict] = None) -> ResourceResult:
         self.check_unique_names(tasks)
         for t in tasks:
             if t.deadline is None or t.deadline <= 0:
@@ -123,12 +125,22 @@ class EDFScheduler(Scheduler):
                 f"{resource_name}: utilization {util:.4f} exceeds "
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
-        results = {}
-        horizon = synchronous_busy_period(tasks, resource=resource_name)
-        for task in tasks:
-            results[task.name] = self._analyze_task(task, tasks,
-                                                    resource_name,
-                                                    horizon)
+        reuse = reuse or {}
+        todo = [t for t in tasks if t.name not in reuse]
+        computed = {}
+        if todo:
+            horizon = synchronous_busy_period(tasks,
+                                              resource=resource_name)
+            if kernels.batch_worthwhile(len(todo) * len(tasks), util):
+                computed = self._analyze_batched(todo, tasks,
+                                                 resource_name, horizon)
+            else:
+                computed = {t.name: self._analyze_task(t, tasks,
+                                                       resource_name,
+                                                       horizon)
+                            for t in todo}
+        results = {t.name: computed.get(t.name, reuse.get(t.name))
+                   for t in tasks}
         return ResourceResult(resource_name, util, results)
 
     @staticmethod
@@ -148,6 +160,75 @@ class EDFScheduler(Scheduler):
                     offsets.add(a)
         return sorted(offsets)
 
+    def _analyze_batched(self, todo: Sequence[TaskSpec],
+                         tasks: Sequence[TaskSpec], resource_name: str,
+                         horizon: float) -> dict:
+        """All (task, candidate-offset) q-loops of the resource as one
+        joint chain set: every candidate is an independent busy-window
+        chain whose deadline caps are per-(q, offset) count caps."""
+        tables = kernels.tables_for(tasks)
+        out = {}
+        chains, meta = [], []
+        for task in todo:
+            others = [t for t in tasks if t is not task]
+            em = task.event_model
+            candidates = self._candidate_offsets(task, others, horizon)
+            # q-independent, so one list per task: the kernel caches the
+            # numpy coefficient row per list identity across rounds.
+            coeffs = [0.0 if j is task else j.c_max for j in tasks]
+            task_chains = []
+            for a in candidates:
+                def element(q, task=task, a=a, em=em, coeffs=coeffs):
+                    abs_deadline = a + em.delta_min(q) + task.deadline
+                    ccaps = [None if j is task
+                             else j.event_model.eta_plus(
+                                 abs_deadline - j.deadline + _DEADLINE_EPS)
+                             for j in tasks]
+                    return kernels.Element(start=q * task.c_max,
+                                           base=q * task.c_max,
+                                           coeffs=coeffs,
+                                           count_caps=ccaps)
+
+                def context(q, task=task, a=a):
+                    return (f"{resource_name}/{task.name} "
+                            f"EDF a={a} q={q}")
+
+                def closes(q, bq, a=a, em=em):
+                    return a + em.delta_min(q + 1) >= bq - EPS
+
+                chain = kernels.Chain(task.name, em, context,
+                                      element=element, closes=closes)
+                chains.append(chain)
+                task_chains.append((a, chain))
+            meta.append((task, others, candidates, task_chains))
+        kernels.run_chains(chains, tables, resource_name)
+        for task, others, candidates, task_chains in meta:
+            best_r = task.c_max
+            best_busy = [task.c_max]
+            best_q = 1
+            best_a = 0.0
+            for a, chain in task_chains:
+                r_a = chain.r_max - a
+                if r_a > best_r:
+                    best_r = r_a
+                    best_busy = chain.busy_times
+                    best_q = chain.q_max
+                    best_a = a
+            blame = None
+            if _obs.enabled:
+                registry = _obs.metrics()
+                registry.counter("edf.tasks_analyzed").inc()
+                registry.histogram("edf.candidate_offsets").observe(
+                    len(candidates))
+                registry.histogram("edf.busy_window_activations").observe(
+                    best_q)
+                blame = self._blame(task, others, resource_name, best_r,
+                                    best_busy, best_a)
+            out[task.name] = TaskResult(name=task.name, r_min=task.c_min,
+                                        r_max=best_r, busy_times=best_busy,
+                                        q_max=best_q, blame=blame)
+        return out
+
     def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
                       resource_name: str, horizon: float) -> TaskResult:
         others = [t for t in tasks if t is not task]
@@ -159,8 +240,9 @@ class EDFScheduler(Scheduler):
         best_q = 1
         best_a = 0.0
         for a in candidates:
+            last_w = [None]
 
-            def busy_time(q: int, _a: float = a) -> float:
+            def busy_time(q: int, _a: float = a, last_w=last_w) -> float:
                 abs_deadline = _a + em.delta_min(q) + task.deadline
 
                 def workload(w: float) -> float:
@@ -172,10 +254,14 @@ class EDFScheduler(Scheduler):
                         demand += min(n_arrived, n_deadline) * j.c_max
                     return demand
 
-                return fixed_point(workload, q * task.c_max,
-                                   context=f"{resource_name}/{task.name} "
-                                           f"EDF a={_a} q={q}",
-                                   resource=resource_name, task=task.name)
+                w = fixed_point(workload, q * task.c_max,
+                                context=f"{resource_name}/{task.name} "
+                                        f"EDF a={_a} q={q}",
+                                resource=resource_name, task=task.name,
+                                hint=(last_w[0] if kernels.warm_start
+                                      else None))
+                last_w[0] = w
+                return w
 
             def window_closes(q: int, bq: float, _a: float = a) -> bool:
                 return _a + em.delta_min(q + 1) >= bq - EPS

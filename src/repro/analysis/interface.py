@@ -85,7 +85,30 @@ class Scheduler(ABC):
     def analyze(self, tasks: Sequence[TaskSpec],
                 resource_name: str = "resource") -> ResourceResult:
         """Run the local analysis; raises
-        :class:`~repro._errors.NotSchedulableError` on overload."""
+        :class:`~repro._errors.NotSchedulableError` on overload.
+
+        Concrete schedulers additionally accept a ``reuse`` keyword: a
+        ``{task_name: TaskResult}`` mapping of results known to still be
+        valid (see :mod:`repro.analysis.memo`).  A scheduler may skip
+        re-deriving those tasks — set-wide validity checks (utilization,
+        unique names, parameter validation) always run fresh.
+        """
+
+    def influence_fingerprint(self, task: TaskSpec,
+                              tasks: Sequence[TaskSpec]):
+        """Canonical key of everything *task*'s :class:`TaskResult`
+        depends on under this policy, or ``None`` when unknown.
+
+        The contract backing per-task incremental reuse: if two calls to
+        :meth:`analyze` present the same influence fingerprint for a
+        task, its ``TaskResult`` is identical (local analyses are pure
+        functions of their spec sets).  The default covers *every* spec
+        plus the scheduler parameters — universally sound, never over-
+        eager.  Policies with a narrower dependency cone override it
+        (SPP: same-or-higher priorities; TDMA: own spec + cycle length).
+        """
+        from .memo import resource_fingerprint
+        return resource_fingerprint(self, tasks)
 
     @staticmethod
     def total_load(tasks: Sequence[TaskSpec], accuracy: int = 1000) -> float:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .._errors import ModelError, NotSchedulableError
 from ..timebase import EPS
@@ -146,7 +146,11 @@ class HierarchicalSPPScheduler(Scheduler):
         self.server = server
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: "Optional[dict]" = None) -> ResourceResult:
+        # ``reuse`` is accepted for interface uniformity but ignored:
+        # the hierarchical analysis keeps its scalar loop (recomputing a
+        # reusable task is always sound, just not skipped here).
         self.check_unique_names(tasks)
         util = self.total_load(tasks)
         if util > self.server.bandwidth + 1e-9:

@@ -16,7 +16,7 @@ slot when it actually holds work.)
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
@@ -27,6 +27,7 @@ from ..explain.blame import (
     BlameTerm,
     critical_activation,
 )
+from . import kernels
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -41,7 +42,8 @@ class RoundRobinScheduler(Scheduler):
         self.utilization_limit = utilization_limit
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: Optional[dict] = None) -> ResourceResult:
         self.check_unique_names(tasks)
         for t in tasks:
             if t.slot is None or t.slot <= 0:
@@ -53,15 +55,58 @@ class RoundRobinScheduler(Scheduler):
                 f"{resource_name}: utilization {util:.4f} exceeds "
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
-        results = {}
-        for task in tasks:
-            results[task.name] = self._analyze_task(task, tasks,
-                                                    resource_name)
+        reuse = reuse or {}
+        todo = [t for t in tasks if t.name not in reuse]
+        if kernels.batch_worthwhile(len(todo), util) and todo:
+            computed = self._analyze_batched(todo, tasks, resource_name)
+        else:
+            computed = {t.name: self._analyze_task(t, tasks, resource_name)
+                        for t in todo}
+        results = {t.name: computed.get(t.name, reuse.get(t.name))
+                   for t in tasks}
         return ResourceResult(resource_name, util, results)
+
+    def _analyze_batched(self, todo: Sequence[TaskSpec],
+                         tasks: Sequence[TaskSpec],
+                         resource_name: str) -> dict:
+        tables = kernels.tables_for(tasks)
+        chains, meta = [], []
+        for task in todo:
+            others = [t for t in tasks if t is not task]
+            coeffs = [0.0 if t is task else t.c_max for t in tasks]
+
+            def element(q, task=task, coeffs=coeffs):
+                rounds = math.ceil(q * task.c_max / task.slot)
+                pcaps = [None if t is task else rounds * t.slot
+                         for t in tasks]
+                return kernels.Element(start=q * task.c_max,
+                                       base=q * task.c_max,
+                                       coeffs=coeffs,
+                                       product_caps=pcaps)
+
+            def context(q, task=task):
+                return f"{resource_name}/{task.name} RR q={q}"
+
+            chains.append(kernels.Chain(task.name, task.event_model,
+                                        context, element=element))
+            meta.append((task, others))
+        kernels.run_chains(chains, tables, resource_name)
+        out = {}
+        for chain, (task, others) in zip(chains, meta):
+            blame = None
+            if _obs.enabled:
+                blame = self._blame(task, others, resource_name,
+                                    chain.r_max, chain.busy_times)
+            out[task.name] = TaskResult(
+                name=task.name, r_min=task.c_min, r_max=chain.r_max,
+                busy_times=chain.busy_times, q_max=chain.q_max,
+                blame=blame)
+        return out
 
     def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
                       resource_name: str) -> TaskResult:
         others = [t for t in tasks if t is not task]
+        last_w = [None]
 
         def busy_time(q: int) -> float:
             rounds = math.ceil(q * task.c_max / task.slot)
@@ -74,10 +119,13 @@ class RoundRobinScheduler(Scheduler):
                     demand += min(arrival_bound, slot_bound)
                 return demand
 
-            return fixed_point(workload, q * task.c_max,
-                               context=f"{resource_name}/{task.name} "
-                                       f"RR q={q}",
-                               resource=resource_name, task=task.name)
+            w = fixed_point(workload, q * task.c_max,
+                            context=f"{resource_name}/{task.name} "
+                                    f"RR q={q}",
+                            resource=resource_name, task=task.name,
+                            hint=last_w[0] if kernels.warm_start else None)
+            last_w[0] = w
+            return w
 
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time,

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Sequence
 from .._errors import AnalysisError, ModelError, ReproError
 from ..eventmodels.standard import StandardEventModel
 from .interface import Scheduler, TaskSpec
+from .memo import LocalAnalysisMemo
 
 #: Relative precision of the bisection searches.
 DEFAULT_PRECISION = 1e-3
@@ -73,9 +74,19 @@ def binary_search_max(feasible: Callable[[float], bool], lo: float,
 
 
 def _meets_deadlines(scheduler: Scheduler, tasks: Sequence[TaskSpec],
-                     deadlines: "Dict[str, float]") -> bool:
+                     deadlines: "Dict[str, float]",
+                     memo: "LocalAnalysisMemo | None" = None) -> bool:
+    """Feasibility probe; with a *memo*, bisection probes reuse every
+    task whose influence cone a probe leaves untouched (e.g. under SPP,
+    inflating one task never dirties higher-priority tasks).  Reuse is
+    fingerprint-exact, so the predicate — and hence the bisection
+    trajectory and the returned bound — is unchanged."""
     try:
-        result = scheduler.analyze(list(tasks), "sensitivity")
+        if memo is None:
+            result = scheduler.analyze(list(tasks), "sensitivity")
+        else:
+            result, _ = memo.analyze(scheduler, list(tasks),
+                                     "sensitivity")
     except ReproError:
         return False
     return all(result[name].r_max <= deadline + 1e-9
@@ -87,11 +98,12 @@ def max_wcet_scaling(scheduler: Scheduler, tasks: Sequence[TaskSpec],
                      precision: float = DEFAULT_PRECISION) -> float:
     """Largest uniform WCET inflation factor keeping all deadlines."""
     _check_deadlines(tasks, deadlines)
+    memo = LocalAnalysisMemo()
 
     def feasible(factor: float) -> bool:
         scaled = [replace(t, c_min=t.c_min * factor,
                           c_max=t.c_max * factor) for t in tasks]
-        return _meets_deadlines(scheduler, scaled, deadlines)
+        return _meets_deadlines(scheduler, scaled, deadlines, memo)
 
     return binary_search_max(feasible, 1e-6, 1.0, precision)
 
@@ -103,12 +115,13 @@ def task_wcet_slack(scheduler: Scheduler, tasks: Sequence[TaskSpec],
     _check_deadlines(tasks, deadlines)
     if not any(t.name == task_name for t in tasks):
         raise ModelError(f"unknown task {task_name!r}")
+    memo = LocalAnalysisMemo()
 
     def feasible(extra: float) -> bool:
         scaled = [replace(t, c_max=t.c_max + extra,
                           c_min=t.c_min) if t.name == task_name else t
                   for t in tasks]
-        return _meets_deadlines(scheduler, scaled, deadlines)
+        return _meets_deadlines(scheduler, scaled, deadlines, memo)
 
     base = max(t.c_max for t in tasks)
     return binary_search_max(feasible, 0.0, base, precision)
@@ -130,6 +143,7 @@ def min_period_scaling(scheduler: Scheduler, tasks: Sequence[TaskSpec],
             raise ModelError(
                 f"task {t.name}: period scaling needs standard event "
                 f"models")
+    memo = LocalAnalysisMemo()
 
     def feasible_inverse(speedup: float) -> bool:
         # speedup >= 1 compresses periods by 1/speedup.
@@ -141,7 +155,7 @@ def min_period_scaling(scheduler: Scheduler, tasks: Sequence[TaskSpec],
                 em.period * factor, em.jitter * factor,
                 em.d_min * factor, sporadic=em.sporadic)))
         # Deadlines stay absolute: the question is rate tolerance.
-        return _meets_deadlines(scheduler, scaled, deadlines)
+        return _meets_deadlines(scheduler, scaled, deadlines, memo)
 
     speedup = binary_search_max(feasible_inverse, 1.0, 4.0, precision)
     return 1.0 / speedup

@@ -36,6 +36,7 @@ from ..explain.blame import (
     critical_activation,
 )
 from ..timebase import EPS
+from . import kernels
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -104,7 +105,8 @@ class SPNPScheduler(Scheduler):
         self.error_model = error_model
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: Optional[dict] = None) -> ResourceResult:
         self.check_unique_names(tasks)
         util = self.total_load(tasks)
         if util > self.utilization_limit + 1e-9:
@@ -112,22 +114,101 @@ class SPNPScheduler(Scheduler):
                 f"{resource_name}: utilization {util:.4f} exceeds "
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
-        results = {}
-        for task in tasks:
-            results[task.name] = self._analyze_task(task, tasks,
-                                                    resource_name)
+        reuse = reuse or {}
+        todo = [t for t in tasks if t.name not in reuse]
+        if kernels.batch_worthwhile(len(todo), util) and todo:
+            computed = self._analyze_batched(todo, tasks, resource_name)
+        else:
+            computed = {t.name: self._analyze_task(t, tasks, resource_name)
+                        for t in todo}
+        results = {t.name: computed.get(t.name, reuse.get(t.name))
+                   for t in tasks}
         return ResourceResult(resource_name, util, results)
+
+    def influence_fingerprint(self, task, tasks):
+        """An SPNP result depends on the task itself, same-or-higher
+        priorities (in order), the largest lower-priority C⁺ (the
+        blocking term), and the arbitration/error parameters."""
+        from .memo import spec_fingerprint
+        own = spec_fingerprint(task)
+        if own is None:
+            return None
+        parts = [("spnp", self.utilization_limit, self.arbitration_eps,
+                  None if self.error_model is None else
+                  (self.error_model.burst_errors,
+                   self.error_model.error_rate,
+                   self.error_model.recovery_time),
+                  max((t.c_max for t in tasks
+                       if t.priority > task.priority), default=0.0),
+                  own)]
+        for j in tasks:
+            if j is not task and j.priority <= task.priority:
+                fp = spec_fingerprint(j)
+                if fp is None:
+                    return None
+                parts.append(fp)
+        return tuple(parts)
+
+    def _blocking(self, task: TaskSpec,
+                  tasks: Sequence[TaskSpec]) -> float:
+        lower = [t for t in tasks if t.priority > task.priority]
+        return max((t.c_max for t in lower), default=0.0) + task.blocking
+
+    def _analyze_batched(self, todo: Sequence[TaskSpec],
+                         tasks: Sequence[TaskSpec],
+                         resource_name: str) -> dict:
+        tables = kernels.tables_for(tasks)
+        tail = (kernels.TailSpec(self.error_model)
+                if self.error_model is not None else None)
+        chains, meta = [], []
+        for task in todo:
+            higher = [t for t in tasks
+                      if t is not task and t.priority <= task.priority]
+            blocking = self._blocking(task, tasks)
+            coeffs = [t.c_max if (t is not task
+                                  and t.priority <= task.priority) else 0.0
+                      for t in tasks]
+            sum_c = sum(j.c_max for j in higher)
+
+            def element(q, task=task, coeffs=coeffs, sum_c=sum_c,
+                        blocking=blocking):
+                base = blocking + (q - 1) * task.c_max
+                return kernels.Element(start=base + sum_c, base=base,
+                                       coeffs=coeffs, cmax=task.c_max)
+
+            def context(q, task=task):
+                return f"{resource_name}/{task.name} SPNP q={q}"
+
+            def busy(q, w, task=task):
+                return w + task.c_max
+
+            chains.append(kernels.Chain(task.name, task.event_model,
+                                        context, element=element,
+                                        busy=busy))
+            meta.append((task, higher, blocking))
+        kernels.run_chains(chains, tables, resource_name,
+                           shift=self.arbitration_eps, tail=tail)
+        out = {}
+        for chain, (task, higher, blocking) in zip(chains, meta):
+            blame = None
+            if _obs.enabled:
+                blame = self._blame(task, higher, resource_name, blocking,
+                                    chain.r_max, chain.busy_times)
+            out[task.name] = TaskResult(
+                name=task.name, r_min=task.c_min, r_max=chain.r_max,
+                busy_times=chain.busy_times, q_max=chain.q_max,
+                details={"blocking": blocking}, blame=blame)
+        return out
 
     def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
                       resource_name: str) -> TaskResult:
         higher = [t for t in tasks
                   if t is not task and t.priority <= task.priority]
-        lower = [t for t in tasks if t.priority > task.priority]
-        blocking = max((t.c_max for t in lower), default=0.0) \
-            + task.blocking
+        blocking = self._blocking(task, tasks)
         eps = self.arbitration_eps
 
         error_model = self.error_model
+        last_w = [None]
 
         def busy_time(q: int) -> float:
             def queuing(w: float) -> float:
@@ -143,7 +224,9 @@ class SPNPScheduler(Scheduler):
             w = fixed_point(queuing, start,
                             context=f"{resource_name}/{task.name} "
                                     f"SPNP q={q}",
-                            resource=resource_name, task=task.name)
+                            resource=resource_name, task=task.name,
+                            hint=last_w[0] if kernels.warm_start else None)
+            last_w[0] = w
             return w + task.c_max
 
         r_max, busy_times, q_max = multi_activation_loop(

@@ -8,13 +8,26 @@ framework and the paper's CPU1 example):
     r_i⁺   = max_q [ B_i(q) - δ⁻_i(q) ]          while δ⁻_i(q+1) < B_i(q)
     r_i⁻   = C_i⁻                                 (preemptive best case)
 
-Equal-priority tasks are conservatively counted as interference (the
-tie-break order is unknown to the analysis).
+Equal-priority ties
+-------------------
+Equal-priority tasks are **conservatively counted as interference**: the
+interferer set is ``{j ≠ i : priority_j <= priority_i}``, not strictly
+``<``.  The tie-break order between equal priorities is unknown to the
+analysis (implementation-defined dispatch, FIFO arbitration, ...), so
+each of two tied tasks must assume the other may win every race; with a
+strict ``<`` the analysis would certify response times that a real
+tie-losing execution can exceed.  This is pinned by a regression test
+(``test_spp_ties.py``), not just this comment.
+
+When :func:`repro.analysis.kernels.active`, the per-task q-loops run
+through the batched kernel driver (one joint vector fixed point per
+activation round across all tasks of the resource) — bit-identical to
+the scalar loop kept below as the ``REPRO_VECTOR=0`` fallback.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from .. import obs as _obs
 from .._errors import NotSchedulableError
@@ -26,6 +39,7 @@ from ..explain.blame import (
     BlameTerm,
     critical_activation,
 )
+from . import kernels
 from .busy_window import fixed_point, multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -40,7 +54,9 @@ class SPPScheduler(Scheduler):
         self.utilization_limit = utilization_limit
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: Optional[Dict[str, TaskResult]] = None,
+                ) -> ResourceResult:
         self.check_unique_names(tasks)
         util = self.total_load(tasks)
         if util > self.utilization_limit + 1e-9:
@@ -48,16 +64,77 @@ class SPPScheduler(Scheduler):
                 f"{resource_name}: utilization {util:.4f} exceeds "
                 f"{self.utilization_limit}", resource=resource_name,
                 utilization=util)
-        results = {}
-        for task in tasks:
-            results[task.name] = self._analyze_task(task, tasks,
-                                                    resource_name)
+        reuse = reuse or {}
+        todo = [t for t in tasks if t.name not in reuse]
+        if kernels.batch_worthwhile(len(todo), util) and todo:
+            computed = self._analyze_batched(todo, tasks, resource_name)
+        else:
+            computed = {t.name: self._analyze_task(t, tasks, resource_name)
+                        for t in todo}
+        results = {t.name: computed.get(t.name, reuse.get(t.name))
+                   for t in tasks}
         return ResourceResult(resource_name, util, results)
+
+    @staticmethod
+    def _interferers(task: TaskSpec,
+                     tasks: Sequence[TaskSpec]) -> Sequence[TaskSpec]:
+        # <= not <: equal-priority ties conservatively interfere (see
+        # module docstring).
+        return [t for t in tasks
+                if t is not task and t.priority <= task.priority]
+
+    def influence_fingerprint(self, task, tasks):
+        """SPP result for *task* depends only on tasks at the same or
+        higher priority (plus the task itself), in task-set order."""
+        from .memo import spec_fingerprint
+        parts = [("spp", self.utilization_limit, spec_fingerprint(task))]
+        for j in self._interferers(task, tasks):
+            parts.append(spec_fingerprint(j))
+        if any(p is None for p in parts) or parts[0][2] is None:
+            return None
+        return tuple(parts)
+
+    def _analyze_batched(self, todo: Sequence[TaskSpec],
+                         tasks: Sequence[TaskSpec],
+                         resource_name: str) -> Dict[str, TaskResult]:
+        tables = kernels.tables_for(tasks)
+        chains, meta = [], []
+        for task in todo:
+            interferers = self._interferers(task, tasks)
+            coeffs = [t.c_max if (t is not task
+                                  and t.priority <= task.priority) else 0.0
+                      for t in tasks]
+            sum_c = sum(j.c_max for j in interferers)
+
+            def element(q, task=task, coeffs=coeffs, sum_c=sum_c):
+                base = task.blocking + q * task.c_max
+                return kernels.Element(start=base + sum_c, base=base,
+                                       coeffs=coeffs)
+
+            def context(q, task=task):
+                return f"{resource_name}/{task.name} SPP q={q}"
+
+            chains.append(kernels.Chain(task.name, task.event_model,
+                                        context, element=element))
+            meta.append((task, interferers))
+        kernels.run_chains(chains, tables, resource_name)
+        out = {}
+        for chain, (task, interferers) in zip(chains, meta):
+            blame = None
+            if _obs.enabled:
+                blame = self._blame(task, interferers, resource_name,
+                                    chain.r_max, chain.busy_times)
+            out[task.name] = TaskResult(
+                name=task.name, r_min=task.c_min, r_max=chain.r_max,
+                busy_times=chain.busy_times, q_max=chain.q_max,
+                details={"interferers": float(len(interferers))},
+                blame=blame)
+        return out
 
     def _analyze_task(self, task: TaskSpec, tasks: Sequence[TaskSpec],
                       resource_name: str) -> TaskResult:
-        interferers = [t for t in tasks
-                       if t is not task and t.priority <= task.priority]
+        interferers = self._interferers(task, tasks)
+        last_w = [None]
 
         def busy_time(q: int) -> float:
             def workload(w: float) -> float:
@@ -68,10 +145,13 @@ class SPPScheduler(Scheduler):
 
             start = task.blocking + q * task.c_max \
                 + sum(j.c_max for j in interferers)
-            return fixed_point(workload, start,
-                               context=f"{resource_name}/{task.name} "
-                                       f"SPP q={q}",
-                               resource=resource_name, task=task.name)
+            w = fixed_point(workload, start,
+                            context=f"{resource_name}/{task.name} "
+                                    f"SPP q={q}",
+                            resource=resource_name, task=task.name,
+                            hint=last_w[0] if kernels.warm_start else None)
+            last_w[0] = w
+            return w
 
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time,

@@ -17,7 +17,7 @@ The q-event busy time is the pseudo-inverse evaluated at the demand
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .. import obs as _obs
 from .._errors import ModelError, NotSchedulableError
@@ -29,6 +29,7 @@ from ..explain.blame import (
     critical_activation,
 )
 from ..timebase import EPS
+from . import kernels
 from .busy_window import multi_activation_loop
 from .interface import Scheduler, TaskSpec
 from .results import ResourceResult, TaskResult
@@ -60,14 +61,16 @@ class TDMAScheduler(Scheduler):
     policy = "tdma"
 
     def analyze(self, tasks: Sequence[TaskSpec],
-                resource_name: str = "resource") -> ResourceResult:
+                resource_name: str = "resource",
+                reuse: Optional[dict] = None) -> ResourceResult:
         self.check_unique_names(tasks)
         for t in tasks:
             if t.slot is None or t.slot <= 0:
                 raise ModelError(f"TDMA task {t.name} needs a positive slot")
         cycle = sum(t.slot for t in tasks)
         util = self.total_load(tasks)
-        results = {}
+        reuse = reuse or {}
+        todo = []
         for task in tasks:
             # Per-task capacity check: the own slot share must cover the
             # own long-run demand.
@@ -78,9 +81,48 @@ class TDMAScheduler(Scheduler):
                     f"{resource_name}/{task.name}: demand {load:.4f} "
                     f"exceeds TDMA share {share:.4f}",
                     resource=resource_name, utilization=load / share)
-            results[task.name] = self._analyze_task(task, cycle,
-                                                    resource_name)
+            if task.name not in reuse:
+                todo.append(task)
+        if kernels.batch_worthwhile(len(todo), util) and todo:
+            computed = self._analyze_batched(todo, cycle, resource_name)
+        else:
+            computed = {t.name: self._analyze_task(t, cycle, resource_name)
+                        for t in todo}
+        results = {t.name: computed.get(t.name, reuse.get(t.name))
+                   for t in tasks}
         return ResourceResult(resource_name, util, results)
+
+    def influence_fingerprint(self, task, tasks):
+        """A TDMA result depends only on the task itself and the cycle
+        length (the sum of all slots) — not on other tasks' streams."""
+        from .memo import spec_fingerprint
+        own = spec_fingerprint(task)
+        if own is None:
+            return None
+        return ("tdma", sum(t.slot for t in tasks), own)
+
+    def _analyze_batched(self, todo: Sequence[TaskSpec], cycle: float,
+                         resource_name: str) -> dict:
+        chains, meta = [], []
+        for task in todo:
+            def direct(q, task=task):
+                return tdma_supply_inverse(q * task.c_max, task.slot,
+                                           cycle)
+
+            def context(q, task=task):
+                return f"{resource_name}/{task.name} TDMA q={q}"
+
+            chains.append(kernels.Chain(task.name, task.event_model,
+                                        context, direct=direct))
+            meta.append(task)
+        kernels.run_chains(chains, [], resource_name)
+        out = {}
+        for chain, task in zip(chains, meta):
+            out[task.name] = self._task_result(task, cycle, resource_name,
+                                               chain.r_max,
+                                               chain.busy_times,
+                                               chain.q_max)
+        return out
 
     def _analyze_task(self, task: TaskSpec, cycle: float,
                       resource_name: str) -> TaskResult:
@@ -90,6 +132,12 @@ class TDMAScheduler(Scheduler):
         r_max, busy_times, q_max = multi_activation_loop(
             task.event_model, busy_time,
             resource=resource_name, task=task.name)
+        return self._task_result(task, cycle, resource_name, r_max,
+                                 busy_times, q_max)
+
+    def _task_result(self, task: TaskSpec, cycle: float,
+                     resource_name: str, r_max: float,
+                     busy_times: "list[float]", q_max: int) -> TaskResult:
         blame = None
         if _obs.enabled:
             blame = self._blame(task, cycle, resource_name, r_max,

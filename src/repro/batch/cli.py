@@ -111,6 +111,11 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-job wall-time budget")
     parser.add_argument(
+        "--incremental", action="store_true",
+        help="dirty-set incremental re-analysis: adjacent sweep points "
+             "reuse local analyses of resources whose input event "
+             "models are unchanged (bit-identical results)")
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-point progress lines")
     args = parser.parse_args(argv)
@@ -118,6 +123,8 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     space = NAMED_SPACES[args.target]()
     if args.timeout is not None:
         space.timeout = args.timeout
+    if args.incremental:
+        space.incremental = True
     points = (space.sample(args.sample, seed=args.seed)
               if args.sample is not None else list(space.grid()))
 
@@ -148,6 +155,17 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     print(sweep.table())
     print(f"\n{sweep.report.summary()}")
     print(f"cache: {cache_dir}")
+    if args.incremental:
+        from ..analysis.memo import memo_pool_stats
+
+        stats = memo_pool_stats().get(f"space:{space.name}")
+        if stats and stats["tasks_total"]:
+            # Pool backends keep their memos worker-side; this summary
+            # covers in-process (serial) execution.
+            print(f"incremental: {stats['task_reuses']}/"
+                  f"{stats['tasks_total']} task analyses reused "
+                  f"(rate {stats['reuse_rate']:.0%}, "
+                  f"{stats['resource_hits']} whole-resource hits)")
 
     snapshot = _obs.metrics().snapshot()
     counters = snapshot["counters"]

@@ -158,7 +158,8 @@ class DesignSpace:
                  builder: Optional[Callable[..., System]] = None,
                  job_kind: str = "analyze",
                  job_options: Optional[Dict[str, Any]] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 incremental: bool = False):
         if (base is None) == (builder is None):
             raise ModelError(
                 "design space needs exactly one of base= or builder=")
@@ -171,6 +172,11 @@ class DesignSpace:
         self.job_kind = job_kind
         self.job_options = dict(job_options or {})
         self.timeout = timeout
+        # Incremental re-analysis rides on Job *options* (execution
+        # hints), never on job_options (which merge into the payload and
+        # hence the content key): an incremental sweep point and a cold
+        # one must share one cache entry.
+        self.incremental = incremental
         if isinstance(base, System):
             self._base_dict: Optional[Dict[str, Any]] = system_to_dict(base)
         else:
@@ -234,8 +240,10 @@ class DesignSpace:
         payload = {"system": self.system_dict_for(point)}
         payload.update(self.job_options)
         label = ", ".join(f"{k}={_fmt(v)}" for k, v in point.items())
+        options = ({"incremental": f"space:{self.name}"}
+                   if self.incremental else {})
         return Job(self.job_kind, payload, label=label,
-                   timeout=self.timeout)
+                   timeout=self.timeout, options=options)
 
     def jobs(self, points: Optional[Sequence[Dict[str, Any]]] = None
              ) -> "List[Tuple[Dict[str, Any], Job]]":

@@ -26,6 +26,7 @@ point cannot sink a thousand-point sweep.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -71,6 +72,15 @@ class Job:
     timeout:
         Per-job wall-time budget in seconds (enforced by the executor
         backends); also excluded from the identity.
+    options:
+        Execution hints that must **not** change what the job computes —
+        e.g. ``{"incremental": "<group>"}`` to route the analysis
+        through a shared :class:`~repro.analysis.memo.AnalysisMemo`.
+        Like ``label`` and ``timeout`` they are excluded from the
+        identity: an incremental job and a cold job of the same payload
+        share one cache entry, which is exactly the bit-identity
+        contract the memo layer guarantees.  Job kinds read them via
+        :func:`current_job_options`.
     key:
         Derived content hash over ``(kind, payload)`` — equal payloads
         produce equal keys in every process.
@@ -80,6 +90,7 @@ class Job:
     payload: Mapping[str, Any]
     label: str = ""
     timeout: Optional[float] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
     key: str = field(init=False)
 
     def __post_init__(self):
@@ -175,6 +186,19 @@ def job_kinds() -> "Tuple[str, ...]":
     return tuple(sorted(_JOB_KINDS))
 
 
+#: Thread-local holder of the options of the job currently executing on
+#: this thread.  Serve dispatcher threads run jobs concurrently in one
+#: process, so a module-level variable would cross-talk; pool workers
+#: receive the options with the pickled Job and set their own slot.
+_JOB_OPTIONS = threading.local()
+
+
+def current_job_options() -> "Dict[str, Any]":
+    """Options of the :class:`Job` running on this thread (``{}``
+    outside :func:`run_job`)."""
+    return dict(getattr(_JOB_OPTIONS, "value", None) or {})
+
+
 class JobTimeout(Exception):
     """Raised inside a worker when the per-job alarm fires."""
 
@@ -228,6 +252,7 @@ def run_job(job: Job) -> JobResult:
             job.key, job.kind, job.label, STATUS_FAILED,
             error=f"unknown job kind {job.kind!r} "
                   f"(known: {', '.join(job_kinds())})"))
+    _JOB_OPTIONS.value = dict(job.options)
     try:
         data = _call_with_timeout(fn, dict(job.payload), job.timeout)
     except JobTimeout:
@@ -241,6 +266,8 @@ def run_job(job: Job) -> JobResult:
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
             duration=time.perf_counter() - t0))
+    finally:
+        _JOB_OPTIONS.value = None
     return finish(JobResult(job.key, job.kind, job.label, STATUS_OK,
                             data=data, duration=time.perf_counter() - t0))
 
@@ -312,17 +339,31 @@ def _run_analyze(payload: "Dict[str, Any]") -> "Dict[str, Any]":
     optional ``on_failure`` (``"raise"`` default, or ``"degrade"`` to
     quarantine failing resources and return health + certificates in
     an ``"outcome"`` data key instead of failing the job).
+
+    Job *option* ``incremental`` (a group name) routes the run through
+    the named :func:`~repro.analysis.memo.memo_for` memo: adjacent jobs
+    of one sweep reuse the local analyses of unchanged resources.
+    Being an option, it never enters the job key — incremental results
+    are bit-identical to cold ones.
     """
     from ..system.propagation import DEFAULT_MAX_ITERATIONS, analyze_system
 
     system = system_from_dict(payload["system"])
     on_failure = payload.get("on_failure", "raise")
+    memo = None
+    before = None
+    group = current_job_options().get("incremental")
+    if group:
+        from ..analysis.memo import memo_for
+
+        memo = memo_for(str(group))
+        before = memo.stats()
     outcome = None
     result = analyze_system(
         system,
         max_iterations=payload.get("max_iterations",
                                    DEFAULT_MAX_ITERATIONS),
-        on_failure=on_failure)
+        on_failure=on_failure, memo=memo)
     if on_failure == "degrade":
         outcome = result
         result = outcome.result
@@ -341,6 +382,16 @@ def _run_analyze(payload: "Dict[str, Any]") -> "Dict[str, Any]":
     }
     if outcome is not None:
         data["outcome"] = outcome.to_dict()
+    if memo is not None and before is not None:
+        after = memo.stats()
+        reused = after["task_reuses"] - before["task_reuses"]
+        total = after["tasks_total"] - before["tasks_total"]
+        data["incremental"] = {
+            "group": str(group),
+            "reused_tasks": reused,
+            "analyzed_tasks": total,
+            "reuse_rate": reused / total if total else 0.0,
+        }
     return data
 
 

@@ -62,6 +62,7 @@ from .._errors import (
     UnboundedStreamError,
 )
 from ..analysis.interface import TaskSpec
+from ..analysis.memo import AnalysisMemo
 from ..analysis.results import ResourceResult, SystemResult, TaskResult
 from ..core.update import BusyWindowOutput, apply_operation
 from ..eventmodels import compile as _compile
@@ -229,18 +230,39 @@ def degraded_analyze(system: System,
                      initial_outputs:
                      "Optional[Dict[str, EventModel]]" = None,
                      guard: "Optional[DivergenceGuard]" = None,
+                     memo: "Optional[AnalysisMemo]" = None,
                      ) -> AnalysisOutcome:
     """Run the global fixed point with graceful degradation.
 
     Parameters mirror :func:`~repro.system.propagation.analyze_system`;
     ``guard=None`` installs a default :class:`DivergenceGuard`, pass
     ``guard=False`` to disable trend detection (the iteration budget
-    then remains the only divergence backstop).
+    then remains the only divergence backstop).  A ``memo`` routes the
+    healthy resources' local analyses through the incremental cache;
+    failed analyses never enter the memo, so quarantine behaviour is
+    unchanged.
 
     Returns an :class:`AnalysisOutcome` — never raises for analysis
     failures (overload, divergence, unbounded streams).  Structural
     model errors from :meth:`System.validate` still raise.
     """
+    if memo is not None and not memo.acquire():
+        memo = None
+    try:
+        return _degraded_analysis(system, max_iterations,
+                                  initial_outputs, guard, memo)
+    finally:
+        if memo is not None:
+            memo.runs += 1
+            memo.release()
+
+
+def _degraded_analysis(system: System, max_iterations: int,
+                       initial_outputs:
+                       "Optional[Dict[str, EventModel]]",
+                       guard: "Optional[DivergenceGuard]",
+                       memo: "Optional[AnalysisMemo]",
+                       ) -> AnalysisOutcome:
     system.validate()
     if guard is None:
         guard = DivergenceGuard()
@@ -357,7 +379,13 @@ def degraded_analyze(system: System,
                                  blocking=t.blocking)
                         for t in tasks
                     ]
-                    rr = resource.scheduler.analyze(specs, resource.name)
+                    if memo is None:
+                        rr = resource.scheduler.analyze(specs,
+                                                        resource.name)
+                    else:
+                        rr, _ = memo.resource_memo(
+                            resource.name).analyze(
+                                resource.scheduler, specs, resource.name)
                 except NotSchedulableError as exc:
                     quarantine(resource.name, HEALTH_OVERLOADED, exc)
                     continue

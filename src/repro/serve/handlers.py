@@ -118,6 +118,13 @@ def build_job(kind: str, payload: Dict[str, Any]) -> Job:
     client may pass ``on_failure="raise"`` explicitly to get strict
     semantics (the failure then comes back as a failed job result, not
     an exception).
+
+    An ``incremental`` request key (a group name, or ``true`` for the
+    shared default group) becomes a job *option*: the analysis reuses
+    unchanged local results from earlier requests of the same group.
+    Options never enter the job key, so incremental and cold requests
+    share one cache entry — backed by the memo layer's bit-identity
+    guarantee.
     """
     from ..system.propagation import DEFAULT_MAX_ITERATIONS
 
@@ -130,8 +137,15 @@ def build_job(kind: str, payload: Dict[str, Any]) -> Job:
         }
         if job_payload["on_failure"] not in ("raise", "degrade"):
             raise BadRequest("on_failure must be 'raise' or 'degrade'")
+        options: Dict[str, Any] = {}
+        incremental = payload.get("incremental")
+        if incremental:
+            options["incremental"] = ("serve"
+                                      if incremental is True
+                                      else str(incremental))
         return Job("analyze", job_payload,
-                   label=payload.get("label", payload.get("example", "")))
+                   label=payload.get("label", payload.get("example", "")),
+                   options=options)
     if kind == "explain":
         job_payload = {
             "system": resolve_system_dict(payload),

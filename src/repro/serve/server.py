@@ -507,6 +507,15 @@ class ServeDaemon:
             compile_stats = dict(cache().stats())
         except Exception:
             pass
+        kernel_stats: Dict[str, Any] = {}
+        incremental_stats: Dict[str, Any] = {}
+        try:
+            from ..analysis import kernels
+            from ..analysis.memo import memo_pool_stats
+            kernel_stats = kernels.stats()
+            incremental_stats = memo_pool_stats()
+        except Exception:
+            pass
         return {
             "service": "repro.serve",
             "state": self.machine.state,
@@ -528,6 +537,8 @@ class ServeDaemon:
                 "sweep_spaces": sorted(self._sweep_stores),
             },
             "compile_cache": compile_stats,
+            "kernels": kernel_stats,
+            "incremental": incremental_stats,
             "aggregate": self.aggregator.snapshot(),
             "bus": {"sinks": len(_BUS), "sink_errors": _BUS.sink_errors},
         }

@@ -25,6 +25,7 @@ from .. import obs as _obs
 from .._errors import ConvergenceError, ModelError
 from ..obs.bus import BUS as _BUS
 from ..analysis.interface import TaskSpec
+from ..analysis.memo import AnalysisMemo
 from ..analysis.results import ResourceResult, SystemResult, TaskResult
 from ..core.constructors import hsc_and, hsc_or, hsc_pack
 from ..core.deconstruct import unpack_signal
@@ -254,6 +255,7 @@ def analyze_system(system: System,
                    initial_outputs: "Optional[Dict[str, EventModel]]" = None,
                    on_failure: str = "raise",
                    guard=None,
+                   memo: "Optional[AnalysisMemo]" = None,
                    ):
     """Run the global compositional fixed-point analysis.
 
@@ -284,6 +286,13 @@ def analyze_system(system: System,
         In strict mode a guard verdict raises
         :class:`~repro._errors.ConvergenceError` early (fail fast); in
         degraded mode it triggers widening of the diverging resource.
+    memo:
+        Optional :class:`~repro.analysis.memo.AnalysisMemo` enabling
+        dirty-set incremental re-analysis: local analyses whose input
+        fingerprints match a previous run are reused instead of
+        re-solved.  The iteration trajectory is unchanged, so results
+        (including the iteration count) are bit-identical to a cold
+        run.  A memo busy in another thread is skipped, not awaited.
 
     Returns
     -------
@@ -302,11 +311,37 @@ def analyze_system(system: System,
 
         return degraded_analyze(system, max_iterations=max_iterations,
                                 initial_outputs=initial_outputs,
-                                guard=guard)
+                                guard=guard, memo=memo)
     if guard is None:
         from ..resilience.guards import DivergenceGuard
 
         guard = DivergenceGuard()
+    if memo is not None and not memo.acquire():
+        memo = None
+    try:
+        return _strict_analysis(system, max_iterations, initial_outputs,
+                                guard, memo)
+    finally:
+        if memo is not None:
+            memo.runs += 1
+            memo.release()
+
+
+def _local_analysis(resource, specs, memo: "Optional[AnalysisMemo]"):
+    """One resource's local analysis, through the memo when present.
+
+    Returns ``(ResourceResult, info)`` where ``info`` is the memo's
+    reuse accounting (``None`` without a memo).
+    """
+    if memo is None:
+        return resource.scheduler.analyze(specs, resource.name), None
+    return memo.resource_memo(resource.name).analyze(
+        resource.scheduler, specs, resource.name)
+
+
+def _strict_analysis(system: System, max_iterations: int,
+                     initial_outputs: "Optional[Dict[str, EventModel]]",
+                     guard, memo: "Optional[AnalysisMemo]"):
     system.validate()
     responses: "Dict[str, TaskResult]" = {}
     prev_models: "Dict[str, EventModel]" = {}
@@ -321,8 +356,11 @@ def analyze_system(system: System,
         try:
             resolver = _StreamResolver(system, responses, cycle_seeds)
 
-            # Local analysis per resource.
+            # Local analysis per resource (through the incremental memo
+            # when one is attached — same inputs, reused outputs).
             new_resource_results: "Dict[str, ResourceResult]" = {}
+            dirty_resources = []
+            reused_tasks = 0
             for resource in system.resources.values():
                 tasks = system.tasks_on(resource.name)
                 if not tasks:
@@ -339,15 +377,28 @@ def analyze_system(system: System,
                             "local_analysis", resource=resource.name,
                             policy=resource.scheduler.policy,
                             tasks=len(specs)) as span:
-                        rr = resource.scheduler.analyze(specs,
-                                                        resource.name)
+                        rr, info = _local_analysis(resource, specs, memo)
                         span.set(utilization=rr.utilization)
+                        if info is not None:
+                            span.set(**info)
                     _obs.metrics().histogram(
                         "propagation.local_analysis_seconds").observe(
                             span.duration)
                 else:
-                    rr = resource.scheduler.analyze(specs, resource.name)
+                    rr, info = _local_analysis(resource, specs, memo)
+                if info is not None:
+                    reused_tasks += info["reused_tasks"]
+                    if not info["resource_hit"]:
+                        dirty_resources.append(resource.name)
                 new_resource_results[resource.name] = rr
+            if memo is not None and _obs.enabled:
+                metrics = _obs.metrics()
+                metrics.gauge("incremental.dirty_resources").set(
+                    len(dirty_resources))
+                metrics.counter("incremental.reused_tasks").inc(
+                    reused_tasks)
+                metrics.counter("incremental.analyzed_resources").inc(
+                    len(new_resource_results))
 
             # Gather new responses and check convergence.
             new_responses: "Dict[str, TaskResult]" = {}
@@ -389,17 +440,33 @@ def analyze_system(system: System,
                               converged=converged)
                 _obs.metrics().counter("propagation.iterations").inc()
                 if _BUS.active and residual_info is not None:
-                    _BUS.publish({
+                    event = {
                         "type": "iteration", "system": system.name,
                         "iteration": iteration, "converged": converged,
                         "unstable_models": len(changed),
                         **residual_info,
-                    })
+                    }
+                    if memo is not None:
+                        event["dirty_resources"] = len(dirty_resources)
+                        event["reused_tasks"] = reused_tasks
+                    _BUS.publish(event)
             if converged:
                 if _obs.enabled:
                     _obs.metrics().gauge(
                         "propagation.iterations_to_convergence").set(
                             iteration)
+                    if memo is not None:
+                        memo_stats = memo.stats()
+                        _obs.metrics().gauge(
+                            "incremental.reuse_rate").set(
+                                memo_stats["reuse_rate"])
+                        if _BUS.active:
+                            _BUS.publish({
+                                "type": "incremental",
+                                "system": system.name,
+                                "iterations": iteration,
+                                **memo_stats,
+                            })
                 return SystemResult(iterations=iteration, converged=True,
                                     resource_results=resource_results)
             if guard:

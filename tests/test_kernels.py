@@ -1,0 +1,244 @@
+"""Unit tests for the batched busy-window kernels.
+
+Covers the :class:`~repro.analysis.kernels.EtaTable` dispatch kinds, the
+runtime switches (``configure`` / env-flag mirrors), the batch-worthwhile
+heuristic, the joint vector fixed point (including the warm-start
+overshoot guard), and scalar-vs-batched equality on a small resource.
+"""
+
+import math
+
+import pytest
+
+from repro._errors import NotSchedulableError
+from repro.analysis import SPPScheduler, TaskSpec
+from repro.analysis import kernels
+from repro.eventmodels import (
+    StandardEventModel,
+    freeze,
+    periodic,
+    periodic_with_jitter,
+)
+from repro.eventmodels.base import EventModel, NullEventModel
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_config():
+    snap = (kernels.enabled, kernels.numpy_enabled, kernels.warm_start,
+            kernels.min_batch_lanes, kernels.min_batch_load)
+    yield
+    (kernels.enabled, kernels.numpy_enabled, kernels.warm_start,
+     kernels.min_batch_lanes, kernels.min_batch_load) = snap
+
+
+def spp_tasks(n=6, util=0.8):
+    tasks = []
+    share = util / n
+    for i in range(n):
+        period = 60.0 * (i + 2) + 3.0 * (i % 3)
+        em = StandardEventModel(period=period, jitter=0.4 * period,
+                                d_min=1.0 + 0.2 * i)
+        tasks.append(TaskSpec(name=f"t{i}", event_model=em,
+                              c_min=0.5 * share * period,
+                              c_max=share * period, priority=i + 1))
+    return tasks
+
+
+def result_digest(rr):
+    return {n: (t.r_min, t.r_max, tuple(t.busy_times), t.q_max)
+            for n, t in rr.task_results.items()}
+
+
+# ----------------------------------------------------------------------
+# EtaTable
+# ----------------------------------------------------------------------
+class _CustomEta(EventModel):
+    """Overrides eta_plus -> must dispatch per-lane (scalar kind)."""
+
+    def delta_min(self, n):
+        return max(0.0, (n - 1) * 7.0)
+
+    def delta_plus(self, n):
+        return max(0.0, (n - 1) * 9.0)
+
+    def eta_plus(self, dt):
+        if dt <= 0:
+            return 0
+        return int(math.ceil(dt / 7.0))
+
+
+class TestEtaTable:
+    XS = [0.0, 0.5, 1.0, 7.0, 49.999, 50.0, 123.4, 9999.0]
+
+    def check_matches_model(self, model):
+        tab = kernels.EtaTable(model)
+        expect = [model.eta_plus(x) for x in self.XS]
+        assert list(tab.eta_many(self.XS)) == expect
+        assert [tab.eta_one(x) for x in self.XS] == expect
+        if kernels._np is not None:
+            xs = kernels._np.asarray(self.XS, dtype=float)
+            got = tab.eta_many_np(xs)
+            assert [float(v) for v in got] == [float(e) for e in expect]
+
+    def test_null_kind(self):
+        tab = kernels.EtaTable(NullEventModel())
+        assert tab.kind == kernels._KIND_NULL
+        self.check_matches_model(NullEventModel())
+
+    def test_sem_kind(self):
+        model = StandardEventModel(period=50.0, jitter=120.0, d_min=4.0)
+        assert kernels.EtaTable(model).kind == kernels._KIND_SEM
+        self.check_matches_model(model)
+
+    def test_sem_without_dmin(self):
+        self.check_matches_model(StandardEventModel(period=33.0,
+                                                    jitter=10.0))
+
+    def test_table_kind_compiled(self):
+        model = freeze(periodic_with_jitter(40.0, 90.0), n_max=256)
+        assert kernels.EtaTable(model).kind == kernels._KIND_TABLE
+        self.check_matches_model(model)
+
+    def test_scalar_kind_custom_override(self):
+        model = _CustomEta()
+        assert kernels.EtaTable(model).kind == kernels._KIND_SCALAR
+        self.check_matches_model(model)
+
+    def test_table_grows_beyond_seed(self):
+        model = freeze(periodic(10.0), n_max=4096)
+        tab = kernels.EtaTable(model)
+        # Far beyond the initial _TABLE_SEED samples.
+        big = 10.0 * (kernels._TABLE_SEED * 8) + 5.0
+        assert tab.eta_one(big) == model.eta_plus(big)
+
+
+# ----------------------------------------------------------------------
+# switches & heuristics
+# ----------------------------------------------------------------------
+class TestSwitches:
+    def test_configure_round_trip(self):
+        kernels.configure(vectorized=False, numpy=False,
+                          warm_starts=False, min_batch=3, min_load=0.25)
+        assert not kernels.active()
+        assert not kernels.use_numpy()
+        assert not kernels.warm_start
+        snap = kernels.stats()
+        assert snap["enabled"] is False
+        assert snap["backend"] == "python"
+        assert snap["min_batch_lanes"] == 3
+        assert snap["min_batch_load"] == 0.25
+        kernels.configure(vectorized=True)
+        assert kernels.active()
+
+    def test_stats_counters_present(self):
+        snap = kernels.stats()
+        for key in ("batches", "lanes", "iterations", "warm_start"):
+            assert key in snap
+
+    def test_batch_worthwhile_lane_gate(self):
+        kernels.configure(vectorized=True, min_batch=8, min_load=0.5)
+        assert not kernels.batch_worthwhile(7, 0.9)
+        assert kernels.batch_worthwhile(8, 0.9)
+
+    def test_batch_worthwhile_load_gate(self):
+        kernels.configure(vectorized=True, min_batch=8, min_load=0.5)
+        assert not kernels.batch_worthwhile(100, 0.1)
+        assert kernels.batch_worthwhile(100, 0.5)
+        # Unknown load: the lane gate alone decides.
+        assert kernels.batch_worthwhile(100)
+
+    def test_batch_worthwhile_disabled(self):
+        kernels.configure(vectorized=False, min_batch=0)
+        assert not kernels.batch_worthwhile(10 ** 6, 1.0)
+
+    def test_min_batch_zero_forces_batching(self):
+        kernels.configure(vectorized=True, min_batch=0)
+        assert kernels.batch_worthwhile(1, 0.0)
+
+
+# ----------------------------------------------------------------------
+# solve_round
+# ----------------------------------------------------------------------
+def _affine_eval(slopes, offsets):
+    def eval_fn(ws, idx):
+        return [slopes[i] * w + offsets[i] for i, w in zip(idx, ws)]
+    return eval_fn
+
+
+class TestSolveRound:
+    def test_converges_to_affine_fixed_points(self):
+        slopes, offsets = [0.5, 0.25, 0.0], [10.0, 30.0, 7.0]
+        expect = [o / (1.0 - s) for s, o in zip(slopes, offsets)]
+        values, errors, steps = kernels.solve_round(
+            offsets, [None] * 3, _affine_eval(slopes, offsets),
+            ["a", "b", "c"], ["a", "b", "c"], "res")
+        assert errors == [None, None, None]
+        assert values == pytest.approx(expect)
+        assert all(s >= 1 for s in steps)
+
+    def test_warm_start_overshoot_restarts_cold(self):
+        slopes, offsets = [0.5], [10.0]
+        # Hint far above the fixed point (20): the first evaluation
+        # decreases, so the lane must restart from the cold start and
+        # still land exactly on 20.
+        values, errors, _ = kernels.solve_round(
+            offsets, [1000.0], _affine_eval(slopes, offsets),
+            ["a"], ["a"], "res")
+        assert errors == [None]
+        assert values[0] == pytest.approx(20.0)
+
+    def test_blowup_recorded_not_raised(self):
+        values, errors, _ = kernels.solve_round(
+            [1.0], [None], _affine_eval([2.0], [1.0]),
+            ["a"], ["a"], "res", limit=1e6)
+        assert values == [None]
+        assert isinstance(errors[0], NotSchedulableError)
+
+    def test_good_hint_converges_immediately(self):
+        # The exact fixed point as hint: one evaluation confirms it.
+        _, errors, steps = kernels.solve_round(
+            [10.0], [20.0], _affine_eval([0.5], [10.0]),
+            ["a"], ["a"], "res")
+        assert errors == [None]
+        assert steps[0] == 1
+
+
+# ----------------------------------------------------------------------
+# batched vs scalar equality
+# ----------------------------------------------------------------------
+class TestBatchedEqualsScalar:
+    def analyze_modes(self, tasks):
+        sched = SPPScheduler()
+        kernels.configure(vectorized=False)
+        scalar = result_digest(sched.analyze(tasks, "res"))
+        digests = {"scalar": scalar}
+        kernels.configure(vectorized=True, numpy=False, min_batch=0)
+        digests["python"] = result_digest(sched.analyze(tasks, "res"))
+        if kernels._np is not None:
+            kernels.configure(numpy=True)
+            digests["numpy"] = result_digest(sched.analyze(tasks, "res"))
+        return digests
+
+    def test_small_spp_resource_bit_identical(self):
+        digests = self.analyze_modes(spp_tasks())
+        for name, digest in digests.items():
+            assert digest == digests["scalar"], name
+
+    def test_warm_start_off_bit_identical(self):
+        tasks = spp_tasks(util=0.9)
+        kernels.configure(vectorized=False)
+        scalar = result_digest(SPPScheduler().analyze(tasks, "res"))
+        kernels.configure(vectorized=True, min_batch=0, warm_starts=False)
+        assert result_digest(SPPScheduler().analyze(tasks, "res")) == scalar
+
+    def test_stats_count_batches(self):
+        kernels.configure(vectorized=True, min_batch=0)
+        before = kernels.stats()["batches"]
+        SPPScheduler().analyze(spp_tasks(), "res")
+        assert kernels.stats()["batches"] > before
+
+    def test_gate_keeps_tiny_resources_scalar(self):
+        kernels.configure(vectorized=True, min_batch=16)
+        before = kernels.stats()["batches"]
+        SPPScheduler().analyze(spp_tasks(n=3), "res")
+        assert kernels.stats()["batches"] == before

@@ -1,0 +1,256 @@
+"""Property-based bit-identity tests for the batched kernels and the
+dirty-set incremental re-analysis.
+
+The contract under test is exact equality, not approximation: for any
+task set and any policy, the scalar loops, the pure-python batched
+backend, and (when importable) the numpy backend must produce the same
+floats bit-for-bit — including busy-window sequences, q_max, global
+iteration counts, degraded-mode health maps, and fault-injected
+variants.  Likewise an incremental (memoised) sweep must reproduce the
+from-scratch results exactly after single-axis edits.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Fault, FaultPlan, analyze_system, inject_faults
+from repro._errors import NotSchedulableError
+from repro.analysis import (
+    EDFScheduler,
+    RoundRobinScheduler,
+    SPNPScheduler,
+    SPPScheduler,
+    TaskSpec,
+    TDMAScheduler,
+)
+from repro.analysis import kernels
+from repro.analysis.memo import AnalysisMemo
+from repro.eventmodels import StandardEventModel
+from repro.examples_lib.rox08 import build_system as build_rox08
+from repro.system import System
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_config():
+    snap = (kernels.enabled, kernels.numpy_enabled, kernels.warm_start,
+            kernels.min_batch_lanes, kernels.min_batch_load)
+    yield
+    (kernels.enabled, kernels.numpy_enabled, kernels.warm_start,
+     kernels.min_batch_lanes, kernels.min_batch_load) = snap
+
+
+# ----------------------------------------------------------------------
+# digests & mode harness
+# ----------------------------------------------------------------------
+def resource_digest(rr):
+    return {n: (t.r_min, t.r_max, tuple(t.busy_times), t.q_max)
+            for n, t in rr.task_results.items()}
+
+
+def system_digest(result):
+    return (result.iterations,
+            {rn: resource_digest(rr)
+             for rn, rr in sorted(result.resource_results.items())},
+            tuple(sorted(result.path_latencies.items())))
+
+
+def modes():
+    """(name, configure-kwargs) for every kernel mode to compare.
+
+    ``min_batch=0`` forces the batched path even on the deliberately
+    tiny randomized systems; the lane/load gate is a pure speed
+    heuristic, so forcing it must not change any result.
+    """
+    out = [("scalar", dict(vectorized=False)),
+           ("python", dict(vectorized=True, numpy=False, min_batch=0))]
+    if kernels._np is not None:
+        out.append(("numpy", dict(vectorized=True, numpy=True,
+                                  min_batch=0)))
+    return out
+
+
+def run_modes(fn):
+    """Run *fn* under every mode; all outcomes (value or error) must
+    match the scalar outcome exactly."""
+    outcomes = {}
+    for name, cfg in modes():
+        kernels.configure(**cfg)
+        try:
+            outcomes[name] = ("ok", fn())
+        except NotSchedulableError as exc:
+            outcomes[name] = ("notsched", exc.resource, exc.task)
+    kernels.configure(vectorized=True, numpy=True)
+    baseline = outcomes["scalar"]
+    for name, outcome in outcomes.items():
+        assert outcome == baseline, f"{name} diverges from scalar"
+    return baseline
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def task_sets(draw, policy):
+    n = draw(st.integers(min_value=2, max_value=6))
+    util = draw(st.floats(min_value=0.2, max_value=0.85))
+    share = util / n
+    tasks = []
+    for i in range(n):
+        period = draw(st.floats(min_value=20.0, max_value=400.0))
+        jitter = draw(st.floats(min_value=0.0, max_value=1.5)) * period
+        # d_min is either absent or meaningfully large: a denormal-tiny
+        # d_min makes η⁺ counts overflow in *any* backend (degenerate
+        # model, not a kernel property).
+        d_min = draw(st.one_of(
+            st.none(), st.floats(min_value=0.5, max_value=5.0)))
+        em = StandardEventModel(period=period, jitter=jitter,
+                                d_min=d_min)
+        cmax = max(1e-3, share * period)
+        kw = {}
+        if policy in ("spp", "spnp"):
+            kw["priority"] = i + 1
+            if policy == "spnp":
+                kw["blocking"] = draw(st.floats(min_value=0.0,
+                                                max_value=3.0))
+        elif policy in ("rr", "tdma"):
+            kw["slot"] = draw(st.floats(min_value=1.0, max_value=5.0))
+        elif policy == "edf":
+            kw["deadline"] = period * draw(st.floats(min_value=1.0,
+                                                     max_value=3.0))
+        tasks.append(TaskSpec(name=f"t{i}", event_model=em,
+                              c_min=0.5 * cmax, c_max=cmax, **kw))
+    return tasks
+
+
+SCHEDULERS = {
+    "spp": SPPScheduler,
+    "spnp": SPNPScheduler,
+    "rr": RoundRobinScheduler,
+    "edf": EDFScheduler,
+}
+
+
+# ----------------------------------------------------------------------
+# whole-resource bit-identity, all policies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", sorted(SCHEDULERS))
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_resource_bit_identity(policy, data):
+    tasks = data.draw(task_sets(policy))
+    scheduler = SCHEDULERS[policy]()
+    run_modes(lambda: resource_digest(scheduler.analyze(tasks, "res")))
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_tdma_bit_identity(data):
+    # TDMA needs per-task demand below its slot share; equal slots and
+    # bounded total utilization guarantee it.
+    tasks = data.draw(task_sets("tdma"))
+    share = 1.0 / len(tasks)
+    tasks = [TaskSpec(name=t.name, event_model=t.event_model,
+                      c_min=t.c_min * share, c_max=t.c_max * share,
+                      slot=2.0)
+             for t in tasks]
+    scheduler = TDMAScheduler()
+    run_modes(lambda: resource_digest(scheduler.analyze(tasks, "bus")))
+
+
+# ----------------------------------------------------------------------
+# end-to-end bit-identity, including degraded & fault-injected systems
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", ["flat", "hem"])
+def test_rox08_end_to_end_bit_identity(variant):
+    run_modes(lambda: system_digest(analyze_system(build_rox08(variant))))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_fault_injected_bit_identity(seed):
+    base = build_rox08("hem")
+    plan = FaultPlan.sample(base, seed=seed)
+
+    def run():
+        system = inject_faults(base, plan)
+        outcome = analyze_system(system, on_failure="degrade")
+        return json.dumps(outcome.to_dict(), sort_keys=True)
+
+    run_modes(run)
+
+
+def test_degraded_overload_bit_identity():
+    from repro.examples_lib.stress import build_overloaded
+
+    def run():
+        outcome = analyze_system(build_overloaded(), on_failure="degrade")
+        return json.dumps(outcome.to_dict(), sort_keys=True)
+
+    run_modes(run)
+
+
+def test_can_error_burst_bit_identity():
+    # The SPNP tail path (CAN error model) through the kernels.
+    base = build_rox08("hem")
+    plan = FaultPlan((Fault("can_error_burst", "CAN", 3),))
+
+    def run():
+        outcome = analyze_system(inject_faults(base, plan),
+                                 on_failure="degrade")
+        return json.dumps(outcome.to_dict(), sort_keys=True)
+
+    run_modes(run)
+
+
+# ----------------------------------------------------------------------
+# incremental == from-scratch after single-axis edits
+# ----------------------------------------------------------------------
+def build_two_stage(scale: float) -> System:
+    system = System("sweep")
+    for i in range(4):
+        period = 80.0 * (i + 2)
+        system.add_source(f"S{i}", StandardEventModel(
+            period=period, jitter=0.5 * period, d_min=1.0))
+    system.add_resource("BIG", SPPScheduler())
+    for i in range(4):
+        period = 80.0 * (i + 2)
+        system.add_task(f"B{i}", "BIG", (0.05 * period, 0.1 * period),
+                        [f"S{i}"], priority=i + 1)
+    system.add_resource("LEAF", SPPScheduler())
+    for i in range(2):
+        system.add_task(f"L{i}", "LEAF",
+                        (5.0 * scale, 10.0 * scale), [f"B{i}"],
+                        priority=i + 1)
+    return system
+
+
+@settings(max_examples=15, deadline=None)
+@given(scales=st.lists(st.floats(min_value=0.2, max_value=3.0),
+                       min_size=2, max_size=5))
+def test_incremental_sweep_matches_from_scratch(scales):
+    cold = [system_digest(analyze_system(build_two_stage(s)))
+            for s in scales]
+    memo = AnalysisMemo()
+    warm = [system_digest(analyze_system(build_two_stage(s), memo=memo))
+            for s in scales]
+    assert warm == cold
+    stats = memo.stats()
+    assert stats["tasks_total"] > 0
+    # Only the LEAF edits: the BIG resource must see heavy reuse.
+    assert stats["task_reuses"] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(scale=st.floats(min_value=0.2, max_value=3.0))
+def test_incremental_identical_rerun_hits_resource_cache(scale):
+    memo = AnalysisMemo()
+    first = system_digest(analyze_system(build_two_stage(scale),
+                                         memo=memo))
+    hits_before = memo.stats()["resource_hits"]
+    second = system_digest(analyze_system(build_two_stage(scale),
+                                          memo=memo))
+    assert second == first
+    assert memo.stats()["resource_hits"] > hits_before
