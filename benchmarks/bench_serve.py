@@ -8,7 +8,10 @@ dir) and measures the served-analysis path over actual HTTP:
 * **warm latency** — the identical requests again, all answered from
   the shared content-addressed store (p50/p99),
 * **sustained throughput** — several client threads hammering
-  warm-cache requests for a fixed window (requests / second).
+  warm-cache requests for a fixed window (requests / second),
+* **profiler overhead** — the cold pass repeated with the sampling
+  profiler attached at 100 Hz; its wall time may exceed the
+  unprofiled pass by at most 10%.
 
 The warm numbers are the daemon's value proposition: they bound the
 fixed serving overhead (HTTP parse, queue, dispatch, store lookup) a
@@ -41,6 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_history import envelope  # noqa: E402
+from repro.obs.profile import SamplingProfiler  # noqa: E402
 from repro.serve import ServeClient, daemon_in_thread  # noqa: E402
 
 BENCH_OUT_DIR = Path(os.environ.get(
@@ -50,6 +54,11 @@ BENCH_OUT_DIR = Path(os.environ.get(
 #: round-trip + queue + store lookup; 50ms is an order of magnitude of
 #: slack over what a healthy host delivers.
 MAX_WARM_P50 = 0.050
+
+#: Ceiling on the wall-clock cost of leaving the 100 Hz sampling
+#: profiler attached while serving: profiled/unprofiled ratio of the
+#: cold-request pass.
+MAX_PROFILER_OVERHEAD = 1.10
 
 
 def _percentile(samples, q):
@@ -121,6 +130,10 @@ def main(argv=None) -> int:
 
             cold = _timed_requests(client, requests, 64)
             warm = _timed_requests(client, requests, 64)
+            # Same cold workload again (fresh keys), this time with the
+            # sampling profiler attached process-wide at 100 Hz.
+            with SamplingProfiler(hz=100):
+                profiled = _timed_requests(client, requests, 64 + 10000)
             total, elapsed = _throughput(
                 lambda: ServeClient(port=handle.port), threads, window)
             health = client.health()
@@ -128,6 +141,7 @@ def main(argv=None) -> int:
             handle.stop()
 
     rps = total / elapsed if elapsed else 0.0
+    profiler_overhead = sum(profiled) / sum(cold) if sum(cold) else 1.0
     payload = {
         "requests": requests,
         "workers": args.workers,
@@ -141,6 +155,8 @@ def main(argv=None) -> int:
         "sustained_window_seconds": elapsed,
         "sustained_rps": rps,
         "cache_hit_rate": health["requests"]["cache_hit_rate"],
+        "profiled_p50_seconds": _percentile(profiled, 0.50),
+        "profiler_overhead_ratio": profiler_overhead,
         "quick": args.quick,
     }
 
@@ -153,6 +169,9 @@ def main(argv=None) -> int:
           f"({rps:.0f} req/s, {threads} client threads)")
     print(f"  daemon cache hit rate "
           f"{payload['cache_hit_rate']:.2%}")
+    print(f"  profiler overhead (100 Hz) "
+          f"{(profiler_overhead - 1.0) * 100:+.1f}% "
+          f"(p50 {payload['profiled_p50_seconds'] * 1e3:.2f} ms)")
 
     BENCH_OUT_DIR.mkdir(parents=True, exist_ok=True)
     out = BENCH_OUT_DIR / "BENCH_serve.json"
@@ -168,6 +187,11 @@ def main(argv=None) -> int:
     if payload["warm_p50_seconds"] > payload["cold_p50_seconds"] * 1.5:
         failures.append("warm p50 slower than 1.5x cold p50 — the "
                         "store is not serving hits")
+    if profiler_overhead > MAX_PROFILER_OVERHEAD:
+        failures.append(
+            f"100 Hz profiler overhead "
+            f"{(profiler_overhead - 1.0) * 100:.1f}% exceeds "
+            f"{(MAX_PROFILER_OVERHEAD - 1.0) * 100:.0f}% ceiling")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -21,6 +21,10 @@ Modes:
   live sweep monitor fed by the streaming telemetry bus; ``--follow``
   tails the result store of a sweep owned by another process (see
   :mod:`repro.obs.top`).
+* ``python -m repro profile <example.py|rox08> [--hz N --out PATH]``
+  — run a workload under the wall-clock sampling profiler and emit
+  collapsed-stack flamegraph output plus a hot-path table (see
+  :mod:`repro.obs.profile`).
 * ``python -m repro serve [--port N --workers K]`` — run the
   analysis-as-a-service daemon: an async HTTP+JSON API over the batch
   engine with shared result/curve caches (see :mod:`repro.serve`).
@@ -34,6 +38,7 @@ import sys
 from .batch.cli import batch_main
 from .explain.cli import explain_main
 from .obs.cli import trace_main
+from .obs.profile import profile_main
 from .obs.top import top_main
 from .report import main
 from .resilience.cli import resilience_main
@@ -41,6 +46,8 @@ from .serve.cli import serve_main, submit_main
 
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
+if len(sys.argv) > 1 and sys.argv[1] == "profile":
+    sys.exit(profile_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "serve":
     sys.exit(serve_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "submit":

@@ -656,6 +656,7 @@ def solve_round(starts: Sequence[float], hints: Sequence[Optional[float]],
     if _obs.enabled:
         registry = _obs.metrics()
         registry.counter("kernel.batches").inc()
+        registry.counter("kernels.vector_lanes").inc(n)
         registry.histogram("kernel.batch_lanes").observe(n)
         converged = registry.counter("busy_window.fixed_point_calls")
         it_hist = registry.histogram("busy_window.fixed_point_iterations")

@@ -45,17 +45,22 @@ class ProgressLine:
     """
 
     def __init__(self, aggregator: LiveAggregator, quiet: bool = False,
-                 stream=None, interval: float = FALLBACK_INTERVAL):
+                 stream=None, interval: float = FALLBACK_INTERVAL,
+                 clock=time.monotonic):
         self.aggregator = aggregator
         self.quiet = quiet
         self.stream = stream if stream is not None else sys.stdout
         self.interval = interval
+        #: Monotonic clock for the non-TTY rate limiter (injectable so
+        #: tests can drive it; never wall-clock — immune to NTP jumps).
+        self.clock = clock
         self.is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._last_emit: Optional[float] = None
         self._last_width = 0
+        self._finished = False
 
     def update(self, _result=None) -> None:
-        if self.quiet:
+        if self.quiet or self._finished:
             return
         line = self.aggregator.render_line()
         if self.is_tty:
@@ -64,15 +69,20 @@ class ProgressLine:
             self.stream.flush()
             self._last_width = len(line)
             return
-        now = time.monotonic()
+        now = self.clock()
         if self._last_emit is None or now - self._last_emit >= self.interval:
             self._last_emit = now
             print(line, file=self.stream, flush=True)
 
     def finish(self) -> None:
-        """Terminate the rewriting line (or emit the final summary)."""
-        if self.quiet:
+        """Terminate the rewriting line (or emit the final summary).
+
+        Always flushes one final line regardless of the rate limiter —
+        the last update is the one that matters — and is idempotent so
+        callers can invoke it from a ``finally`` block."""
+        if self.quiet or self._finished:
             return
+        self._finished = True
         line = self.aggregator.render_line()
         if self.is_tty:
             pad = " " * max(0, self._last_width - len(line))
@@ -118,7 +128,16 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-point progress lines")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the sampling profiler to the sweep and write a "
+             "collapsed-stack flamegraph file into the cache dir")
+    parser.add_argument(
+        "--profile-hz", type=int, default=None, metavar="HZ",
+        help="profiler sampling rate (default 100; implies --profile)")
     args = parser.parse_args(argv)
+    if args.profile_hz is not None:
+        args.profile = True
 
     space = NAMED_SPACES[args.target]()
     if args.timeout is not None:
@@ -140,12 +159,22 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     aggregator.label = space.name
     line = ProgressLine(aggregator, quiet=args.quiet)
 
+    profiler = None
+    if args.profile:
+        from ..obs.profile import DEFAULT_HZ, SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.profile_hz or DEFAULT_HZ)
+
     _obs.configure(enabled=True, reset=True)
     _obs.get_bus().subscribe(aggregator)
     try:
+        if profiler is not None:
+            profiler.start()
         sweep = space.run(runner, points=points, progress=line.update)
-        line.finish()
     finally:
+        if profiler is not None:
+            profiler.stop()
+        line.finish()
         _obs.get_bus().unsubscribe(aggregator)
         _obs.configure(enabled=False)
 
@@ -155,6 +184,17 @@ def batch_main(argv: Optional[Sequence[str]] = None) -> int:
     print(sweep.table())
     print(f"\n{sweep.report.summary()}")
     print(f"cache: {cache_dir}")
+    if profiler is not None:
+        from pathlib import Path
+
+        collapsed_path = Path(cache_dir) / "profile.collapsed"
+        collapsed_path.parent.mkdir(parents=True, exist_ok=True)
+        text = profiler.collapsed()
+        collapsed_path.write_text(text + ("\n" if text else ""),
+                                  encoding="utf-8")
+        print(f"\nprofile: {profiler.samples} samples @ "
+              f"{profiler.hz} Hz -> {collapsed_path}")
+        print(profiler.render_hot_table())
     if args.incremental:
         from ..analysis.memo import memo_pool_stats
 

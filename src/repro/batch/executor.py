@@ -93,7 +93,8 @@ def _enforce_budget(job: Job, result: JobResult) -> JobResult:
                          STATUS_TIMEOUT,
                          error=f"job exceeded timeout of {job.timeout}s "
                                f"(ran {result.duration:.3f}s)",
-                         duration=result.duration)
+                         duration=result.duration,
+                         request_id=result.request_id)
     return result
 
 
@@ -369,7 +370,8 @@ class BatchRunner:
                 key, result.kind, result.label, STATUS_POISONED,
                 error=result.error, traceback=result.traceback,
                 duration=result.duration, attempts=attempts[key],
-                history=list(histories.get(key, ()))))
+                history=list(histories.get(key, ())),
+                request_id=result.request_id))
 
         t0 = time.perf_counter()
         try:

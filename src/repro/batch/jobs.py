@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from .. import obs as _obs
 from .._errors import ModelError
+from ..obs import context as _obs_context
 from ..analysis.interface import TaskSpec
 from ..system.serialize import (
     content_hash,
@@ -131,13 +132,16 @@ class JobResult:
     obs: Dict[str, Any] = field(default_factory=dict)
     attempts: int = 1
     history: list = field(default_factory=list)
+    #: Correlation id of the serve request that produced this result
+    #: ("" for results produced outside any request).
+    request_id: str = ""
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record = {
             "key": self.key,
             "kind": self.kind,
             "label": self.label,
@@ -150,6 +154,9 @@ class JobResult:
             "attempts": self.attempts,
             "history": self.history,
         }
+        if self.request_id:
+            record["request_id"] = self.request_id
+        return record
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
@@ -165,6 +172,7 @@ class JobResult:
             obs=dict(data.get("obs", {})),
             attempts=data.get("attempts", 1),
             history=list(data.get("history", [])),
+            request_id=data.get("request_id", ""),
         )
 
 
@@ -225,6 +233,9 @@ def run_job(job: Job) -> JobResult:
         registry.counter(f"analysis.jobs.{job.kind}").inc()
 
     def finish(result: JobResult) -> JobResult:
+        rid = _obs_context.current_request_id()
+        if rid:
+            result.request_id = rid
         if mark is not None and _obs.enabled:
             tracer = _obs.get_tracer()
             result.obs = {

@@ -47,6 +47,12 @@ from typing import Optional
 
 from .aggregate import LiveAggregator
 from .bus import BUS, EventBus
+from .context import (
+    TraceContext,
+    current_request_id,
+    new_request_id,
+    request_context,
+)
 from .export import (
     metrics_to_json,
     read_jsonl,
@@ -58,6 +64,8 @@ from .export import (
     tracer_to_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .openmetrics import render_registry as render_openmetrics
+from .profile import SamplingProfiler
 from .sinks import ChromeTraceSink, JsonlEventSink, Sink
 from .trace import Span, Tracer
 
@@ -144,6 +152,12 @@ __all__ = [
     "metrics",
     "Tracer",
     "Span",
+    "TraceContext",
+    "SamplingProfiler",
+    "current_request_id",
+    "new_request_id",
+    "request_context",
+    "render_openmetrics",
     "EventBus",
     "Sink",
     "JsonlEventSink",

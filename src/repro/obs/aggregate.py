@@ -201,6 +201,27 @@ class LiveAggregator:
     # ------------------------------------------------------------------
     # presentation
     # ------------------------------------------------------------------
+    @staticmethod
+    def telemetry_health() -> Dict[str, Any]:
+        """Health of the telemetry plane itself: spans dropped by the
+        tracer's ring buffer and exceptions the bus swallowed per sink.
+        Read lazily from the process-global tracer/bus so an aggregator
+        constructed before ``obs.configure`` still sees them."""
+        from . import get_bus, get_tracer
+        health: Dict[str, Any] = {
+            "dropped_spans": 0,
+            "sink_errors": 0,
+            "sink_error_counts": {},
+        }
+        try:
+            health["dropped_spans"] = get_tracer().dropped
+            bus = get_bus()
+            health["sink_errors"] = bus.sink_errors
+            health["sink_error_counts"] = bus.sink_error_counts()
+        except Exception:
+            pass  # telemetry health is best-effort decoration
+        return health
+
     def snapshot(self) -> Dict[str, Any]:
         """The whole aggregate as one JSON-compatible dict."""
         with self._lock:
@@ -237,6 +258,7 @@ class LiveAggregator:
         state["elapsed"] = self.elapsed()
         state["throughput"] = self.throughput()
         state["eta_seconds"] = self.eta_seconds()
+        state["telemetry"] = self.telemetry_health()
         return state
 
     def render_line(self, width: int = 78) -> str:
@@ -316,6 +338,18 @@ class LiveAggregator:
         for label, error in snap["failures"][-5:]:
             text = f"FAILED {label}: {error}"
             lines.append(text[:width])
+        telemetry = snap.get("telemetry") or {}
+        if telemetry.get("dropped_spans") or telemetry.get("sink_errors"):
+            bits = []
+            if telemetry.get("dropped_spans"):
+                bits.append(f"{telemetry['dropped_spans']} spans dropped")
+            if telemetry.get("sink_errors"):
+                per_sink = ", ".join(
+                    f"{name}={count}" for name, count in sorted(
+                        telemetry.get("sink_error_counts", {}).items()))
+                bits.append(f"{telemetry['sink_errors']} sink errors"
+                            + (f" ({per_sink})" if per_sink else ""))
+            lines.append("telemetry: " + "  ".join(bits))
         return "\n".join(line[:width] for line in lines)
 
 

@@ -46,6 +46,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from . import context as _context
+
 #: Sinks may be plain callables or objects with a ``handle`` method.
 SinkLike = Callable[[Dict[str, Any]], None]
 
@@ -63,12 +65,16 @@ class EventBus:
 
     def __init__(self):
         self._lock = threading.Lock()
-        #: list of (handler, interests frozenset or None, token)
-        self._sinks: List[Tuple[SinkLike, Optional[frozenset], Any]] = []
+        #: list of (handler, interests frozenset or None, token, label)
+        self._sinks: List[
+            Tuple[SinkLike, Optional[frozenset], Any, str]] = []
         self.active = False
         self.metric_interest = False
-        #: Exceptions swallowed while dispatching to sinks.
+        #: Exceptions swallowed while dispatching to sinks (total).
         self.sink_errors = 0
+        #: Swallowed exceptions broken out by sink label — the total
+        #: alone cannot say *which* monitor is broken.
+        self._sink_error_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def subscribe(self, sink: Any,
@@ -85,8 +91,11 @@ class EventBus:
         if interests is None:
             interests = getattr(sink, "interests", None)
         wanted = None if interests is None else frozenset(interests)
+        label = (getattr(sink, "name", None)
+                 or getattr(sink, "__name__", None)
+                 or type(sink).__name__)
         with self._lock:
-            self._sinks.append((handler, wanted, sink))
+            self._sinks.append((handler, wanted, sink, str(label)))
             self._refresh_flags()
         return sink
 
@@ -103,7 +112,7 @@ class EventBus:
         self.active = bool(self._sinks)
         self.metric_interest = any(
             wanted is None or "metric" in wanted
-            for _, wanted, _ in self._sinks)
+            for _, wanted, _, _ in self._sinks)
 
     def clear(self) -> None:
         """Drop every sink (test isolation; sinks are not closed)."""
@@ -111,6 +120,12 @@ class EventBus:
             self._sinks = []
             self._refresh_flags()
         self.sink_errors = 0
+        self._sink_error_counts = {}
+
+    def sink_error_counts(self) -> Dict[str, int]:
+        """Swallowed-exception counts per sink label (a copy)."""
+        with self._lock:
+            return dict(self._sink_error_counts)
 
     # ------------------------------------------------------------------
     def publish(self, event: Dict[str, Any]) -> None:
@@ -128,14 +143,21 @@ class EventBus:
             return
         if "t" not in event:
             event["t"] = time.perf_counter()
+        if "request_id" not in event:
+            rid = _context.current_request_id()
+            if rid:
+                event["request_id"] = rid
         kind = event.get("type")
-        for handler, wanted, _ in sinks:
+        for handler, wanted, _, label in sinks:
             if wanted is not None and kind not in wanted:
                 continue
             try:
                 handler(event)
             except Exception:
                 self.sink_errors += 1
+                with self._lock:
+                    self._sink_error_counts[label] = \
+                        self._sink_error_counts.get(label, 0) + 1
 
     def __len__(self) -> int:
         with self._lock:

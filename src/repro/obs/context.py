@@ -1,0 +1,102 @@
+"""Request-scoped trace context: one id from HTTP edge to result store.
+
+A :class:`TraceContext` is minted at the serving edge (one per HTTP
+request, honouring an ``X-Repro-Request-Id`` header when the client
+supplies one) and carried on a :class:`contextvars.ContextVar`.  Every
+layer that runs *within* the activated context — the tracer, the event
+bus, ``run_job`` — reads it lazily and stamps the request id onto what
+it emits, so one id correlates:
+
+* the HTTP response header (``X-Repro-Request-Id``),
+* every span the tracer finishes (→ the Chrome/Perfetto export),
+* every bus event published while the context is active,
+* the persisted :class:`~repro.batch.jobs.JobResult` record.
+
+``contextvars`` values do **not** cross into
+``loop.run_in_executor`` threads (only ``asyncio.to_thread`` copies
+the context), so the daemon carries the context on its
+:class:`~repro.serve.queue.WorkItem` and re-activates it explicitly on
+the worker thread via :func:`activate`/:func:`deactivate` (or the
+:func:`request_context` manager).
+
+This module is import-leaf on purpose: :mod:`repro.obs.bus` and
+:mod:`repro.obs.trace` both import it, so it must not import either.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "current",
+    "current_request_id",
+    "deactivate",
+    "new_request_id",
+    "request_context",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one in-flight request.
+
+    ``root_span_id`` (when set) becomes the fallback parent for spans
+    started on a thread with an empty span stack — that is what welds
+    the worker-thread span tree onto the request's root span even
+    though the two live on different threads.
+    """
+
+    request_id: str
+    root_span_id: Optional[int] = None
+    endpoint: str = ""
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh request id: 16 hex chars, unique enough for a fleet."""
+    return uuid.uuid4().hex[:16]
+
+
+def current() -> Optional[TraceContext]:
+    """The active context on this thread, or ``None``."""
+    return _CURRENT.get()
+
+
+def current_request_id() -> str:
+    """The active request id, or ``""`` outside any request."""
+    ctx = _CURRENT.get()
+    return ctx.request_id if ctx is not None else ""
+
+
+def activate(ctx: TraceContext) -> Token:
+    """Install *ctx* on the calling thread; returns the reset token."""
+    return _CURRENT.set(ctx)
+
+
+def deactivate(token: Token) -> None:
+    """Undo a matching :func:`activate`."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def request_context(request_id: Optional[str] = None,
+                    root_span_id: Optional[int] = None,
+                    endpoint: str = "") -> Iterator[TraceContext]:
+    """Scope a :class:`TraceContext` over a ``with`` block (mints a
+    fresh id when none is given)."""
+    ctx = TraceContext(request_id=request_id or new_request_id(),
+                       root_span_id=root_span_id, endpoint=endpoint)
+    token = activate(ctx)
+    try:
+        yield ctx
+    finally:
+        deactivate(token)

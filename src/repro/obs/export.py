@@ -31,6 +31,8 @@ def span_to_dict(span: Span, t0: float = 0.0) -> Dict[str, Any]:
     }
     if span.worker is not None:
         record["worker"] = span.worker
+    if span.request_id is not None:
+        record["request_id"] = span.request_id
     if span.error is not None:
         record["error"] = span.error
     if span.events:
@@ -99,6 +101,8 @@ def records_to_chrome(records: Sequence[Dict[str, Any]],
         args["span_id"] = record.get("span_id")
         if record.get("parent_id") is not None:
             args["parent_id"] = record["parent_id"]
+        if record.get("request_id") is not None:
+            args["request_id"] = record["request_id"]
         status = record.get("status", "ok")
         if status != "ok":
             args["status"] = status

@@ -226,6 +226,24 @@ class MetricsRegistry:
                                for n, h in sorted(self._histograms.items())},
             }
 
+    def export_state(self) -> Dict[str, Any]:
+        """Raw instrument state for exposition renderers.
+
+        Unlike :meth:`snapshot` (which pre-summarises histograms), this
+        keeps the raw observation lists so an exporter can derive its
+        own bucketing — :mod:`repro.obs.openmetrics` turns them into
+        cumulative ``_bucket`` series at render time.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: list(h.values)
+                               for n, h in sorted(self._histograms.items())},
+            }
+
     def mark(self) -> Dict[str, Any]:
         """Opaque baseline for :meth:`delta_since` /
         :meth:`discard_since` (counter and gauge values plus histogram

@@ -1,0 +1,227 @@
+"""OpenMetrics / Prometheus text exposition for the metrics registry.
+
+:func:`render_registry` turns a live
+:class:`~repro.obs.metrics.MetricsRegistry` into the OpenMetrics text
+format (the strict superset of the Prometheus exposition format): one
+``# TYPE``/``# HELP`` header per metric family, counter samples with
+the mandatory ``_total`` suffix, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``, escaped label
+values, and a terminal ``# EOF``.  The serve daemon mounts the result
+at ``GET /metrics`` so any standard scraper can watch a fleet of
+analysis daemons with zero extra dependencies.
+
+The registry's instruments are flat dotted names.  Two conventions map
+them onto the OpenMetrics data model:
+
+* dots become underscores and every family gains a ``repro_`` prefix
+  (``serve.request_seconds`` → ``repro_serve_request_seconds``);
+* an instrument named via :func:`labeled` —
+  ``labeled("serve.endpoint_seconds", endpoint="analyze")`` →
+  ``serve.endpoint_seconds{endpoint="analyze"}`` — renders as one
+  labelled sample of the base family, so per-endpoint series share a
+  family the way a scraper expects.
+
+Registry histograms keep raw observations (exact percentiles), so the
+cumulative buckets here are *derived at render time* — no precision is
+lost inside the process; the bucket boundaries only shape what a
+remote scraper sees.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "escape_help",
+    "escape_label_value",
+    "labeled",
+    "render_registry",
+    "render_state",
+    "sanitize_name",
+    "split_labels",
+]
+
+#: HTTP Content-Type for an OpenMetrics scrape response.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Default cumulative bucket boundaries (seconds).  Log-spaced around
+#: the latencies this engine actually produces: a warm cache hit is
+#: ~1ms, a cold fixed point tens of ms to seconds.  Values outside the
+#: range land in ``+Inf`` — nothing is ever lost, only coarsened.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_NAME_OK_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """Canonical labelled instrument name: ``base{k="v",...}``.
+
+    Sorted keys make the name deterministic, so two call sites naming
+    the same series get the same registry instrument.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`labeled`: ``base{k="v"}`` → (base, {k: v})."""
+    base, brace, rest = name.partition("{")
+    if not brace or not rest.endswith("}"):
+        return name, {}
+    labels = {key: _unescape(value)
+              for key, value in _LABEL_RE.findall(rest[:-1])}
+    return base, labels
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\n", "\n")
+                 .replace('\\"', '"')
+                 .replace("\\\\", "\\"))
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, and newline."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def sanitize_name(name: str, prefix: str = "repro_") -> str:
+    """Dotted instrument name → legal metric family name."""
+    cleaned = _NAME_OK_RE.sub("_", name.replace(".", "_"))
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str],
+               extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, v) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Family:
+    """One metric family: a type, a help string, accumulated samples."""
+
+    __slots__ = ("name", "kind", "help", "lines")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: List[str] = []
+
+    def render(self) -> List[str]:
+        return ([f"# TYPE {self.name} {self.kind}",
+                 f"# HELP {self.name} {escape_help(self.help)}"]
+                + self.lines)
+
+
+def render_state(state: Dict[str, Any], *,
+                 prefix: str = "repro_",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> str:
+    """Render a :meth:`MetricsRegistry.export_state` payload."""
+    families: Dict[str, _Family] = {}
+
+    def family(base: str, kind: str) -> Optional[_Family]:
+        fam_name = sanitize_name(base, prefix)
+        fam = families.get(fam_name)
+        if fam is None:
+            fam = families[fam_name] = _Family(
+                fam_name, kind, f"repro instrument {base}")
+        elif fam.kind != kind:
+            # A family must have exactly one type; a dotted-name
+            # collision across kinds keeps the first and drops the
+            # rest rather than emitting an unparseable exposition.
+            return None
+        return fam
+
+    for name, value in state.get("counters", {}).items():
+        base, labels = split_labels(name)
+        fam = family(base, "counter")
+        if fam is not None:
+            fam.lines.append(f"{fam.name}_total{_label_str(labels)} "
+                             f"{_format_value(value)}")
+
+    for name, value in state.get("gauges", {}).items():
+        if value is None:
+            continue
+        base, labels = split_labels(name)
+        fam = family(base, "gauge")
+        if fam is not None:
+            fam.lines.append(f"{fam.name}{_label_str(labels)} "
+                             f"{_format_value(value)}")
+
+    for name, values in state.get("histograms", {}).items():
+        base, labels = split_labels(name)
+        fam = family(base, "histogram")
+        if fam is None:
+            continue
+        bounds = list(buckets)
+        cumulative = 0
+        ordered = sorted(values)
+        idx = 0
+        for bound in bounds:
+            while idx < len(ordered) and ordered[idx] <= bound:
+                idx += 1
+            cumulative = idx
+            fam.lines.append(
+                f"{fam.name}_bucket"
+                f"{_label_str(labels, ('le', _format_value(bound)))} "
+                f"{cumulative}")
+        fam.lines.append(
+            f"{fam.name}_bucket{_label_str(labels, ('le', '+Inf'))} "
+            f"{len(values)}")
+        fam.lines.append(f"{fam.name}_sum{_label_str(labels)} "
+                         f"{_format_value(float(sum(values)))}")
+        fam.lines.append(f"{fam.name}_count{_label_str(labels)} "
+                         f"{len(values)}")
+
+    out: List[str] = []
+    for fam_name in sorted(families):
+        out.extend(families[fam_name].render())
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def render_registry(registry: Any, *,
+                    prefix: str = "repro_",
+                    buckets: Sequence[float] = DEFAULT_BUCKETS) -> str:
+    """Render a live :class:`~repro.obs.metrics.MetricsRegistry`."""
+    return render_state(registry.export_state(),
+                        prefix=prefix, buckets=buckets)

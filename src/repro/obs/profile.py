@@ -1,0 +1,251 @@
+"""Wall-clock sampling profiler: stdlib-only, always-attachable.
+
+A background daemon thread wakes ``hz`` times a second, walks
+``sys._current_frames()`` and folds each observed stack into a counter
+keyed by the collapsed stack string (``module.fn;module.fn;... N`` —
+the folded format Brendan Gregg's ``flamegraph.pl`` and every
+collapsed-stack viewer consume).  Because it samples instead of
+tracing, the overhead is a few stack walks per second regardless of
+how hot the profiled code is, and *zero* between :meth:`stop` and the
+next :meth:`start` — which is what makes it safe to leave attachable
+on a production daemon:
+
+* per-request: ``POST /v1/analyze?profile=1`` profiles just that
+  request's worker thread and returns the collapsed stacks + hot
+  table in the response body;
+* per-sweep: ``python -m repro batch <space> --profile`` writes
+  ``profile.collapsed`` next to the sweep's result store;
+* standalone: ``python -m repro profile <example>`` profiles one
+  analysis run.
+
+Samples are wall-clock, not CPU: a thread blocked in a lock or a read
+is sampled where it blocks, which is exactly what you want when the
+question is "where did this request's latency go".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["DEFAULT_HZ", "SamplingProfiler", "profile_main"]
+
+#: Default sampling rate.  100 Hz resolves anything that takes more
+#: than a few tens of milliseconds while keeping the sampler's own
+#: cost well under 1% of one core.
+DEFAULT_HZ = 100
+
+
+class SamplingProfiler:
+    """Samples thread stacks on a timer; reports collapsed stacks.
+
+    Usage::
+
+        with SamplingProfiler(hz=100) as prof:
+            run_expensive_analysis()
+        print(prof.render_hot_table())
+        Path("out.collapsed").write_text(prof.collapsed())
+
+    *threads* restricts sampling to the given thread idents (e.g. the
+    one worker thread executing a request); ``None`` samples every
+    thread except the sampler's own.
+    """
+
+    def __init__(self, hz: int = DEFAULT_HZ,
+                 threads: Optional[Iterable[int]] = None,
+                 max_depth: int = 64):
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz}")
+        self.hz = hz
+        self.max_depth = max_depth
+        self.samples = 0
+        self.duration = 0.0
+        self._threads = frozenset(threads) if threads is not None else None
+        self._counts: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self  # already running
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=2.0 + 2.0 / self.hz)
+        self._thread = None
+        self.duration += time.perf_counter() - self._t0
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own = threading.get_ident()
+        while not self._stop.wait(interval):
+            self._sample(own)
+
+    def _sample(self, own_ident: int) -> None:
+        for ident, frame in sys._current_frames().items():
+            if ident == own_ident:
+                continue
+            if self._threads is not None and ident not in self._threads:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                module = frame.f_globals.get("__name__", "?")
+                stack.append(f"{module}.{code.co_name}")
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            stack.reverse()  # flamegraph convention: root first
+            key = ";".join(stack)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.samples += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def collapsed(self) -> str:
+        """Folded-stack text, one ``frame;frame;... count`` per line
+        (feed straight into ``flamegraph.pl`` or speedscope)."""
+        return "\n".join(f"{stack} {count}" for stack, count
+                         in sorted(self._counts.items()))
+
+    def hot_table(self, limit: int = 15) -> List[Dict[str, Any]]:
+        """Per-function self/cumulative sample counts, hottest first.
+
+        *self* counts samples where the function was the leaf frame;
+        *cum* counts samples where it appears anywhere on the stack.
+        """
+        self_counts: Dict[str, int] = {}
+        cum_counts: Dict[str, int] = {}
+        for stack, count in self._counts.items():
+            frames = stack.split(";")
+            leaf = frames[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+            for func in set(frames):
+                cum_counts[func] = cum_counts.get(func, 0) + count
+        total = self.samples or 1
+        rows = [{"function": func,
+                 "self": self_counts.get(func, 0),
+                 "cum": cum,
+                 "self_pct": 100.0 * self_counts.get(func, 0) / total,
+                 "cum_pct": 100.0 * cum / total}
+                for func, cum in cum_counts.items()]
+        rows.sort(key=lambda r: (-r["self"], -r["cum"], r["function"]))
+        return rows[:limit]
+
+    def render_hot_table(self, limit: int = 15) -> str:
+        """The hot table as aligned text for terminals and logs."""
+        rows = self.hot_table(limit)
+        if not rows:
+            return "(no samples)"
+        width = max(len(r["function"]) for r in rows)
+        lines = [f"{'function':<{width}}  {'self':>6} {'self%':>6} "
+                 f"{'cum':>6} {'cum%':>6}"]
+        for r in rows:
+            lines.append(f"{r['function']:<{width}}  {r['self']:>6} "
+                         f"{r['self_pct']:>5.1f}% {r['cum']:>6} "
+                         f"{r['cum_pct']:>5.1f}%")
+        return "\n".join(lines)
+
+    def to_dict(self, hot_limit: int = 15) -> Dict[str, Any]:
+        """JSON-ready report (per-request responses embed this)."""
+        return {
+            "hz": self.hz,
+            "samples": self.samples,
+            "duration": self.duration,
+            "collapsed": self.collapsed(),
+            "hot": self.hot_table(hot_limit),
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro profile <example-or-script>
+# ----------------------------------------------------------------------
+def profile_main(argv: Optional[List[str]] = None) -> int:
+    """Profile one analysis run and emit collapsed stacks + hot table."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run an example (or python script) under the "
+                    "wall-clock sampling profiler.")
+    parser.add_argument("target",
+                        help="built-in example name (see 'repro serve' "
+                             "examples) or a path to a python script")
+    parser.add_argument("--hz", type=int, default=DEFAULT_HZ,
+                        help="sampling rate (default %(default)s)")
+    parser.add_argument("--out", default=None,
+                        help="collapsed-stack output path "
+                             "(default <target>.collapsed)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="hot-table rows to print")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run the workload N times (longer runs "
+                             "give the sampler more to see)")
+    args = parser.parse_args(argv)
+
+    target = args.target
+    profiler = SamplingProfiler(hz=args.hz)
+    if target.endswith(".py"):
+        import runpy
+        out_path = args.out or (target[:-3] + ".collapsed")
+        with profiler:
+            for _ in range(args.repeat):
+                runpy.run_path(target, run_name="__main__")
+    else:
+        from ..serve.handlers import EXAMPLES, _register_examples
+        _register_examples()
+        builder = EXAMPLES.get(target)
+        if builder is None:
+            print(f"unknown example {target!r} "
+                  f"(known: {', '.join(sorted(EXAMPLES))})",
+                  file=sys.stderr)
+            return 2
+        from ..system.propagation import analyze_system
+        out_path = args.out or f"{target}.collapsed"
+        with profiler:
+            for _ in range(args.repeat):
+                analyze_system(builder())
+
+    with open(out_path, "w", encoding="utf-8") as fh:
+        text = profiler.collapsed()
+        fh.write(text + ("\n" if text else ""))
+    print(f"profiled {target!r}: {profiler.samples} samples "
+          f"@ {args.hz} Hz over {profiler.duration:.2f}s -> {out_path}")
+    print(profiler.render_hot_table(args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(profile_main())

@@ -18,6 +18,7 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Mapping, Optional
 
+from . import context as _context
 from .bus import BUS
 
 #: Default cap on retained finished spans.  Long sweeps (and the future
@@ -40,8 +41,8 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "events", "span_id", "parent_id",
-                 "thread_id", "worker", "start", "end", "status", "error",
-                 "_tracer")
+                 "thread_id", "worker", "request_id", "start", "end",
+                 "status", "error", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: Optional[int],
@@ -54,6 +55,10 @@ class Span:
         #: Worker lane for spans adopted from pool workers (``None`` for
         #: spans recorded in this process); see :meth:`Tracer.adopt`.
         self.worker: Optional[str] = None
+        #: Request correlation id, stamped from the active
+        #: :class:`repro.obs.context.TraceContext` (``None`` outside
+        #: any request).
+        self.request_id: Optional[str] = None
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.events: List[Dict[str, Any]] = []
         self.start = time.perf_counter()
@@ -142,17 +147,59 @@ class Tracer:
             span_id = self._next_id
             self._next_id += 1
         parent = self.current()
-        span = Span(self, name, span_id,
-                    parent.span_id if parent is not None else None,
-                    attributes)
+        parent_id = parent.span_id if parent is not None else None
+        ctx = _context.current()
+        if parent_id is None and ctx is not None:
+            # Empty stack inside an active request: weld onto the
+            # request's root span — this is how worker-thread span
+            # trees stay contiguous with the serving edge.
+            parent_id = ctx.root_span_id
+        span = Span(self, name, span_id, parent_id, attributes)
+        if ctx is not None:
+            span.request_id = ctx.request_id
+        elif parent is not None:
+            span.request_id = parent.request_id
         self._stack().append(span)
-        if BUS.active:
-            BUS.publish({"type": "span_start", "name": span.name,
-                         "span_id": span.span_id,
-                         "parent_id": span.parent_id,
-                         "thread_id": span.thread_id,
-                         "t": span.start})
+        self._announce(span)
         return span
+
+    def start_detached(self, name: str,
+                       parent_id: Optional[int] = None,
+                       ctx: Optional["_context.TraceContext"] = None,
+                       **attributes: Any) -> Span:
+        """Open a span *without* pushing it on any thread's stack.
+
+        Detached spans are for regions whose start and finish happen on
+        different threads (a serve request's root span starts on the
+        event loop and finishes when the dispatcher resolves it); they
+        never become an implicit parent, so nesting is explicit via
+        *parent_id* or a :class:`~repro.obs.context.TraceContext`
+        carrying their ``span_id``.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(self, name, span_id, parent_id, attributes)
+        if ctx is None:
+            ctx = _context.current()
+        if ctx is not None:
+            span.request_id = ctx.request_id
+            if span.parent_id is None:
+                span.parent_id = ctx.root_span_id
+        self._announce(span)
+        return span
+
+    def _announce(self, span: Span) -> None:
+        if BUS.active:
+            event: Dict[str, Any] = {
+                "type": "span_start", "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "thread_id": span.thread_id,
+                "t": span.start}
+            if span.request_id is not None:
+                event["request_id"] = span.request_id
+            BUS.publish(event)
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span for use as a context manager."""
@@ -176,11 +223,14 @@ class Tracer:
         span.end = time.perf_counter()
         stack = self._stack()
         # Exception safety: pop every span opened after this one too, so
-        # a missed finish() deeper down cannot corrupt the stack.
-        while stack:
-            popped = stack.pop()
-            if popped is span:
-                break
+        # a missed finish() deeper down cannot corrupt the stack.  A
+        # span that is not on *this* thread's stack (detached spans, or
+        # a cross-thread finish) must leave the stack alone.
+        if span in stack:
+            while stack:
+                popped = stack.pop()
+                if popped is span:
+                    break
         self._retain(span)
         if BUS.active:
             # Same record shape as span_to_dict (absolute times) plus
@@ -196,6 +246,8 @@ class Tracer:
             }
             if span.error is not None:
                 event["error"] = span.error
+            if span.request_id is not None:
+                event["request_id"] = span.request_id
             BUS.publish(event)
 
     def _retain(self, span: Span) -> None:
@@ -235,6 +287,7 @@ class Tracer:
         span.thread_id = record.get("thread_id", 0)
         span.worker = worker if worker is not None \
             else record.get("worker")
+        span.request_id = record.get("request_id")
         span.start = record.get("start", 0.0)
         span.end = record.get("end", span.start)
         span.status = record.get("status", "ok")

@@ -27,7 +27,7 @@ import http.client
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from ..system.model import System
 from ..system.serialize import system_to_dict
@@ -42,13 +42,15 @@ class ServeError(Exception):
 class RequestRejected(ServeError):
     """The daemon answered with a non-200 JSON body."""
 
-    def __init__(self, status: int, body: Dict[str, Any]):
+    def __init__(self, status: int, body: Dict[str, Any],
+                 request_id: str = ""):
         detail = body.get("detail") or body.get("error") or "rejected"
         super().__init__(f"HTTP {status}: {detail}")
         self.status = status
         self.body = body
         self.retry_after: Optional[float] = body.get("retry_after")
         self.job_key: str = body.get("job_key", "")
+        self.request_id = request_id
 
 
 @dataclass
@@ -64,6 +66,11 @@ class ServeResponse:
     attempts: int = 1
     error: str = ""
     http_status: int = 200
+    #: Correlation id echoed by the daemon (``X-Repro-Request-Id``).
+    request_id: str = ""
+    #: Sampling-profiler report when the request asked for one
+    #: (``profile=True``), else None.
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -71,7 +78,8 @@ class ServeResponse:
 
     @classmethod
     def from_body(cls, body: Dict[str, Any],
-                  http_status: int = 200) -> "ServeResponse":
+                  http_status: int = 200,
+                  request_id: str = "") -> "ServeResponse":
         return cls(
             key=body.get("key", ""), kind=body.get("kind", ""),
             status=body.get("status", ""),
@@ -79,7 +87,9 @@ class ServeResponse:
             data=dict(body.get("data", {})),
             duration=body.get("duration", 0.0),
             attempts=body.get("attempts", 1),
-            error=body.get("error", ""), http_status=http_status)
+            error=body.get("error", ""), http_status=http_status,
+            request_id=request_id or body.get("request_id", ""),
+            profile=body.get("profile"))
 
 
 class ServeClient:
@@ -95,14 +105,18 @@ class ServeClient:
     # plumbing
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None
-                 ) -> Dict[str, Any]:
+                 payload: Optional[Dict[str, Any]] = None,
+                 request_id: Optional[str] = None
+                 ) -> Tuple[Dict[str, Any], str]:
+        """One round-trip; returns ``(parsed body, echoed request id)``."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
             body = (json.dumps(payload).encode("utf-8")
                     if payload is not None else None)
             headers = {"Content-Type": "application/json"} if body else {}
+            if request_id:
+                headers["X-Repro-Request-Id"] = request_id
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
@@ -111,6 +125,7 @@ class ServeClient:
                 raise ServeError(
                     f"{method} {path} on {self.host}:{self.port} "
                     f"failed: {exc}") from exc
+            echoed = response.getheader("X-Repro-Request-Id", "") or ""
             try:
                 parsed = json.loads(raw) if raw else {}
             except ValueError as exc:
@@ -118,8 +133,9 @@ class ServeClient:
                     f"non-JSON response ({response.status}): "
                     f"{raw[:200]!r}") from exc
             if response.status != 200:
-                raise RequestRejected(response.status, parsed)
-            return parsed
+                raise RequestRejected(response.status, parsed,
+                                      request_id=echoed)
+            return parsed, echoed
         finally:
             conn.close()
 
@@ -127,7 +143,26 @@ class ServeClient:
     # endpoints
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        return self._request("GET", "/healthz")
+        body, _ = self._request("GET", "/healthz")
+        return body
+
+    def metrics_text(self) -> str:
+        """Raw OpenMetrics scrape of ``GET /metrics`` (text, not JSON)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(f"GET /metrics failed: {exc}") from exc
+            if response.status != 200:
+                raise ServeError(
+                    f"GET /metrics answered {response.status}")
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
 
     def wait_healthy(self, timeout: float = 30.0,
                      interval: float = 0.05) -> Dict[str, Any]:
@@ -162,26 +197,32 @@ class ServeClient:
                 max_iterations: Optional[int] = None,
                 on_failure: Optional[str] = None,
                 priority: Optional[int] = None,
-                deadline: Optional[float] = None) -> ServeResponse:
-        body = self._request("POST", "/v1/analyze", self._payload(
+                deadline: Optional[float] = None,
+                profile: bool = False,
+                request_id: Optional[str] = None) -> ServeResponse:
+        body, rid = self._request("POST", "/v1/analyze", self._payload(
             system, example, max_iterations=max_iterations,
-            on_failure=on_failure, priority=priority, deadline=deadline))
-        return ServeResponse.from_body(body)
+            on_failure=on_failure, priority=priority, deadline=deadline,
+            profile=profile or None), request_id=request_id)
+        return ServeResponse.from_body(body, request_id=rid)
 
     def explain(self, system: Optional[System] = None, *,
                 example: Optional[str] = None,
                 max_iterations: Optional[int] = None,
                 priority: Optional[int] = None,
-                deadline: Optional[float] = None) -> ServeResponse:
-        body = self._request("POST", "/v1/explain", self._payload(
+                deadline: Optional[float] = None,
+                request_id: Optional[str] = None) -> ServeResponse:
+        body, rid = self._request("POST", "/v1/explain", self._payload(
             system, example, max_iterations=max_iterations,
-            priority=priority, deadline=deadline))
-        return ServeResponse.from_body(body)
+            priority=priority, deadline=deadline),
+            request_id=request_id)
+        return ServeResponse.from_body(body, request_id=rid)
 
     def job(self, kind: str, payload: Dict[str, Any], *,
             label: str = "", timeout: Optional[float] = None,
             priority: Optional[int] = None,
-            deadline: Optional[float] = None) -> ServeResponse:
+            deadline: Optional[float] = None,
+            request_id: Optional[str] = None) -> ServeResponse:
         request: Dict[str, Any] = {"kind": kind, "payload": payload,
                                    "label": label}
         for name, value in (("timeout", timeout),
@@ -189,8 +230,9 @@ class ServeClient:
                             ("deadline", deadline)):
             if value is not None:
                 request[name] = value
-        body = self._request("POST", "/v1/job", request)
-        return ServeResponse.from_body(body)
+        body, rid = self._request("POST", "/v1/job", request,
+                                  request_id=request_id)
+        return ServeResponse.from_body(body, request_id=rid)
 
     # ------------------------------------------------------------------
     # streaming

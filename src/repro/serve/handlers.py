@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..batch.executor import BatchRunner
 from ..batch.jobs import Job, job_kinds, register_job_kind
 from ..batch.spaces import NAMED_SPACES, pipeline_system
+from ..obs.context import TraceContext, new_request_id
 from ..system.model import System
 from ..system.serialize import system_to_dict
 
@@ -63,6 +64,21 @@ def space_names() -> List[str]:
 
 class BadRequest(Exception):
     """Client-side payload error → 400."""
+
+
+def mint_trace_context(request_id: str = "",
+                       root_span_id: "Optional[int]" = None,
+                       endpoint: str = "") -> TraceContext:
+    """One :class:`~repro.obs.context.TraceContext` per HTTP request.
+
+    An id supplied by the client (``X-Repro-Request-Id``) is honoured
+    so a caller can correlate across retries and daemons; otherwise a
+    fresh one is minted.  The server activates the context on the
+    worker thread executing the request, which stamps the id onto
+    every span, bus event, and stored result produced underneath.
+    """
+    return TraceContext(request_id=request_id.strip() or new_request_id(),
+                        root_span_id=root_span_id, endpoint=endpoint)
 
 
 def resolve_system_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -172,11 +188,28 @@ def build_job(kind: str, payload: Dict[str, Any]) -> Job:
 # ----------------------------------------------------------------------
 # worker-side execution (dispatcher threads)
 # ----------------------------------------------------------------------
-def run_unary(runner: BatchRunner, job: Job) -> Dict[str, Any]:
+def run_unary(runner: BatchRunner, job: Job,
+              profile: bool = False,
+              profile_hz: int = 100) -> Dict[str, Any]:
     """Run one job through the memoising runner; response body + cache
     accounting.  The runner checkpoints the result into the shared
-    store before we return, so a crash after this point loses nothing."""
-    report = runner.run([job])
+    store before we return, so a crash after this point loses nothing.
+
+    With *profile* the wall-clock sampling profiler watches this
+    worker thread for the duration of the job and the response body
+    gains a ``"profile"`` report (collapsed stacks + hot table).
+    """
+    profiler = None
+    if profile:
+        from ..obs.profile import SamplingProfiler
+        profiler = SamplingProfiler(
+            hz=profile_hz, threads={threading.get_ident()})
+        profiler.start()
+    try:
+        report = runner.run([job])
+    finally:
+        if profiler is not None:
+            profiler.stop()
     result = report.results[job.key]
     body: Dict[str, Any] = {
         "key": result.key,
@@ -189,6 +222,8 @@ def run_unary(runner: BatchRunner, job: Job) -> Dict[str, Any]:
     }
     if result.error:
         body["error"] = result.error
+    if profiler is not None:
+        body["profile"] = profiler.to_dict()
     return body
 
 
@@ -281,6 +316,7 @@ __all__ = [
     "RequestSink",
     "build_job",
     "example_names",
+    "mint_trace_context",
     "resolve_system_dict",
     "run_sweep",
     "run_unary",

@@ -78,6 +78,12 @@ class WorkItem:
     #: For streaming requests: the asyncio queue NDJSON events flow
     #: through (None for unary requests).
     stream: Optional["asyncio.Queue"] = field(compare=False, default=None)
+    #: Correlation id minted at the HTTP edge; stamped onto spans, bus
+    #: events, and the persisted result record.
+    request_id: str = field(compare=False, default="")
+    #: The request's root span (detached — started on the loop thread,
+    #: finished wherever the request is resolved), or None.
+    span: Optional[Any] = field(compare=False, default=None)
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:
@@ -131,11 +137,22 @@ class RequestQueue:
     def closed(self) -> bool:
         return self._closed
 
+    def oldest_wait(self, now: Optional[float] = None) -> float:
+        """Queue wait of the longest-waiting item (seconds; 0.0 when
+        empty) — the queue-age gauge exposed at ``/metrics``."""
+        if not self._heap:
+            return 0.0
+        if now is None:
+            now = time.monotonic()
+        return max(item.queue_wait(now) for item in self._heap)
+
     def submit(self, kind: str, payload: Dict[str, Any], *,
                priority: int = DEFAULT_PRIORITY,
                deadline: Optional[float] = None,
                job_key: str = "",
-               stream: Optional["asyncio.Queue"] = None) -> WorkItem:
+               stream: Optional["asyncio.Queue"] = None,
+               request_id: str = "",
+               span: Optional[Any] = None) -> WorkItem:
         """Enqueue a request; returns the item whose ``future`` the
         caller awaits.  *deadline* is relative seconds from now."""
         if self._closed:
@@ -148,7 +165,7 @@ class RequestQueue:
             deadline=(time.monotonic() + deadline
                       if deadline is not None else None),
             future=asyncio.get_running_loop().create_future(),
-            stream=stream)
+            stream=stream, request_id=request_id, span=span)
         heapq.heappush(self._heap, item)
         self._wake_one()
         return item

@@ -48,6 +48,8 @@ from .. import obs as _obs
 from .._errors import ModelError
 from ..batch.executor import BatchRunner, SerialBackend
 from ..batch.store import ResultStore
+from ..obs import context as _context
+from ..obs import openmetrics as _openmetrics
 from ..obs.aggregate import LiveAggregator
 from ..obs.bus import BUS as _BUS
 from . import handlers
@@ -257,6 +259,7 @@ class ServeDaemon:
             if item is None:
                 return
             now = time.monotonic()
+            self._observe_dequeue(item, now)
             if item.expired(now):
                 self._resolve(item, 504, {
                     "error": "deadline_exceeded",
@@ -285,9 +288,32 @@ class ServeDaemon:
                 self.queue.observe_service_time(latency)
                 ok = body.get("status", "ok") == "ok"
                 self.stats.dispose("ok" if ok else "failed", latency)
+                if _obs.enabled:
+                    _obs.metrics().histogram(_openmetrics.labeled(
+                        "serve.endpoint_seconds",
+                        endpoint=item.kind)).observe(latency)
                 self._resolve(item, 200, body)
             finally:
                 self._in_flight -= 1
+
+    def _observe_dequeue(self, item: WorkItem, now: float) -> None:
+        """Queue-depth gauge + queue-wait histogram/span at pop time."""
+        if not _obs.enabled:
+            return
+        wait = item.queue_wait(now)
+        registry = _obs.metrics()
+        registry.gauge("serve.queue_depth").set(self.queue.depth)
+        registry.histogram("serve.queue_wait_seconds").observe(wait)
+        if item.span is not None:
+            # A child span covering exactly the time spent queued —
+            # back-dated to the root's start so the Perfetto lane shows
+            # the wait as a contiguous region under the request.
+            qspan = _obs.get_tracer().start_detached(
+                "serve.queue_wait", parent_id=item.span.span_id,
+                ctx=_context.TraceContext(request_id=item.request_id),
+                seconds=wait)
+            qspan.start = item.span.start
+            qspan.finish()
 
     async def _execute(self, item: WorkItem) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
@@ -296,21 +322,65 @@ class ServeDaemon:
                     if item.stream is not None else None)
             body = await loop.run_in_executor(
                 self._executor,
-                lambda: handlers.run_sweep(self._sweep_runner,
-                                           item.payload, sink))
+                self._in_request_context(
+                    item,
+                    lambda: handlers.run_sweep(self._sweep_runner,
+                                               item.payload, sink)))
             body["status"] = "ok"
             body["type"] = "result"
             return body
         job = handlers.build_job(item.kind, item.payload)
+        profile = bool(item.payload.get("profile"))
         body = await loop.run_in_executor(
             self._executor,
-            lambda: handlers.run_unary(self._runner(), job))
+            self._in_request_context(
+                item,
+                lambda: handlers.run_unary(self._runner(), job,
+                                           profile=profile)))
         self.stats.cache(int(bool(body.get("cached"))),
                          int(not body.get("cached")))
+        if item.request_id:
+            body.setdefault("request_id", item.request_id)
         return body
+
+    def _in_request_context(self, item: WorkItem, fn):
+        """Wrap *fn* so it runs on the worker thread *inside* the
+        request's trace context.
+
+        ``loop.run_in_executor`` does not propagate contextvars (only
+        ``asyncio.to_thread`` copies the context), so the context rides
+        on the :class:`WorkItem` and is activated explicitly here —
+        this is what stamps the request id onto every span, bus event,
+        and stored result the job produces.
+        """
+        if not item.request_id:
+            return fn
+        ctx = _context.TraceContext(
+            request_id=item.request_id,
+            root_span_id=(item.span.span_id
+                          if item.span is not None else None),
+            endpoint=item.kind)
+
+        def wrapped():
+            token = _context.activate(ctx)
+            span = (_obs.get_tracer().start("serve.execute",
+                                            endpoint=item.kind)
+                    if _obs.enabled else None)
+            try:
+                return fn()
+            finally:
+                if span is not None:
+                    span.finish()
+                _context.deactivate(token)
+
+        return wrapped
 
     def _resolve(self, item: WorkItem, status: int,
                  body: Dict[str, Any]) -> None:
+        if item.span is not None:
+            self._finish_root_span(item.span, status,
+                                   body.get("error"))
+            item.span = None
         if item.stream is not None:
             # Streaming requests learn their fate through the stream.
             item.stream.put_nowait((status, body))
@@ -335,7 +405,7 @@ class ServeDaemon:
                     asyncio.LimitOverrunError, asyncio.TimeoutError):
                 return
             try:
-                await self._route(method, path, body, writer)
+                await self._route(method, path, body, writer, headers)
             except _HttpError as exc:
                 await self._write_json(writer, exc.status, exc.body,
                                        exc.headers)
@@ -395,32 +465,55 @@ class ServeDaemon:
 
     async def _route(self, method: str, path: str,
                      payload: Dict[str, Any],
-                     writer: asyncio.StreamWriter) -> None:
-        path = path.split("?", 1)[0]
-        if path == "/healthz":
-            if method != "GET":
+                     writer: asyncio.StreamWriter,
+                     headers: Optional[Dict[str, str]] = None) -> None:
+        headers = headers or {}
+        path, _, query = path.partition("?")
+        params = _parse_query(query)
+        ctx = handlers.mint_trace_context(
+            headers.get("x-repro-request-id", ""))
+        rid_headers = {"X-Repro-Request-Id": ctx.request_id}
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise _HttpError(405, {"error": "method_not_allowed"})
+                await self._write_json(writer, 200, self.health(),
+                                       rid_headers)
+                return
+            if path == "/metrics":
+                if method != "GET":
+                    raise _HttpError(405, {"error": "method_not_allowed"})
+                await self._write_text(writer, 200, self.metrics_text(),
+                                       _openmetrics.CONTENT_TYPE,
+                                       rid_headers)
+                return
+            routes = {"/v1/analyze": "analyze", "/v1/explain": "explain",
+                      "/v1/job": "job", "/v1/sweep": "sweep"}
+            kind = routes.get(path)
+            if kind is None:
+                raise _HttpError(404, {
+                    "error": "not_found",
+                    "detail": f"no route {path!r} (have /healthz, "
+                              f"/metrics, {', '.join(sorted(routes))})"})
+            if method != "POST":
                 raise _HttpError(405, {"error": "method_not_allowed"})
-            await self._write_json(writer, 200, self.health())
-            return
-        routes = {"/v1/analyze": "analyze", "/v1/explain": "explain",
-                  "/v1/job": "job", "/v1/sweep": "sweep"}
-        kind = routes.get(path)
-        if kind is None:
-            raise _HttpError(404, {
-                "error": "not_found",
-                "detail": f"no route {path!r} (have /healthz, "
-                          f"{', '.join(sorted(routes))})"})
-        if method != "POST":
-            raise _HttpError(405, {"error": "method_not_allowed"})
-        if kind == "sweep":
-            await self._handle_sweep(payload, writer)
-            return
-        item = self._enqueue(kind, payload)
-        status, body = await item.future
-        await self._write_json(writer, status, body)
+            if _truthy(params.get("profile")) and kind != "sweep":
+                payload = dict(payload, profile=True)
+            if kind == "sweep":
+                await self._handle_sweep(payload, writer, ctx.request_id)
+                return
+            item = self._enqueue(kind, payload,
+                                 request_id=ctx.request_id)
+            status, body = await item.future
+            await self._write_json(writer, status, body, rid_headers)
+        except _HttpError as exc:
+            # Every response — including rejections — echoes the id.
+            exc.headers = {**rid_headers, **exc.headers}
+            raise
 
     def _enqueue(self, kind: str, payload: Dict[str, Any],
-                 stream: Optional[asyncio.Queue] = None) -> WorkItem:
+                 stream: Optional[asyncio.Queue] = None,
+                 request_id: str = "") -> WorkItem:
         self.stats.request()
         if not self.machine.accepting:
             self.stats.dispose("drained"
@@ -451,13 +544,25 @@ class ServeDaemon:
                 raise _HttpError(400, {"error": "bad_request",
                                        "detail": "deadline must be "
                                                  "seconds (number)"})
+        # Root span of the request's trace tree: started here on the
+        # loop thread, finished by whoever resolves the item (detached,
+        # so it never pollutes any thread's span stack).
+        span = None
+        if _obs.enabled and request_id:
+            span = _obs.get_tracer().start_detached(
+                "serve.request",
+                ctx=_context.TraceContext(request_id=request_id,
+                                          endpoint=kind),
+                endpoint=kind, job_key=job_key)
         try:
             item = self.queue.submit(
                 kind, payload,
                 priority=int(payload.get("priority", DEFAULT_PRIORITY)),
-                deadline=deadline, job_key=job_key, stream=stream)
+                deadline=deadline, job_key=job_key, stream=stream,
+                request_id=request_id, span=span)
         except QueueFull as exc:
             self.stats.dispose("rejected")
+            self._finish_root_span(span, 429, "backpressure")
             raise _HttpError(429, {
                 "error": "backpressure",
                 "detail": f"queue full ({exc.depth} waiting); retry "
@@ -466,20 +571,39 @@ class ServeDaemon:
             }, headers={"Retry-After": f"{exc.retry_after:g}"})
         except QueueClosed:
             self.stats.dispose("drained")
+            self._finish_root_span(span, 503, "draining")
             raise _HttpError(503, {"error": "draining",
                                    "detail": "daemon is draining",
                                    "job_key": job_key})
+        if _obs.enabled:
+            _obs.metrics().gauge("serve.queue_depth").set(
+                self.queue.depth)
         return item
 
+    @staticmethod
+    def _finish_root_span(span: Optional[Any], status: int,
+                          error: Optional[str] = None) -> None:
+        if span is None:
+            return
+        span.set(http_status=status)
+        if status >= 400:
+            span.status = "error"
+            span.error = error or f"http {status}"
+        span.finish()
+
     async def _handle_sweep(self, payload: Dict[str, Any],
-                            writer: asyncio.StreamWriter) -> None:
+                            writer: asyncio.StreamWriter,
+                            request_id: str = "") -> None:
         """Streaming response: NDJSON progress events, then the final
         ``result`` (or error) line, then EOF."""
         stream: asyncio.Queue = asyncio.Queue()
-        self._enqueue("sweep", payload, stream=stream)
-        await self._write_head(writer, 200, {
-            "Content-Type": "application/x-ndjson",
-            "Connection": "close"})
+        self._enqueue("sweep", payload, stream=stream,
+                      request_id=request_id)
+        head = {"Content-Type": "application/x-ndjson",
+                "Connection": "close"}
+        if request_id:
+            head["X-Repro-Request-Id"] = request_id
+        await self._write_head(writer, 200, head)
         final: Optional[Tuple[int, Dict[str, Any]]] = None
         while True:
             event = await stream.get()
@@ -495,6 +619,46 @@ class ServeDaemon:
             if status != 200 and "type" not in body:
                 body = dict(body, type="error", http_status=status)
             await self._write_line(writer, body)
+
+    # ------------------------------------------------------------------
+    # metrics exposition
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: refresh scrape-time gauges, then
+        render the whole registry as OpenMetrics text."""
+        if _obs.enabled:
+            registry = _obs.metrics()
+            gauge = registry.gauge
+            gauge("serve.queue_depth").set(self.queue.depth)
+            gauge("serve.queue_oldest_wait_seconds").set(
+                self.queue.oldest_wait())
+            gauge("serve.in_flight").set(self._in_flight)
+            gauge("serve.uptime_seconds").set(
+                time.monotonic() - self.started_at)
+            tracer = _obs.get_tracer()
+            gauge("trace.spans_retained").set(len(tracer))
+            gauge("trace.dropped_spans").set(tracer.dropped)
+            gauge("bus.sinks").set(len(_BUS))
+            gauge("bus.swallowed_sink_errors").set(_BUS.sink_errors)
+            try:
+                from ..eventmodels.compile import cache
+                stats = cache().stats()
+                total = stats["hits"] + stats["misses"]
+                gauge("compile.cache_hit_rate").set(
+                    stats["hits"] / total if total else 0.0)
+                gauge("compile.cache_entries").set(stats["entries"])
+            except Exception:
+                pass
+            try:
+                from ..analysis.memo import memo_pool_stats
+                pools = memo_pool_stats().values()
+                tasks = sum(p["tasks_total"] for p in pools)
+                reuses = sum(p["task_reuses"] for p in pools)
+                gauge("memo.reuse_rate").set(
+                    reuses / tasks if tasks else 0.0)
+            except Exception:
+                pass
+        return _openmetrics.render_registry(_obs.metrics())
 
     # ------------------------------------------------------------------
     # health
@@ -540,7 +704,12 @@ class ServeDaemon:
             "kernels": kernel_stats,
             "incremental": incremental_stats,
             "aggregate": self.aggregator.snapshot(),
-            "bus": {"sinks": len(_BUS), "sink_errors": _BUS.sink_errors},
+            "trace": {
+                "finished_spans": len(_obs.get_tracer()),
+                "dropped_spans": _obs.get_tracer().dropped,
+            },
+            "bus": {"sinks": len(_BUS), "sink_errors": _BUS.sink_errors,
+                    "sink_error_counts": _BUS.sink_error_counts()},
         }
 
     # ------------------------------------------------------------------
@@ -558,6 +727,22 @@ class ServeDaemon:
                           obj: Dict[str, Any]) -> None:
         writer.write(json.dumps(obj, sort_keys=True).encode("utf-8")
                      + b"\n")
+        await writer.drain()
+
+    async def _write_text(self, writer: asyncio.StreamWriter,
+                          status: int, text: str, content_type: str,
+                          extra_headers: Optional[Dict[str, str]] = None
+                          ) -> None:
+        payload = text.encode("utf-8")
+        headers = {
+            "Content-Type": content_type,
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        await self._write_head(writer, status, headers)
+        writer.write(payload)
         await writer.drain()
 
     async def _write_json(self, writer: asyncio.StreamWriter,
@@ -600,6 +785,17 @@ class ServeDaemon:
 
         asyncio.run(_main())
         return 0
+
+
+def _parse_query(query: str) -> Dict[str, str]:
+    """Minimal query-string parser (last value wins; no list support —
+    the daemon's query surface is boolean flags like ``profile=1``)."""
+    from urllib.parse import parse_qsl
+    return dict(parse_qsl(query, keep_blank_values=True))
+
+
+def _truthy(value: Optional[str]) -> bool:
+    return str(value).strip().lower() in ("1", "true", "yes", "on")
 
 
 def _default_retry():

@@ -455,10 +455,20 @@ def _strict_analysis(system: System, max_iterations: int,
                     _obs.metrics().gauge(
                         "propagation.iterations_to_convergence").set(
                             iteration)
+                    cache_stats = _compile.cache().stats()
+                    cache_total = (cache_stats["hits"]
+                                   + cache_stats["misses"])
+                    if cache_total:
+                        _obs.metrics().gauge(
+                            "compile.cache_hit_rate").set(
+                                cache_stats["hits"] / cache_total)
                     if memo is not None:
                         memo_stats = memo.stats()
                         _obs.metrics().gauge(
                             "incremental.reuse_rate").set(
+                                memo_stats["reuse_rate"])
+                        _obs.metrics().gauge(
+                            "memo.reuse_rate").set(
                                 memo_stats["reuse_rate"])
                         if _BUS.active:
                             _BUS.publish({

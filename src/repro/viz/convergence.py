@@ -31,6 +31,15 @@ RESILIENCE_COUNTERS = (
     "batch.poisoned",
 )
 
+#: Engine-efficiency metrics (counter or gauge) surfaced on their own
+#: footer line: how much work the vector kernels batched, how much the
+#: incremental memo and the compiled-curve cache reused.
+ENGINE_METRICS = (
+    "kernels.vector_lanes",
+    "memo.reuse_rate",
+    "compile.cache_hit_rate",
+)
+
 
 class ConvergenceReport:
     """Per-iteration convergence history of one (or more) analysis runs.
@@ -40,12 +49,15 @@ class ConvergenceReport:
     """
 
     def __init__(self, rows: List[Dict[str, Any]],
-                 counters: Optional[Dict[str, float]] = None):
+                 counters: Optional[Dict[str, float]] = None,
+                 engine: Optional[Dict[str, float]] = None):
         #: One dict per global iteration, in iteration order.
         self.rows = rows
         #: Resilience/batch counter values captured at build time
         #: (counter name -> value; only nonzero ones are rendered).
         self.counters = dict(counters or {})
+        #: Engine-efficiency metric values (see :data:`ENGINE_METRICS`).
+        self.engine = dict(engine or {})
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,12 +69,21 @@ class ConvergenceReport:
         for span in tracer.spans(ITERATION_SPAN):
             rows.append({**span.attributes, "duration": span.duration})
         counters = {}
+        engine = {}
         if registry is not None:
-            snapshot = registry.snapshot().get("counters", {})
-            counters = {name: snapshot[name]
+            snapshot = registry.snapshot()
+            counter_values = snapshot.get("counters", {})
+            counters = {name: counter_values[name]
                         for name in RESILIENCE_COUNTERS
-                        if snapshot.get(name)}
-        return cls(rows, counters)
+                        if counter_values.get(name)}
+            gauge_values = snapshot.get("gauges", {})
+            for name in ENGINE_METRICS:
+                value = counter_values.get(name)
+                if value is None:
+                    value = gauge_values.get(name)
+                if value is not None:
+                    engine[name] = value
+        return cls(rows, counters, engine)
 
     @classmethod
     def from_records(cls,
@@ -126,6 +147,10 @@ class ConvergenceReport:
             pairs = ", ".join(f"{n}={v:g}" for n, v in sorted(
                 active.items()))
             report += f"\nresilience: {pairs}"
+        if self.engine:
+            pairs = ", ".join(f"{n}={v:g}" for n, v in sorted(
+                self.engine.items()))
+            report += f"\nengine: {pairs}"
         return report
 
 

@@ -295,6 +295,76 @@ class TestProgressLine:
         line.finish()
         assert stream.getvalue() == ""
 
+    def test_non_tty_rate_limit_uses_injected_monotonic_clock(self):
+        now = {"t": 0.0}
+        aggregator = LiveAggregator(total=2)
+
+        class Stream(io.StringIO):
+            def isatty(self):
+                return False
+
+        stream = Stream()
+        line = ProgressLine(aggregator, stream=stream, interval=2.0,
+                            clock=lambda: now["t"])
+        line.update()          # t=0: emits
+        now["t"] = 1.0
+        line.update()          # inside the interval: suppressed
+        now["t"] = 2.5
+        line.update()          # interval elapsed: emits
+        assert stream.getvalue().count("\n") == 2
+
+    def test_finish_is_idempotent_and_final(self):
+        line, stream = self.make(tty=False, interval=3600.0)
+        line.finish()
+        line.finish()          # second finish is a no-op
+        line.update()          # updates after finish are ignored
+        assert stream.getvalue().count("\n") == 1
+
+
+class TestTelemetryHealth:
+    def test_snapshot_surfaces_drops_and_sink_errors(self):
+        class Boom:
+            name = "boom-sink"
+
+            def handle(self, event):
+                raise RuntimeError("sink bug")
+
+        obs.configure(enabled=True, reset=True)
+        bus = obs.get_bus()
+        boom = Boom()
+        bus.subscribe(boom)
+        try:
+            bus.publish({"type": "job", "key": "x", "status": "ok"})
+        finally:
+            bus.unsubscribe(boom)
+        snap = LiveAggregator().snapshot()
+        telemetry = snap["telemetry"]
+        assert telemetry["sink_errors"] == 1
+        assert telemetry["sink_error_counts"] == {"boom-sink": 1}
+        assert telemetry["dropped_spans"] == 0
+
+    def test_render_shows_telemetry_line_only_when_unhealthy(self):
+        obs.configure(enabled=True, reset=True)
+        aggregator = LiveAggregator()
+        assert "telemetry:" not in aggregator.render()
+
+        class Boom:
+            name = "bad"
+
+            def handle(self, event):
+                raise RuntimeError("x")
+
+        bus = obs.get_bus()
+        boom = Boom()
+        bus.subscribe(boom)
+        try:
+            bus.publish({"type": "job", "key": "y", "status": "ok"})
+        finally:
+            bus.unsubscribe(boom)
+        frame = aggregator.render(width=120)
+        assert "telemetry:" in frame
+        assert "1 sink errors (bad=1)" in frame
+
 
 class TestWorkerSpanShipping:
     def test_pool_spans_adopted_on_worker_lanes(self, tmp_path):

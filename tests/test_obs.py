@@ -393,6 +393,29 @@ class TestEngineIntegration:
     def test_empty_report_is_explicit(self):
         assert "no convergence data" in ConvergenceReport([]).render()
 
+    def test_engine_metrics_footer(self, obs_on):
+        from repro.analysis import kernels
+
+        kernels.configure(min_batch=0, min_load=0.0)
+        try:
+            analyze_system(build_system("hem"))
+        finally:
+            kernels.configure(min_batch=16, min_load=0.5)
+        report = ConvergenceReport.from_tracer(get_tracer(),
+                                               registry=metrics())
+        snap = metrics().snapshot()
+        assert snap["counters"]["kernels.vector_lanes"] > 0
+        assert "compile.cache_hit_rate" in snap["gauges"]
+        text = report.render()
+        assert "engine:" in text
+        assert "kernels.vector_lanes=" in text
+        assert "compile.cache_hit_rate=" in text
+
+    def test_engine_footer_absent_without_registry(self, obs_on):
+        analyze_system(build_system("hem"))
+        assert "engine:" not in ConvergenceReport.from_tracer(
+            get_tracer()).render()
+
 
 class TestDisabledFastPath:
     def test_disabled_run_collects_nothing(self):
