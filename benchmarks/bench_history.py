@@ -39,6 +39,8 @@ below that baseline.  All tracked metrics are higher-is-better:
 * ``kernels.speedup``          — best whole-resource vectorized speedup
                                  from ``BENCH_kernels.json``
 * ``incremental.reuse_rate``   — dirty-set sweep task reuse rate
+* ``soak.samples_per_sec``     — burn-in campaign sample throughput
+                                 from ``BENCH_soak.json``
 
 With no history yet (first run on a branch) ``check`` passes with a
 note unless ``--require-baseline`` is given — so the gate can be wired
@@ -70,6 +72,7 @@ ARTIFACTS = {
     "suite": "BENCH_suite.json",
     "serve": "BENCH_serve.json",
     "kernels": "BENCH_kernels.json",
+    "soak": "BENCH_soak.json",
 }
 
 DEFAULT_WINDOW = 5
@@ -199,6 +202,13 @@ def _metric_kernels_speedup(payload: Dict[str, Any]) -> Optional[float]:
     return float(best) if isinstance(best, (int, float)) else None
 
 
+def _metric_soak_throughput(payload: Dict[str, Any]) -> Optional[float]:
+    rate = payload.get("samples_per_sec")
+    if isinstance(rate, (int, float)) and rate > 0:
+        return float(rate)
+    return None
+
+
 def _metric_incremental_reuse(payload: Dict[str, Any]) -> Optional[float]:
     summary = payload.get("summary")
     if not isinstance(summary, dict):
@@ -216,6 +226,7 @@ TRACKED_METRICS: Dict[str, Tuple[str, Callable[[Dict[str, Any]],
     "serve.throughput": ("serve", _metric_serve_throughput),
     "kernels.speedup": ("kernels", _metric_kernels_speedup),
     "incremental.reuse_rate": ("kernels", _metric_incremental_reuse),
+    "soak.samples_per_sec": ("soak", _metric_soak_throughput),
 }
 
 

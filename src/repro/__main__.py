@@ -31,6 +31,11 @@ Modes:
 * ``python -m repro submit <example-or-space>`` — send an analyze /
   explain / streaming-sweep request to a running daemon (see
   :mod:`repro.serve.cli`).
+* ``python -m repro soak <profile> [--minutes M --samples N --seed S]
+  [--resume] [--fail-on-violation]`` — randomized burn-in campaign
+  over the contract/invariant matrix with auto-shrinking failure
+  triage; ``soak replay <bundle>`` re-evaluates a triage bundle (see
+  :mod:`repro.soak.cli`).
 """
 
 import sys
@@ -43,7 +48,10 @@ from .obs.top import top_main
 from .report import main
 from .resilience.cli import resilience_main
 from .serve.cli import serve_main, submit_main
+from .soak.cli import soak_main
 
+if len(sys.argv) > 1 and sys.argv[1] == "soak":
+    sys.exit(soak_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "trace":
     sys.exit(trace_main(sys.argv[2:]))
 if len(sys.argv) > 1 and sys.argv[1] == "profile":

@@ -58,7 +58,8 @@ def model_from_trace(timestamps: Sequence[float], n_max: int = None,
 
 def trace_within_bounds(timestamps: Sequence[float], bound: EventModel,
                         check_plus: bool = False,
-                        eps: float = 1e-6) -> bool:
+                        eps: float = 1e-6,
+                        n_max: int = None) -> bool:
     """True if every window of the trace respects the analytic bound.
 
     Checks ``observed span of n events >= bound.delta_min(n)`` for every
@@ -66,11 +67,16 @@ def trace_within_bounds(timestamps: Sequence[float], bound: EventModel,
     conservatism check the simulation-validation benchmarks run: an
     analytic δ⁻ bound is *violated* if the trace packs events tighter
     than the bound permits.
+
+    Traces with fewer than two events are vacuously within bounds.
+    ``n_max`` clamps the longest window checked — the full check is
+    O(len²), so bulk consumers (the soak oracle) bound it.
     """
     ts = [float(t) for t in timestamps]
     if len(ts) < 2:
         return True
-    for n in range(2, len(ts) + 1):
+    top = len(ts) if n_max is None else min(max(n_max, 2), len(ts))
+    for n in range(2, top + 1):
         lo = bound.delta_min(n)
         hi = bound.delta_plus(n) if check_plus else INF
         for i in range(len(ts) - n + 1):

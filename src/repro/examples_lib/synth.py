@@ -1,47 +1,104 @@
 """Synthetic system generators for scaling studies and ablations.
 
-Parametric versions of the paper's topology: ``n`` signal sources packed
-into ``m`` frames crossing one CAN bus into one receiver CPU.  Used by
-the scaling benchmark (analysis cost vs. system size) and by property
-tests that need many structurally valid systems.
+Two families:
+
+* Parametric versions of the paper's topology: ``n`` signal sources
+  packed into ``m`` frames crossing one CAN bus into one receiver CPU
+  (:func:`synth_system`).  Used by the scaling benchmark (analysis cost
+  vs. system size) and by property tests that need many structurally
+  valid systems.  ``jitter_frac``/``nesting`` widen the sampled space:
+  jittery sources and hierarchically pre-packed source streams (HEMs
+  nested ``nesting`` levels deep feed the COM layer's own pack).
+* Seeded randomized *task graphs* (:func:`synth_task_graph`): DAGs of
+  jitter/burst sources feeding task chains over several resources with
+  randomized policies, unique per-resource priorities, and utilization
+  budgeting.  Unlike the gateway topology these contain no PACK/UNPACK
+  junctions, so they are accepted by the generic discrete-event
+  simulator — the sample source the ``repro.soak`` differential
+  analysis-vs-simulation oracle grinds on.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from .._errors import ModelError
+from ..analysis.edf import EDFScheduler
+from ..analysis.round_robin import RoundRobinScheduler
+from ..analysis.spnp import SPNPScheduler
 from ..analysis.spp import SPPScheduler
+from ..analysis.tdma import TDMAScheduler
 from ..can.bus import CanBus
 from ..com.frame import Frame, FrameType
 from ..com.layer import ComLayer
 from ..com.signal import Signal
-from ..core.constructors import TransferProperty
-from ..eventmodels.standard import StandardEventModel, periodic
+from ..core.constructors import TransferProperty, hsc_pack
+from ..eventmodels.base import EventModel
+from ..eventmodels.standard import (
+    StandardEventModel,
+    periodic,
+    periodic_with_jitter,
+)
 from ..system.model import System
 
 
 def synth_sources(n: int, base_period: float = 200.0,
                   spread: float = 3.0, pending_every: int = 4,
-                  seed: int = 1) -> "Dict[str, Tuple[StandardEventModel, TransferProperty]]":
+                  seed: int = 1, jitter_frac: float = 0.0
+                  ) -> "Dict[str, Tuple[StandardEventModel, TransferProperty]]":
     """``n`` periodic sources with periods spread geometrically over
     ``[base_period, base_period * spread]``; every ``pending_every``-th is
-    a pending signal."""
+    a pending signal.  ``jitter_frac > 0`` gives every source a release
+    jitter drawn uniformly from ``[0, jitter_frac * period]``."""
     if n < 1:
         raise ModelError("need at least one source")
+    if jitter_frac < 0:
+        raise ModelError("jitter_frac must be >= 0")
     rng = random.Random(seed)
     out = {}
     for i in range(n):
         frac = i / max(1, n - 1)
         period = base_period * (spread ** frac)
         period *= 1.0 + 0.1 * rng.random()  # break exact harmonics
+        period = round(period, 3)
         prop = (TransferProperty.PENDING if pending_every
                 and (i + 1) % pending_every == 0
                 else TransferProperty.TRIGGERING)
         name = f"S{i + 1}"
-        out[name] = (periodic(round(period, 3), name), prop)
+        if jitter_frac > 0:
+            jitter = round(rng.uniform(0.0, jitter_frac * period), 3)
+            out[name] = (periodic_with_jitter(period, jitter, name), prop)
+        else:
+            out[name] = (periodic(period, name), prop)
     return out
+
+
+def synth_nested_model(depth: int, period: float = 100.0,
+                       timer_period: float = 500.0,
+                       name: str = "nest") -> EventModel:
+    """A hierarchical event model nested ``depth`` pack levels deep.
+
+    Level 0 is a plain periodic stream; each further level packs the
+    previous hierarchy as the triggering signal of a mixed frame (plus
+    one pending payload signal and a timer).  Feeding these to
+    :func:`synth_system` sources exercises HEM-inside-HEM propagation:
+    the COM layer's own pack adds one more level on top.
+    """
+    if depth < 0:
+        raise ModelError("nesting depth must be >= 0")
+    model: EventModel = periodic(period, f"{name}.sig")
+    for level in range(depth):
+        model = hsc_pack(
+            {f"{name}.trig{level}": (model, TransferProperty.TRIGGERING),
+             f"{name}.pend{level}": (
+                 periodic(period * 2.0, f"{name}.pend{level}.src"),
+                 TransferProperty.PENDING)},
+            timer=periodic(timer_period * (level + 1),
+                           f"{name}.timer{level}"),
+            name=f"{name}.F{level}")
+    return model
 
 
 def synth_com_layer(sources, frames: int,
@@ -73,21 +130,35 @@ def synth_system(n_signals: int, n_frames: int,
                  cet: float = 15.0,
                  timer_period: float = 2000.0,
                  base_period: float = 800.0,
-                 seed: int = 1) -> System:
+                 seed: int = 1,
+                 jitter_frac: float = 0.0,
+                 nesting: int = 0) -> System:
     """A full synthetic gateway system ready for analysis.
 
     Default periods/CETs are chosen so that even the *flat* variant
     (every receiver task activated by its whole frame stream) stays
     below CPU and bus capacity up to a dozen signals — the flat load is
     roughly ``n_signals * cet * frame_rate``, far above the HEM load.
+
+    ``jitter_frac`` jitters the sources (see :func:`synth_sources`);
+    ``nesting > 0`` replaces every source stream with a hierarchical
+    model packed ``nesting`` levels deep (:func:`synth_nested_model`),
+    so the COM layer packs already-hierarchical streams.
     """
     if variant not in ("hem", "flat"):
         raise ModelError("variant must be 'hem' or 'flat'")
-    sources = synth_sources(n_signals, base_period=base_period, seed=seed)
+    if nesting < 0:
+        raise ModelError("nesting must be >= 0")
+    sources = synth_sources(n_signals, base_period=base_period, seed=seed,
+                            jitter_frac=jitter_frac)
     layer = synth_com_layer(sources, n_frames, timer_period=timer_period)
 
     system = System(f"synth-{n_signals}x{n_frames}-{variant}")
     for name, (model, _) in sources.items():
+        if nesting:
+            model = synth_nested_model(
+                nesting, period=model.period,
+                timer_period=timer_period, name=f"{name}.nest")
         system.add_source(name, model)
     bus = CanBus.from_bitrate("CAN", 1.0 / bit_time)
     bus.install(system)
@@ -100,4 +171,186 @@ def synth_system(n_signals: int, n_frames: int,
                       else layer.frame_of_signal(signal).name)
         system.add_task(f"T{i + 1}", "CPU", (cet, cet), [activation],
                         priority=i + 1)
+    return system
+
+
+# ----------------------------------------------------------------------
+# randomized task graphs (simulatable: no PACK/UNPACK junctions)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphSpace:
+    """Parameter space :func:`synth_task_graph` samples from.
+
+    Every field bounds one aspect of the drawn topology; the defaults
+    describe the ``repro.soak`` smoke profile — small DAGs over
+    preemptive/non-preemptive static-priority resources whose load is
+    budgeted well below capacity, so strict analysis converges for
+    every seed.
+    """
+
+    max_resources: int = 3
+    max_sources: int = 4
+    max_chain: int = 3
+    #: Scheduling policies resources are drawn from.  Supported:
+    #: ``spp``, ``spnp``, ``edf``, ``round_robin``, ``tdma``.
+    policies: Tuple[str, ...] = ("spp", "spnp")
+    period_lo: float = 50.0
+    period_hi: float = 2000.0
+    #: Probability that a source has release jitter at all, and the
+    #: largest jitter as a fraction of the period.  Fractions above 1
+    #: produce bursts (several events released back to back).
+    p_jitter: float = 0.6
+    jitter_frac_hi: float = 1.5
+    #: Minimum distance of bursty sources as a fraction of the period.
+    burst_d_min_frac: float = 0.05
+    #: Probability of adding an OR-join sink over two chain tails.
+    p_or_join: float = 0.3
+    #: Per-resource utilization budget drawn from this interval.
+    util_lo: float = 0.1
+    util_hi: float = 0.5
+    #: BCET as a fraction of WCET, drawn from ``[c_min_frac_lo, 1]``.
+    c_min_frac_lo: float = 0.3
+
+    def to_dict(self) -> "Dict[str, object]":
+        return {
+            "max_resources": self.max_resources,
+            "max_sources": self.max_sources,
+            "max_chain": self.max_chain,
+            "policies": list(self.policies),
+            "period_lo": self.period_lo,
+            "period_hi": self.period_hi,
+            "p_jitter": self.p_jitter,
+            "jitter_frac_hi": self.jitter_frac_hi,
+            "burst_d_min_frac": self.burst_d_min_frac,
+            "p_or_join": self.p_or_join,
+            "util_lo": self.util_lo,
+            "util_hi": self.util_hi,
+            "c_min_frac_lo": self.c_min_frac_lo,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Dict[str, object]") -> "GraphSpace":
+        kwargs = dict(data)
+        if "policies" in kwargs:
+            kwargs["policies"] = tuple(kwargs["policies"])
+        return cls(**kwargs)
+
+
+def _draw_source_model(rng: random.Random, space: GraphSpace,
+                       name: str) -> StandardEventModel:
+    """One seeded source model: periodic, jittered, or bursty."""
+    log_lo, log_hi = (space.period_lo, space.period_hi)
+    period = round(log_lo * (log_hi / log_lo) ** rng.random(), 3)
+    if rng.random() >= space.p_jitter:
+        return periodic(period, name)
+    jitter = round(rng.uniform(0.0, space.jitter_frac_hi) * period, 3)
+    if jitter <= period:
+        return periodic_with_jitter(period, jitter, name)
+    # Burst: more than one event can be released back to back; keep a
+    # small positive minimum distance so busy windows stay bounded.
+    d_min = round(max(space.burst_d_min_frac * period, 1e-3), 3)
+    return StandardEventModel(period, jitter, d_min, name=name)
+
+
+def synth_task_graph(seed: int,
+                     space: Optional[GraphSpace] = None) -> System:
+    """A seeded random task-graph system (DAG, no junction nodes).
+
+    Construction: draw resources (policy each), draw sources, feed each
+    source into a chain of tasks on random resources, optionally add an
+    OR-join sink over two chain tails.  Priorities are unique per
+    resource; WCETs are budgeted so each resource's utilization lands
+    in ``[util_lo, util_hi]``.  The same ``(seed, space)`` always
+    produces the same system, bit for bit.
+    """
+    space = space or GraphSpace()
+    rng = random.Random(f"synth-task-graph:{seed}")
+
+    n_resources = rng.randint(1, max(1, space.max_resources))
+    resources = []
+    for r in range(n_resources):
+        policy = rng.choice(list(space.policies))
+        resources.append((f"R{r + 1}", policy))
+
+    n_sources = rng.randint(1, max(1, space.max_sources))
+    sources = {}
+    for s in range(n_sources):
+        name = f"S{s + 1}"
+        sources[name] = _draw_source_model(rng, space, name)
+
+    # Plan tasks first; priorities and budgets are assigned once the
+    # whole topology is known.
+    plan = []  # {name, resource, inputs, activation, rate}
+    tails = []
+    for s, (src, model) in enumerate(sources.items()):
+        rate = 1.0 / model.period
+        upstream = src
+        for link in range(rng.randint(1, max(1, space.max_chain))):
+            resource = resources[rng.randrange(len(resources))][0]
+            name = f"T{s + 1}_{link + 1}"
+            plan.append({"name": name, "resource": resource,
+                         "inputs": [upstream], "activation": "or",
+                         "rate": rate})
+            upstream = name
+        tails.append((upstream, rate))
+
+    if len(tails) >= 2 and rng.random() < space.p_or_join:
+        (a, rate_a), (b, rate_b) = rng.sample(tails, 2)
+        resource = resources[rng.randrange(len(resources))][0]
+        plan.append({"name": "TJ", "resource": resource,
+                     "inputs": [a, b], "activation": "or",
+                     "rate": rate_a + rate_b})
+
+    system = System(f"graph-{seed}")
+    for name, model in sources.items():
+        system.add_source(name, model)
+    policy_of = {}
+    for name, policy in resources:
+        policy_of[name] = policy
+        if not any(t["resource"] == name for t in plan):
+            continue  # resources without tasks are not added
+        if policy == "spp":
+            system.add_resource(name, SPPScheduler())
+        elif policy == "spnp":
+            system.add_resource(name, SPNPScheduler())
+        elif policy == "edf":
+            system.add_resource(name, EDFScheduler())
+        elif policy == "round_robin":
+            system.add_resource(name, RoundRobinScheduler())
+        elif policy == "tdma":
+            system.add_resource(name, TDMAScheduler())
+        else:
+            raise ModelError(f"unknown graph policy {policy!r}")
+
+    # Per-resource utilization budgeting and unique priorities.
+    by_resource: "Dict[str, List[dict]]" = {}
+    for entry in plan:
+        by_resource.setdefault(entry["resource"], []).append(entry)
+    for resource, entries in by_resource.items():
+        util = rng.uniform(space.util_lo, space.util_hi)
+        weights = [rng.uniform(0.5, 1.5) for _ in entries]
+        total = sum(weights)
+        order = list(range(len(entries)))
+        rng.shuffle(order)
+        for rank, (entry, weight) in enumerate(zip(entries, weights)):
+            share = util * weight / total
+            c_max = max(round(share / entry["rate"], 6), 1e-3)
+            c_min = round(c_max * rng.uniform(space.c_min_frac_lo, 1.0), 6)
+            entry["c_max"] = c_max
+            entry["c_min"] = min(c_min, c_max)
+            entry["priority"] = order[rank] + 1
+            policy = policy_of[resource]
+            entry["slot"] = (round(c_max * rng.uniform(1.0, 1.5), 6)
+                             if policy in ("tdma", "round_robin") else None)
+            entry["deadline"] = (round(rng.uniform(1.0, 4.0)
+                                       / entry["rate"], 6)
+                                 if policy == "edf" else None)
+
+    for entry in plan:
+        system.add_task(entry["name"], entry["resource"],
+                        (entry["c_min"], entry["c_max"]), entry["inputs"],
+                        priority=entry["priority"], slot=entry["slot"],
+                        deadline=entry["deadline"],
+                        activation=entry["activation"])
+    system.validate()
     return system

@@ -50,7 +50,7 @@ class LiveAggregator:
     """Fold sweep telemetry events into a rolling aggregate."""
 
     interests = frozenset(
-        {"sweep", "job", "job_retry", "iteration", "guard"})
+        {"sweep", "job", "job_retry", "iteration", "guard", "soak"})
 
     def __init__(self, total: Optional[int] = None,
                  clock=time.perf_counter):
@@ -85,6 +85,11 @@ class LiveAggregator:
         self.residuals: "Dict[str, Deque[Tuple[int, float]]]" = {}
         self.guard_verdicts: "List[Dict[str, Any]]" = []
         self.failures: "List[Tuple[str, str]]" = []
+        # soak campaign telemetry
+        self.soak_profile = ""
+        self.soak_samples = 0
+        self.soak_violations = 0
+        self.soak_contracts: "List[Dict[str, Any]]" = []
 
     # ------------------------------------------------------------------
     # folding
@@ -105,6 +110,26 @@ class LiveAggregator:
                 del self.guard_verdicts[:-MAX_FAILURES]
             elif kind == "sweep":
                 self._fold_sweep(event)
+            elif kind == "soak":
+                self._fold_soak(event)
+
+    def _fold_soak(self, event: Dict[str, Any]) -> None:
+        phase = event.get("phase")
+        if phase == "start":
+            self.soak_profile = str(event.get("profile", ""))
+        elif phase == "sample":
+            self.soak_samples += 1
+            self.soak_violations += len(event.get("violations") or ())
+        elif phase == "violation":
+            self.soak_contracts.append({
+                k: event.get(k)
+                for k in ("contract", "index", "kind", "seed",
+                          "bundle")})
+            del self.soak_contracts[:-MAX_FAILURES]
+        elif phase == "end":
+            self.soak_samples = event.get("samples", self.soak_samples)
+            self.soak_violations = event.get(
+                "violations", self.soak_violations)
 
     def _fold_sweep(self, event: Dict[str, Any]) -> None:
         if event.get("phase") == "start":
@@ -252,6 +277,12 @@ class LiveAggregator:
                 "residuals": residuals,
                 "guard_verdicts": list(self.guard_verdicts),
                 "failures": list(self.failures),
+                "soak": {
+                    "profile": self.soak_profile,
+                    "samples": self.soak_samples,
+                    "violations": self.soak_violations,
+                    "recent_violations": list(self.soak_contracts),
+                },
                 "finished": self.finished_at is not None,
                 "wall": self.wall,
             }
@@ -274,6 +305,9 @@ class LiveAggregator:
             parts.append(f"cached {self.cached}")
         if self.retried:
             parts.append(f"retry {self.retried}")
+        if self.soak_samples:
+            parts.append(f"soak {self.soak_samples} smp"
+                         f" {self.soak_violations} viol")
         rate = self.throughput()
         if rate > 0:
             parts.append(f"{rate:.1f} pt/s")
@@ -331,6 +365,17 @@ class LiveAggregator:
             tail = ", ".join(f"{r:.3g}" for _, r in trend[-6:])
             lines.append(f"residuals[{system}]: {tail} "
                          f"(it {trend[-1][0]})")
+        soak = snap.get("soak") or {}
+        if soak.get("samples"):
+            lines.append(
+                f"soak[{soak.get('profile') or '-'}]: "
+                f"{soak['samples']} samples  "
+                f"{soak['violations']} violations")
+            for record in soak.get("recent_violations", [])[-3:]:
+                lines.append(
+                    f"  VIOLATED {record.get('contract')} @ sample "
+                    f"{record.get('index')} "
+                    f"(seed {record.get('seed')})")
         for verdict in snap["guard_verdicts"][-3:]:
             lines.append(f"guard: {verdict.get('verdict')} on "
                          f"{verdict.get('system')} @ iteration "

@@ -33,6 +33,11 @@ must skip unknown types so the vocabulary can grow.  The core types:
     convergence residuals.
 ``guard``
     A :class:`repro.resilience.guards.DivergenceGuard` verdict.
+``soak``
+    Burn-in campaign lifecycle from :mod:`repro.soak.campaign`:
+    ``phase`` is ``start``/``end`` (campaign envelopes), ``sample``
+    (one judged sample with its violated contract ids), or
+    ``violation`` (a triaged violation with its bundle path).
 
 Publishing is allocation-free when nothing is subscribed: call sites
 check :attr:`EventBus.active` (or :attr:`EventBus.metric_interest`)

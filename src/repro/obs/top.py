@@ -216,8 +216,11 @@ def top_main(argv: Optional[Sequence[str]] = None) -> int:
                     "and watch it, or tail a running sweep's result "
                     "store.")
     parser.add_argument(
-        "target", choices=sorted(NAMED_SPACES),
-        help="which predefined design space to monitor")
+        "target",
+        help="a predefined design space "
+             f"({', '.join(sorted(NAMED_SPACES))}) to run or follow, "
+             "or — with --follow — any cache directory name under "
+             ".repro-batch/ (e.g. a soak campaign's --cache-dir)")
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="worker processes for run mode (0 = serial)")
@@ -243,6 +246,21 @@ def top_main(argv: Optional[Sequence[str]] = None) -> int:
         "--once", action="store_true",
         help="render a single frame and exit (scripts / CI)")
     args = parser.parse_args(argv)
+
+    if args.target not in NAMED_SPACES:
+        # Not a predefined space: treat the target as a result-store
+        # location (soak campaigns, ad-hoc sweeps) — follow-only, with
+        # an unknown total.  Absolute/relative paths are taken as the
+        # cache dir itself when --cache-dir is not given.
+        if not args.follow:
+            parser.error(
+                f"unknown design space {args.target!r}; run mode "
+                f"needs one of: {', '.join(sorted(NAMED_SPACES))} "
+                f"(use --follow to tail a result store)")
+        if args.cache_dir is None and ("/" in args.target
+                                       or Path(args.target).exists()):
+            args.cache_dir = args.target
+        return _follow_mode(args, total=None)
 
     space = NAMED_SPACES[args.target]()
     points = (space.sample(args.sample, seed=args.seed)

@@ -146,6 +146,25 @@ class FaultPlan:
                          f"magnitude={f.magnitude:g}")
         return "\n".join(lines)
 
+    def to_dict(self) -> "Dict[str, object]":
+        """JSON-compatible value: plans are loggable and replayable
+        (soak triage bundles and fault-drill reports carry them
+        verbatim)."""
+        return {
+            "seed": self.seed,
+            "faults": [{"kind": f.kind, "target": f.target,
+                        "magnitude": f.magnitude}
+                       for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Dict[str, object]") -> "FaultPlan":
+        return cls(
+            faults=tuple(Fault(kind=f["kind"], target=f.get("target"),
+                               magnitude=f.get("magnitude", 1.0))
+                         for f in data.get("faults", [])),
+            seed=int(data.get("seed", 0)))
+
     @classmethod
     def sample(cls, system: System, seed: int,
                n_faults: int = 3,

@@ -96,6 +96,13 @@ class CanBusSim:
 
     # ------------------------------------------------------------------
     def _arbitrate(self) -> None:
+        if self._busy:
+            # A completion hook may synchronously request() a successor
+            # frame, which arbitrates and seizes the bus before
+            # _finish's own arbitration runs; starting a second,
+            # overlapping transmission here would break the
+            # non-preemptive serialisation the analysis assumes.
+            return
         contenders = [f for f, q in self._queues.items() if q]
         if not contenders:
             return

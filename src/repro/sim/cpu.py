@@ -85,8 +85,26 @@ class SppCpuSim:
             if best is None or (current.priority, current.seq) <= \
                     (best.priority, best.seq):
                 return  # keep running
+            done = now - current.started_at
+            if done >= current.remaining - 1e-12:
+                # The job finishes at this very instant; its _complete
+                # event sits later in this timestamp's event order, so
+                # an arrival processed first would "preempt" zero
+                # remaining work and stretch the response past the
+                # analytic bound (which counts interference over
+                # half-open windows — a same-instant arrival does not
+                # interfere).  Complete it now instead.
+                self._completion_token += 1  # drop the pending event
+                self._running = None
+                self._recorder.record(current.task, current.activation,
+                                      now)
+                callback = self._on_complete.get(current.task)
+                if callback is not None:
+                    callback(current.task, now)
+                self._reschedule()
+                return
             # Preempt: bank the work done so far.
-            current.remaining -= now - current.started_at
+            current.remaining -= done
             current.started_at = None
             self._ready.append(current)
             self._running = None

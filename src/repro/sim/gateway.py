@@ -116,16 +116,24 @@ def _write(com: ComLayerSim, trace: EventTrace, signal: str) -> None:
 def arrivals_for_models(models: "Dict[str, StandardEventModel]",
                         t_end: float, mode: str = "worst",
                         seed: int = 0,
-                        phases: "Optional[Dict[str, float]]" = None
+                        phases: "Optional[Dict[str, float]]" = None,
+                        rng: "Optional[random.Random]" = None
                         ) -> "Dict[str, List[float]]":
     """Generate arrival sequences for a set of source models.
 
     ``mode``: "worst" (critical-instant packing), "periodic" (plain
     periodic with optional per-signal phase), or "random" (jittered).
+
+    Randomness is fully explicit: "random" mode derives one child
+    generator per signal from ``rng`` (or ``Random(seed)`` when no
+    generator is passed), so equal seeds yield identical arrival
+    sequences in every process — the determinism the soak oracle's
+    differential replay relies on.  No global :mod:`random` state is
+    read or written.
     """
     phases = phases or {}
     out: "Dict[str, List[float]]" = {}
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     for name, model in models.items():
         phase = phases.get(name, 0.0)
         if mode == "worst":

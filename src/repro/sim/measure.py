@@ -46,10 +46,30 @@ class EventTrace:
                                 name=f"obs({stream})")
 
     def check_conservative(self, stream: str, bound: EventModel,
-                           eps: float = 1e-6) -> bool:
+                           eps: float = 1e-6,
+                           window: "Optional[Tuple[float, float]]" = None,
+                           n_max: Optional[int] = None) -> bool:
         """True if the observed stream stays within the analytic bound
-        (its events are never packed tighter than δ⁻ of *bound*)."""
-        return trace_within_bounds(self.events(stream), bound, eps=eps)
+        (its events are never packed tighter than δ⁻ of *bound*).
+
+        Degenerate observations are *vacuously* conservative rather
+        than errors: an unknown/empty stream, a single recorded event,
+        and a zero-length (or inverted) observation ``window`` all
+        return True — no window of two events exists to violate δ⁻.
+
+        ``window`` restricts the check to events in ``[t0, t1]``;
+        ``n_max`` clamps the longest window checked (the full check is
+        quadratic in the trace length).
+        """
+        events = self.events(stream)
+        if window is not None:
+            t0, t1 = window
+            if t1 - t0 <= 0:
+                return True
+            events = [t for t in events if t0 <= t <= t1]
+        if len(events) < 2:
+            return True
+        return trace_within_bounds(events, bound, eps=eps, n_max=n_max)
 
 
 class ResponseRecorder:

@@ -1,0 +1,64 @@
+"""``repro.soak`` — randomized burn-in campaigns over a contract matrix.
+
+The soak layer turns the engine's correctness claims into first-class,
+machine-checked :class:`~repro.soak.contracts.Contract` objects and
+hammers them with seeded random systems:
+
+* :mod:`repro.soak.contracts` — the invariant matrix (conservativeness
+  vs simulation, envelope containment, HEM dominance, path
+  bit-identity, blame/degrade soundness, fault monotonicity);
+* :mod:`repro.soak.oracle` — per-sample evidence gathering and the
+  ``soak_sample`` batch job kind;
+* :mod:`repro.soak.campaign` — the crash-resumable campaign loop,
+  triage bundles, profiles;
+* :mod:`repro.soak.shrink` — delta-debugging of violating samples;
+* :mod:`repro.soak.report` — coverage tables and bench artefacts;
+* :mod:`repro.soak.cli` — ``python -m repro soak``.
+
+See ``docs/contracts/INVARIANTS_INDEX.md`` for the contract registry.
+"""
+
+from .campaign import (
+    SOAK_PROFILES,
+    CampaignReport,
+    load_bundle,
+    replay_bundle,
+    run_campaign,
+    write_bundle,
+)
+from .contracts import (
+    Contract,
+    all_contracts,
+    contract_ids,
+    get_contract,
+    register_contract,
+)
+from .oracle import (
+    Evidence,
+    SampleSpec,
+    evaluate_sample,
+    evaluate_system,
+    gather_evidence,
+)
+from .shrink import ShrinkResult, shrink_system
+
+__all__ = [
+    "SOAK_PROFILES",
+    "CampaignReport",
+    "Contract",
+    "Evidence",
+    "SampleSpec",
+    "ShrinkResult",
+    "all_contracts",
+    "contract_ids",
+    "evaluate_sample",
+    "evaluate_system",
+    "gather_evidence",
+    "get_contract",
+    "load_bundle",
+    "register_contract",
+    "replay_bundle",
+    "run_campaign",
+    "shrink_system",
+    "write_bundle",
+]

@@ -1,0 +1,140 @@
+"""``python -m repro soak`` — burn-in campaigns and bundle replay.
+
+Usage::
+
+    python -m repro soak smoke --minutes 1 --seed 7
+    python -m repro soak nightly --samples 500 --resume
+    python -m repro soak replay .repro-soak/smoke-s7/bundles/<id>
+
+Campaign mode runs the named :data:`~repro.soak.campaign.
+SOAK_PROFILES` profile until its ``--minutes`` / ``--samples`` budget
+is spent, prints the coverage report, writes ``report.json`` and
+``BENCH_soak.json``, and exits non-zero under ``--fail-on-violation``
+when any contract was violated.  Replay mode loads one triage bundle
+and re-evaluates its contract against the stored (shrunk) system —
+exit 0 means the violation reproduced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .. import obs as _obs
+from .campaign import SOAK_PROFILES, replay_bundle, run_campaign
+from .contracts import VIOLATION
+from .report import render_report, write_artifacts
+
+
+def _replay_main(args) -> int:
+    outcome = replay_bundle(args.bundle)
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    if outcome["status"] == VIOLATION:
+        print(f"reproduced: contract {outcome['contract']} still "
+              f"violated", file=sys.stderr)
+        return 0
+    print(f"NOT reproduced: contract {outcome['contract']} reports "
+          f"{outcome['status']}", file=sys.stderr)
+    return 1
+
+
+def soak_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro soak",
+        description="Randomized burn-in campaigns over the contract "
+                    "matrix, with auto-shrinking failure triage.")
+    sub = parser.add_subparsers(dest="command")
+
+    replay = sub.add_parser(
+        "replay", help="re-evaluate one triage bundle")
+    replay.add_argument(
+        "bundle", help="bundle directory (or bundle.json path)")
+
+    run = sub.add_parser("run", help="run a campaign (default)")
+    run.add_argument(
+        "profile", choices=sorted(SOAK_PROFILES),
+        help="which campaign profile to run")
+    run.add_argument(
+        "--minutes", type=float, default=None, metavar="M",
+        help="wall-clock budget in minutes")
+    run.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="sample-count budget")
+    run.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (fixes the whole sample stream)")
+    run.add_argument(
+        "--resume", action="store_true",
+        help="keep the result cache and continue a killed campaign")
+    run.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory "
+             "(default: .repro-soak/<profile>-s<seed>)")
+    run.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes (0 = serial)")
+    run.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of violating samples")
+    run.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="exit 1 when any contract was violated")
+    run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report JSON to PATH")
+    run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the progress line")
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # "soak <profile> ..." is sugar for "soak run <profile> ...".
+    if argv and argv[0] not in ("run", "replay", "-h", "--help"):
+        argv = ["run"] + argv
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "replay":
+        return _replay_main(args)
+
+    _obs.configure(enabled=True, reset=True)
+
+    def progress(report, result) -> None:
+        if args.quiet:
+            return
+        line = (f"\r{report.samples} samples  "
+                f"{report.violation_count} violations  "
+                f"{report.cached} cached  {report.errors} errors")
+        sys.stderr.write(line.ljust(60))
+        sys.stderr.flush()
+
+    try:
+        report = run_campaign(
+            args.profile, minutes=args.minutes, samples=args.samples,
+            seed=args.seed, cache_dir=args.cache_dir,
+            resume=args.resume, shrink=not args.no_shrink,
+            workers=args.workers, progress=progress)
+    finally:
+        if not args.quiet:
+            sys.stderr.write("\n")
+        _obs.configure(enabled=False)
+
+    print(render_report(report))
+    written = write_artifacts(report)
+    for path in written:
+        print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if report.errors:
+        print(f"{report.errors} sample(s) errored", file=sys.stderr)
+        return 1
+    if args.fail_on_violation and report.violation_count:
+        print(f"{report.violation_count} contract violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0

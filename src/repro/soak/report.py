@@ -1,0 +1,151 @@
+"""Campaign reporting: text rendering, JSON, and the bench artefact.
+
+One campaign produces three artefacts:
+
+* ``report.json`` in the cache directory — the full
+  :meth:`~repro.soak.campaign.CampaignReport.to_dict` payload,
+* a human-readable summary (:func:`render_report`) with the
+  per-contract coverage table (pass / violation / skip per contract —
+  a profile that silently never exercises a contract is visible as an
+  all-skip row),
+* ``BENCH_soak.json`` — the campaign throughput wrapped in the same
+  schema-versioned provenance envelope every other benchmark emits, so
+  ``benchmarks/bench_history.py record``/``check`` track
+  ``soak.samples_per_sec`` alongside the compile/batch/serve metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .campaign import CampaignReport
+from .contracts import PASS, SKIP, VIOLATION, all_contracts
+
+BENCH_SCHEMA = "repro-bench/1"
+BENCH_NAME = "BENCH_soak.json"
+REPORT_NAME = "report.json"
+
+
+def _bench_host() -> str:
+    env = os.environ.get("BENCH_HOST")
+    if env:
+        return env
+    try:
+        return socket.gethostname()
+    except OSError:  # pragma: no cover - no hostname available
+        return "unknown"
+
+
+def _bench_git_sha() -> str:
+    env = os.environ.get("BENCH_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _bench_timestamp() -> float:
+    env = os.environ.get("BENCH_TIMESTAMP")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return time.time()
+
+
+def bench_envelope(report: CampaignReport) -> "Dict[str, Any]":
+    """The ``BENCH_soak.json`` document for one campaign."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": "soak",
+        "host": _bench_host(),
+        "git_sha": _bench_git_sha(),
+        "timestamp": _bench_timestamp(),
+        "payload": {
+            "profile": report.profile,
+            "seed": report.seed,
+            "samples": report.samples,
+            "cached": report.cached,
+            "violations": report.violation_count,
+            "wall_seconds": report.wall,
+            "samples_per_sec": report.samples_per_sec,
+        },
+    }
+
+
+def write_artifacts(report: CampaignReport,
+                    bench_dir: Optional[str] = None
+                    ) -> "List[Path]":
+    """Write ``report.json`` (cache dir) and ``BENCH_soak.json``."""
+    written = []
+    report_path = Path(report.cache_dir) / REPORT_NAME
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True),
+        encoding="utf-8")
+    written.append(report_path)
+
+    out_dir = Path(bench_dir or os.environ.get("BENCH_OUT_DIR", "."))
+    bench_path = out_dir / BENCH_NAME
+    bench_path.write_text(
+        json.dumps(bench_envelope(report), indent=2, sort_keys=True),
+        encoding="utf-8")
+    written.append(bench_path)
+    return written
+
+
+def render_report(report: CampaignReport) -> str:
+    """Human-readable campaign summary with the coverage table."""
+    lines = [
+        f"soak campaign '{report.profile}' (seed {report.seed})",
+        f"  {report.samples} samples in {report.wall:.1f}s "
+        f"({report.samples_per_sec:.2f} samples/s, "
+        f"{report.cached} cached, {report.errors} errored)",
+    ]
+    if report.resumed_from:
+        lines.append(f"  resumed past index {report.resumed_from - 1}")
+    lines.append(f"  violations: {report.violation_count}")
+
+    lines.append("  contract coverage (pass / violation / skip):")
+    counts = report.contract_counts
+    for contract in all_contracts():
+        row = counts.get(contract.id, {})
+        p = row.get(PASS, 0)
+        v = row.get(VIOLATION, 0)
+        s = row.get(SKIP, 0)
+        flag = "  <-- VIOLATED" if v else (
+            "  (never exercised)" if p == 0 and s > 0 else "")
+        lines.append(f"    {contract.id:<28} {p:>5} / {v:>3} / {s:>4}"
+                     f"{flag}")
+
+    for record in report.violations:
+        lines.append(
+            f"  VIOLATION {record['contract']} at sample "
+            f"{record['index']} (kind={record['kind']}, "
+            f"seed={record['seed']})")
+        if record.get("detail"):
+            lines.append(f"    {record['detail']}")
+        if record.get("shrunk_tasks") is not None:
+            lines.append(
+                f"    shrunk to {record['shrunk_tasks']} task(s)")
+        if record.get("bundle"):
+            lines.append(f"    bundle: {record['bundle']}")
+            lines.append(
+                f"    repro:  python -m repro soak replay "
+                f"{record['bundle']}")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Auto-shrinking failure triage: minimize a violating soak sample.
+
+When a campaign sample violates a contract, the raw system is rarely
+the best artefact to debug — a seeded draw can carry a dozen tasks of
+which three matter.  :func:`shrink_system` greedily delta-debugs the
+*serialised* system (plain :func:`~repro.system.serialize.
+system_to_dict` dicts, so every candidate is a fresh, independent
+rebuild): it repeatedly tries to drop one task together with its
+downstream closure, keeping any removal under which the contract still
+reports ``violation``, until no single removal preserves the failure
+or the evaluation budget runs out.  Orphaned sources and empty
+resources are pruned along the way, so the minimal system is
+self-contained and loads with :func:`~repro.system.serialize.
+system_from_dict`.
+
+The predicate is :func:`repro.soak.oracle.evaluate_system` — the same
+evidence gathering and the same contract the campaign used, applied to
+the candidate topology with the sample's seed-derived stimuli — so a
+shrunk system fails for the *same reason* as the original, not merely
+for some reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..system.serialize import system_from_dict, system_to_dict
+from .contracts import VIOLATION
+from .oracle import SampleSpec, evaluate_system
+
+#: Evaluation budget: one evaluation per removal attempt.
+DEFAULT_MAX_EVALS = 200
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    system: "Dict[str, object]"        # minimal serialised system
+    contract: str
+    outcome: "Dict[str, str]"          # contract outcome on the minimum
+    original_tasks: int
+    shrunk_tasks: int
+    evals: int
+    removed: "List[str]" = field(default_factory=list)
+
+    @property
+    def reduced(self) -> bool:
+        return self.shrunk_tasks < self.original_tasks
+
+
+def _downstream_closure(tasks: "Dict[str, dict]",
+                        root: str) -> "List[str]":
+    """*root* plus every task reachable from it through ``inputs``."""
+    doomed = {root}
+    changed = True
+    while changed:
+        changed = False
+        for name, task in tasks.items():
+            if name in doomed:
+                continue
+            if any(inp in doomed for inp in task["inputs"]):
+                doomed.add(name)
+                changed = True
+    return sorted(doomed)
+
+
+def _without_tasks(data: "Dict[str, object]",
+                   doomed: "List[str]") -> "Dict[str, object]":
+    """A candidate system dict with *doomed* tasks removed and orphaned
+    sources / empty resources pruned."""
+    tasks = {name: dict(task)
+             for name, task in data["tasks"].items()
+             if name not in doomed}
+    referenced = {inp for task in tasks.values()
+                  for inp in task["inputs"]}
+    sources = {name: model for name, model in data["sources"].items()
+               if name in referenced}
+    used_resources = {task["resource"] for task in tasks.values()}
+    resources = {name: sched
+                 for name, sched in data["resources"].items()
+                 if name in used_resources}
+    return {"name": data["name"], "sources": sources,
+            "resources": resources, "tasks": tasks,
+            "junctions": dict(data.get("junctions", {}))}
+
+
+def _still_violates(candidate: "Dict[str, object]", spec: SampleSpec,
+                    contract_id: str) -> "Optional[Dict[str, str]]":
+    """The contract outcome if *candidate* still violates, else None.
+
+    A candidate that fails to rebuild (validation error) simply does
+    not reproduce the violation — it is rejected, never raised.
+    """
+    if not candidate["tasks"] or not candidate["sources"]:
+        return None
+    try:
+        system = system_from_dict(candidate)
+    except Exception:
+        return None
+    outcome = evaluate_system(system, spec, contract_id)
+    return outcome if outcome["status"] == VIOLATION else None
+
+
+def shrink_system(system, spec: SampleSpec, contract_id: str,
+                  max_evals: int = DEFAULT_MAX_EVALS) -> ShrinkResult:
+    """Greedily minimize *system* while *contract_id* still violates.
+
+    Accepts a live :class:`~repro.system.model.System` or an already
+    serialised dict.  Returns the smallest system found (the original,
+    unchanged, when no removal preserves the violation), the contract
+    outcome observed on it, and the removal trail.
+    """
+    data = (system if isinstance(system, dict)
+            else system_to_dict(system))
+    original_tasks = len(data["tasks"])
+    outcome = {"contract": contract_id, "status": VIOLATION,
+               "detail": "original sample (not re-evaluated)"}
+    evals = 0
+    removed: "List[str]" = []
+
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        # Largest closure first: dropping a whole chain in one step
+        # shrinks fastest; leaf tasks are retried on later passes.
+        for name in sorted(data["tasks"],
+                           key=lambda n: -len(_downstream_closure(
+                               data["tasks"], n))):
+            if evals >= max_evals:
+                break
+            doomed = _downstream_closure(data["tasks"], name)
+            if len(doomed) >= len(data["tasks"]):
+                continue  # would leave no tasks at all
+            candidate = _without_tasks(data, doomed)
+            evals += 1
+            still = _still_violates(candidate, spec, contract_id)
+            if still is not None:
+                data = candidate
+                outcome = still
+                removed.extend(doomed)
+                progress = True
+                break  # restart over the smaller system
+
+    return ShrinkResult(system=data, contract=contract_id,
+                        outcome=outcome,
+                        original_tasks=original_tasks,
+                        shrunk_tasks=len(data["tasks"]),
+                        evals=evals, removed=removed)

@@ -250,6 +250,31 @@ class _StreamResolver:
         return _compile.maybe_compile(joined, name=f"{task.name}.act")
 
 
+def output_models(system: System, result,
+                  ports: "Optional[list]" = None
+                  ) -> "Dict[str, EventModel]":
+    """Reconstruct the converged per-port output event models.
+
+    :class:`~repro.analysis.results.SystemResult` carries response
+    times, not the propagated streams; differential checks (e.g. the
+    soak oracle's envelope-containment contract) need the analytic
+    output model of each task to compare observed traces against.
+    Rebuilding a :class:`_StreamResolver` from the converged task
+    results reproduces exactly the models of the final iteration.
+
+    ``ports`` defaults to every task's output port.  Systems with
+    dependency cycles need the cycle seeds the original call provided;
+    this helper targets acyclic graphs and raises for unseeded cycles.
+    """
+    responses: "Dict[str, TaskResult]" = {}
+    for rr in result.resource_results.values():
+        responses.update(rr.task_results)
+    resolver = _StreamResolver(system, responses, {})
+    if ports is None:
+        ports = list(system.tasks)
+    return {port: resolver.port(port) for port in ports}
+
+
 def analyze_system(system: System,
                    max_iterations: int = DEFAULT_MAX_ITERATIONS,
                    initial_outputs: "Optional[Dict[str, EventModel]]" = None,

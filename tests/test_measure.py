@@ -72,3 +72,60 @@ class TestResponseRecorder:
         assert rec.responses("t") == [3.0]
         assert rec.jobs("t") == [(1.0, 4.0)]
         assert rec.tasks() == ["t"]
+
+
+class TestCheckConservativeEdgeCases:
+    """Degenerate observations are vacuously conservative, not errors."""
+
+    def test_empty_trace(self):
+        assert EventTrace().check_conservative("ghost", periodic(10.0))
+
+    def test_single_event(self):
+        trace = EventTrace()
+        trace.record("a", 5.0)
+        assert trace.check_conservative("a", periodic(10.0))
+
+    def test_zero_length_window(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)  # would violate δ⁻ of periodic(10)
+        assert trace.check_conservative("a", periodic(10.0),
+                                        window=(3.0, 3.0))
+
+    def test_inverted_window(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)
+        assert trace.check_conservative("a", periodic(10.0),
+                                        window=(5.0, 2.0))
+
+    def test_window_leaves_one_event(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)
+        trace.record("a", 50.0)
+        assert trace.check_conservative("a", periodic(10.0),
+                                        window=(40.0, 60.0))
+
+    def test_violation_still_detected(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)
+        assert not trace.check_conservative("a", periodic(10.0))
+
+    def test_window_restricts_check(self):
+        trace = EventTrace()
+        trace.record("a", 0.0)
+        trace.record("a", 1.0)   # violating pair, outside the window
+        trace.record("a", 20.0)
+        trace.record("a", 30.0)
+        assert trace.check_conservative("a", periodic(10.0),
+                                        window=(15.0, 35.0))
+
+    def test_n_max_clamps_window_length(self):
+        trace = EventTrace()
+        for t in (0.0, 10.0, 20.0, 25.0):  # δ(4)=25 < periodic 30
+            trace.record("a", t)
+        assert not trace.check_conservative("a", periodic(10.0))
+        # n_max=2 only checks adjacent pairs, all >= 5 apart
+        assert trace.check_conservative("a", periodic(5.0), n_max=2)

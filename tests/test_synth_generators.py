@@ -87,3 +87,72 @@ class TestOffsetTraces:
         merged.sort()
         model = offset_join(period, offsets)
         assert trace_within_bounds(merged, model, check_plus=False)
+
+
+class TestSynthSystemExtremes:
+    """Parameter extremes the soak campaigns draw from must all build
+    and analyse."""
+
+    def test_single_signal(self):
+        for variant in ("hem", "flat"):
+            system = synth_system(1, 1, variant, seed=5)
+            result = analyze_system(system)
+            assert result.converged
+
+    def test_zero_jitter(self):
+        system = synth_system(4, 2, "hem", seed=3, jitter_frac=0.0)
+        for src in system.sources.values():
+            assert src.model.delta_min(2) == src.model.period
+        assert analyze_system(system).converged
+
+    def test_jittered_sources(self):
+        system = synth_system(4, 2, "hem", seed=3, jitter_frac=0.4)
+        jittery = [src for src in system.sources.values()
+                   if src.model.delta_min(2) < src.model.period]
+        assert jittery, "jitter_frac=0.4 produced no jittered source"
+        assert analyze_system(system).converged
+
+    def test_maximal_nesting_depth(self):
+        system = synth_system(3, 2, "hem", seed=2, nesting=2)
+        assert analyze_system(system).converged
+
+    def test_nesting_deterministic(self):
+        from repro.system.serialize import system_to_dict
+        a = synth_system(3, 2, "hem", seed=9, nesting=1)
+        b = synth_system(3, 2, "hem", seed=9, nesting=1)
+        assert system_to_dict(a) == system_to_dict(b)
+
+    def test_nested_model_depth_zero_is_periodic(self):
+        from repro.examples_lib.synth import synth_nested_model
+        model = synth_nested_model(0, period=50.0)
+        assert model.delta_min(3) == 100.0
+
+    def test_nested_model_negative_depth_rejected(self):
+        from repro.examples_lib.synth import synth_nested_model
+        with pytest.raises(ModelError):
+            synth_nested_model(-1)
+
+
+class TestSynthTaskGraph:
+    def test_deterministic_and_valid(self):
+        from repro.examples_lib.synth import GraphSpace, synth_task_graph
+        from repro.system.serialize import system_to_dict
+        a = synth_task_graph(11)
+        b = synth_task_graph(11)
+        assert system_to_dict(a) == system_to_dict(b)
+        assert a.tasks and a.sources
+
+    def test_space_round_trip(self):
+        from repro.examples_lib.synth import GraphSpace
+        space = GraphSpace(max_resources=4,
+                           policies=("spp", "edf"))
+        again = GraphSpace.from_dict(space.to_dict())
+        assert again == space
+
+    def test_all_policies_analyse(self):
+        from repro.examples_lib.synth import GraphSpace, synth_task_graph
+        space = GraphSpace(policies=("spp", "spnp", "edf",
+                                     "round_robin", "tdma"))
+        for seed in range(6):
+            result = analyze_system(synth_task_graph(seed, space))
+            assert result.converged, f"seed {seed} did not converge"
